@@ -1,0 +1,134 @@
+"""B8: index ablation -- the method tables' secondary indexes on vs. off.
+
+The secondary indexes matter for *inverse* and *unbound-subject*
+lookups: "whose color is red?" starts from the (method, result) index,
+while the subject-first joins of the flagship query hit the primary
+dict in both modes (a finding this bench documents by including both
+workloads).  Expected shape: identical answers everywhere; the indexed
+store wins by a size-growing factor on the inverse workload and is a
+wash on the subject-first workload.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.datasets import CompanyConfig, build_company
+from repro.lang.parser import parse_query
+from repro.oodb.database import Database
+from repro.query import Query
+
+SIZES = (100, 400)
+
+QUERY = ("X : employee[city -> C]"
+         "..vehicles : automobile[cylinders -> 4].color[Z]")
+
+#: Inverse workload: subjects unbound, results bound.  The solver must
+#: start from (method, result) -- index vs. full scan.
+INVERSE = ("Y[color -> red], Y[cylinders -> 8], "
+           "Y[producedBy -> P], P[city -> detroit]")
+
+
+def load(size: int, indexed: bool) -> Database:
+    db = Database(indexed=indexed)
+    return build_company(CompanyConfig(employees=size, seed=61), db=db)
+
+
+@pytest.fixture(scope="module", params=SIZES)
+def db_pair(request):
+    size = request.param
+    return size, load(size, True), load(size, False)
+
+
+def test_ablation_preserves_answers(db_pair):
+    size, indexed, unindexed = db_pair
+    literals = parse_query(QUERY)
+    with_index = {tuple(sorted(r.items()))
+                  for r in Query(indexed).all(literals)}
+    without = {tuple(sorted(r.items()))
+               for r in Query(unindexed).all(literals)}
+    assert with_index == without
+    report("B8-agreement", employees=size, answers=len(with_index))
+
+
+@pytest.mark.benchmark(group="B8-subject-first")
+def test_bench_indexed(benchmark, db_pair):
+    size, indexed, _ = db_pair
+    literals = parse_query(QUERY)
+    q = Query(indexed)
+    rows = benchmark(lambda: q.all(literals))
+    report("B8", store="indexed", workload="subject-first",
+           employees=size, answers=len(rows))
+
+
+@pytest.mark.benchmark(group="B8-subject-first")
+def test_bench_unindexed(benchmark, db_pair):
+    size, _, unindexed = db_pair
+    literals = parse_query(QUERY)
+    q = Query(unindexed)
+    rows = benchmark(lambda: q.all(literals))
+    report("B8", store="scan", workload="subject-first",
+           employees=size, answers=len(rows))
+
+
+def test_inverse_ablation_preserves_answers(db_pair):
+    size, indexed, unindexed = db_pair
+    literals = parse_query(INVERSE)
+    left = {tuple(sorted(r.items())) for r in Query(indexed).all(literals)}
+    right = {tuple(sorted(r.items()))
+             for r in Query(unindexed).all(literals)}
+    assert left == right
+    report("B8-inverse-agreement", employees=size, answers=len(left))
+
+
+@pytest.mark.benchmark(group="B8-inverse")
+def test_bench_inverse_indexed(benchmark, db_pair):
+    size, indexed, _ = db_pair
+    literals = parse_query(INVERSE)
+    q = Query(indexed)
+    rows = benchmark(lambda: q.all(literals))
+    report("B8", store="indexed", workload="inverse",
+           employees=size, answers=len(rows))
+
+
+@pytest.mark.benchmark(group="B8-inverse")
+def test_bench_inverse_unindexed(benchmark, db_pair):
+    size, _, unindexed = db_pair
+    literals = parse_query(INVERSE)
+    q = Query(unindexed)
+    rows = benchmark(lambda: q.all(literals))
+    report("B8", store="scan", workload="inverse",
+           employees=size, answers=len(rows))
+
+
+# ---------------------------------------------------------------------------
+# Storage-layer micro ablation: the index effect isolated from the join
+# machinery (where binding bookkeeping dominates at these sizes).
+# ---------------------------------------------------------------------------
+
+MICRO_FACTS = 20_000
+
+
+@pytest.fixture(scope="module", params=[True, False],
+                ids=["indexed", "scan"])
+def micro_table(request):
+    from repro.oodb.methods import ScalarMethodTable
+    from repro.oodb.oid import NamedOid
+
+    table = ScalarMethodTable(indexed=request.param)
+    color = NamedOid("color")
+    for index in range(MICRO_FACTS):
+        table.put(color, NamedOid(f"o{index}"), (),
+                  NamedOid("red" if index % 100 == 0 else f"c{index % 7}"))
+    return request.param, table
+
+
+@pytest.mark.benchmark(group="B8-micro")
+def test_bench_inverse_lookup_micro(benchmark, micro_table):
+    from repro.oodb.oid import NamedOid
+
+    indexed, table = micro_table
+    color, red = NamedOid("color"), NamedOid("red")
+    count = benchmark(lambda: sum(1 for _ in table.match(color, None, red)))
+    assert count == MICRO_FACTS // 100
+    report("B8-micro", store="indexed" if indexed else "scan",
+           facts=MICRO_FACTS, matches=count)

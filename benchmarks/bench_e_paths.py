@@ -1,0 +1,70 @@
+"""B7: deep path evaluation -- direct valuation vs. flatten-and-solve.
+
+Builds a linked chain of objects and evaluates ``root.next.next...``
+at increasing depth, through (a) the direct Definition 4 valuation and
+(b) the flattened atom pipeline.  Expected shape: both linear in path
+length with comparable constants; ground direct valuation avoids the
+per-hop variable bookkeeping and stays slightly ahead.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.valuation import GROUND, valuate
+from repro.engine.solve import solve
+from repro.flogic.flatten import flatten_reference
+from repro.lang.parser import parse_reference
+from repro.oodb.database import Database
+from repro.oodb.oid import NamedOid
+
+DEPTHS = (4, 16, 64)
+CHAIN = 512
+
+
+@pytest.fixture(scope="module")
+def chain_db():
+    db = Database()
+    for index in range(CHAIN):
+        db.add_object(f"n{index}", scalars={"next": f"n{index + 1}"})
+    return db
+
+
+def path_text(depth: int) -> str:
+    return "n0" + ".next" * depth
+
+
+def test_both_pipelines_reach_the_same_node(chain_db):
+    for depth in DEPTHS:
+        ref = parse_reference(path_text(depth))
+        direct = valuate(ref, chain_db, GROUND)
+        assert direct == {NamedOid(f"n{depth}")}
+    report("B7-agreement", depths=DEPTHS)
+
+
+@pytest.mark.benchmark(group="B7-paths")
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_bench_direct_valuation(benchmark, chain_db, depth):
+    ref = parse_reference(path_text(depth))
+    result = benchmark(lambda: valuate(ref, chain_db, GROUND))
+    report("B7", pipeline="direct", depth=depth, denoted=len(result))
+
+
+@pytest.mark.benchmark(group="B7-paths")
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_bench_flatten_and_solve(benchmark, chain_db, depth):
+    ref = parse_reference(path_text(depth))
+    flattened = flatten_reference(ref)
+
+    def run():
+        return sum(1 for _ in solve(chain_db, flattened.atoms))
+
+    count = benchmark(run)
+    report("B7", pipeline="flatten+solve", depth=depth, solutions=count)
+
+
+@pytest.mark.benchmark(group="B7-parse")
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_bench_parse_deep_path(benchmark, depth):
+    text = path_text(depth)
+    benchmark(lambda: parse_reference(text))
+    report("B7-parse", depth=depth, chars=len(text))

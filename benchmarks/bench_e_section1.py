@@ -1,0 +1,104 @@
+"""B2 / E1.1-E1.4, E2.5: the Section 1/2 queries across all frontends.
+
+Runs the same information need through the O2SQL frontend, the XSQL
+frontend, and native PathLog, over a growing company database.  Expected
+shape: all three agree on answers; the frontends add only a small,
+size-independent compilation overhead on top of native evaluation.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.datasets import CompanyConfig, build_company
+from repro.frontends import compile_o2sql, compile_xsql, run_o2sql, run_xsql
+from repro.frontends.xsql import _schema_set_methods
+from repro.lang.parser import parse_query
+from repro.query import Query
+
+SIZES = (50, 200, 800)
+
+O2SQL = """
+    SELECT Y.color
+    FROM X IN employee
+    FROM Y IN X.vehicles
+    WHERE Y IN automobile
+"""
+
+XSQL = """
+    SELECT Z
+    FROM employee X, automobile Y
+    WHERE X.vehicles[Y].color[Z] AND Y.cylinders[4]
+"""
+
+PATHLOG_MANAGER = ("X : manager..vehicles[color -> red]"
+                   ".producedBy[city -> detroit; president -> X]")
+
+O2SQL_MANAGER = """
+    SELECT X
+    FROM X IN manager
+    FROM Y IN X.vehicles
+    WHERE Y.color = red
+      AND Y.producedBy.city = detroit
+      AND Y.producedBy.president = X
+"""
+
+
+@pytest.fixture(scope="module", params=SIZES)
+def sized_db(request):
+    return request.param, build_company(
+        CompanyConfig(employees=request.param, seed=31))
+
+
+def test_frontends_agree_on_manager_query():
+    db = build_company(CompanyConfig(employees=100, seed=31))
+    o2 = {r.value("X") for r in run_o2sql(db, O2SQL_MANAGER)}
+    native = {r.value("X")
+              for r in Query(db).all(PATHLOG_MANAGER, variables=["X"])}
+    assert o2 == native
+    assert "p0" in native  # the dataset's golden anchor
+    report("B2-agreement", managers=sorted(native))
+
+
+@pytest.mark.benchmark(group="B2-colors")
+def test_bench_o2sql_colors(benchmark, sized_db):
+    size, db = sized_db
+    compiled = compile_o2sql(O2SQL)
+    q = Query(db)
+    rows = benchmark(
+        lambda: q.all(compiled.literals, variables=compiled.variables))
+    report("B2", frontend="o2sql", employees=size, answers=len(rows))
+
+
+@pytest.mark.benchmark(group="B2-colors")
+def test_bench_xsql_colors(benchmark, sized_db):
+    size, db = sized_db
+    compiled = compile_xsql(XSQL, _schema_set_methods(db))
+    q = Query(db)
+    rows = benchmark(
+        lambda: q.all(compiled.literals, variables=compiled.select))
+    report("B2", frontend="xsql", employees=size, answers=len(rows))
+
+
+@pytest.mark.benchmark(group="B2-colors")
+def test_bench_native_colors(benchmark, sized_db):
+    size, db = sized_db
+    literals = parse_query(
+        "X : employee..vehicles : automobile[cylinders -> 4].color[Z]")
+    q = Query(db)
+    rows = benchmark(lambda: q.all(literals, variables=["Z"]))
+    report("B2", frontend="native", employees=size, answers=len(rows))
+
+
+@pytest.mark.benchmark(group="B2-compile")
+def test_bench_o2sql_compile_only(benchmark):
+    compiled = benchmark(lambda: compile_o2sql(O2SQL_MANAGER))
+    report("B2-compile", literals=len(compiled.literals))
+
+
+@pytest.mark.benchmark(group="B2-manager")
+def test_bench_manager_query_native(benchmark, sized_db):
+    size, db = sized_db
+    literals = parse_query(PATHLOG_MANAGER)
+    q = Query(db)
+    rows = benchmark(lambda: q.all(literals, variables=["X"]))
+    report("B2-manager", employees=size, answers=len(rows))

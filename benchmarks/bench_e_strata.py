@@ -1,0 +1,81 @@
+"""B6 / E6.6: stratified superset evaluation.
+
+The paper's Section 6 closes with the rule that must wait for a
+completed set.  This bench grows both the number of set-defining facts
+and the number of candidate subjects, measuring the stratified pipeline
+(stratum 0 derives the sets, stratum 1 checks inclusions).  Expected
+shape: two strata always; cost dominated by the inclusion checks
+(candidates x pivot lookups), linear in qualifying subjects.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.engine import Engine
+from repro.lang.parser import parse_program
+from repro.oodb.database import Database
+
+SIZES = (50, 200)
+
+
+def crew_db(size: int) -> Database:
+    """``size`` helpers; half the hosts invite all of them, half miss one."""
+    db = Database()
+    helpers = [f"h{i}" for i in range(size)]
+    for helper in helpers:
+        db.add_object(helper, classes=["helper"])
+    for index in range(size):
+        friends = helpers if index % 2 == 0 else helpers[:-1]
+        db.add_object(f"host{index}", classes=["host"],
+                      sets={"friends": friends})
+    return db
+
+
+PROGRAM = parse_program("""
+    boss[assistants ->> {X}] <- X : helper.
+    X[welcoming -> yes] <- X : host, X[friends ->> boss..assistants].
+""")
+
+
+def test_stratified_shape():
+    db = crew_db(60)
+    engine = Engine(db, PROGRAM)
+    out = engine.run()
+    assert engine.stats.strata == 2
+    welcoming = sum(
+        1 for (method, _, _), _ in out.scalars.items()
+        if method.value == "welcoming"
+    )
+    assert welcoming == 30  # exactly the even-indexed hosts
+    report("B6-shape", hosts=60, welcoming=welcoming,
+           strata=engine.stats.strata)
+
+
+@pytest.mark.benchmark(group="B6-strata")
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_stratified_superset(benchmark, size):
+    db = crew_db(size)
+    engine_holder = {}
+
+    def run():
+        engine = Engine(db, PROGRAM)
+        result = engine.run()
+        engine_holder["stats"] = engine.stats
+        return result
+
+    benchmark(run)
+    report("B6", hosts=size, **engine_holder["stats"].as_row())
+
+
+@pytest.mark.benchmark(group="B6-strata")
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_vacuous_supersets(benchmark, size):
+    # The vacuous corner: no helper facts at all, every host qualifies.
+    db = crew_db(size)
+    program = parse_program("""
+        X[lonelyOk -> yes] <- X : host, X[friends ->> nobody..assistants].
+    """)
+    out = benchmark(lambda: Engine(db, program).run())
+    derived = sum(1 for (m, _, _), _ in out.scalars.items()
+                  if m.value == "lonelyOk")
+    report("B6-vacuous", hosts=size, qualified=derived)

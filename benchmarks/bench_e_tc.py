@@ -1,0 +1,94 @@
+"""B3 + B4 / E6.4-E6.5: transitive closure scaling and generic overhead.
+
+B3: the ``desc`` rules (6.4) under naive vs. semi-naive iteration over
+descending chains (worst case for naive re-derivation).  Expected
+shape: both derive identical closures; semi-naive wins by a growing
+factor as the chain lengthens (naive is O(n) full re-passes).
+
+B4: the specialised ``desc`` rules vs. the generic ``(M.tc)`` rules on
+the same random forest.  Expected shape: identical closure facts; the
+generic form pays a modest constant factor for the method-object
+indirection, not an asymptotic penalty.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.datasets import build_family
+from repro.datasets.genealogy import chain_family, desc_rules, generic_tc_rules
+from repro.engine import Engine
+from repro.oodb.oid import NamedOid, VirtualOid
+
+CHAINS = (16, 48)
+
+
+@pytest.fixture(scope="module", params=CHAINS)
+def chain_db(request):
+    db, graph = chain_family(request.param)
+    return request.param, db, graph
+
+
+@pytest.fixture(scope="module")
+def forest_db():
+    db, graph = build_family(generations=6, branching=3, seed=41)
+    return db, graph
+
+
+def test_closures_identical_across_strategies_and_rules(forest_db):
+    db, _ = forest_db
+    via_desc = Engine(db, desc_rules()).run()
+    via_naive = Engine(db, desc_rules(), seminaive=False).run()
+    via_tc = Engine(db, generic_tc_rules()).run()
+    desc = NamedOid("desc")
+    tc_kids = VirtualOid(NamedOid("tc"), NamedOid("kids"))
+    for person in db.universe():
+        assert via_desc.set_apply(desc, person) == \
+            via_naive.set_apply(desc, person) == \
+            via_tc.set_apply(tc_kids, person)
+    report("B3/B4-agreement", people=len(db.universe()))
+
+
+@pytest.mark.benchmark(group="B3-chain")
+def test_bench_desc_seminaive(benchmark, chain_db):
+    length, db, _ = chain_db
+    engine_holder = {}
+
+    def run():
+        engine = Engine(db, desc_rules(), seminaive=True)
+        engine.run()
+        engine_holder["stats"] = engine.stats
+        return engine
+
+    benchmark(run)
+    report("B3", strategy="semi-naive", chain=length,
+           **engine_holder["stats"].as_row())
+
+
+@pytest.mark.benchmark(group="B3-chain")
+def test_bench_desc_naive(benchmark, chain_db):
+    length, db, _ = chain_db
+    engine_holder = {}
+
+    def run():
+        engine = Engine(db, desc_rules(), seminaive=False)
+        engine.run()
+        engine_holder["stats"] = engine.stats
+        return engine
+
+    benchmark(run)
+    report("B3", strategy="naive", chain=length,
+           **engine_holder["stats"].as_row())
+
+
+@pytest.mark.benchmark(group="B4-generic")
+def test_bench_specialised_desc(benchmark, forest_db):
+    db, graph = forest_db
+    benchmark(lambda: Engine(db, desc_rules()).run())
+    report("B4", rules="desc (specialised)", people=graph.number_of_nodes())
+
+
+@pytest.mark.benchmark(group="B4-generic")
+def test_bench_generic_tc(benchmark, forest_db):
+    db, graph = forest_db
+    benchmark(lambda: Engine(db, generic_tc_rules()).run())
+    report("B4", rules="(M.tc) (generic)", people=graph.number_of_nodes())

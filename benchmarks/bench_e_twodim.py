@@ -1,0 +1,70 @@
+"""B1 / E2.1: one two-dimensional path vs. a conjunction of 1-D paths.
+
+The paper's central claim is qualitative: PathLog expresses in ONE
+reference what one-dimensional languages need a conjunction for.  This
+bench makes the quantitative side visible: both formulations are
+evaluated over growing company databases.  Expected shape: the answers
+are identical and the costs are of the same order (the 2-D form is the
+same join, written once), so the second dimension is free -- it costs
+syntax, not evaluation.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.datasets import CompanyConfig, build_company
+from repro.lang.parser import parse_query
+from repro.query import Query
+
+SIZES = (50, 200, 800)
+
+TWO_DIM = ("X : employee[age -> A; city -> C]"
+           "..vehicles : automobile[cylinders -> 4].color[Z]")
+
+# The XSQL-style conjunction (1.4): separate paths per condition.
+CONJUNCTION = ("X : employee, X.age[A], X.city[C], X..vehicles[Y], "
+               "Y : automobile, Y.cylinders[4], Y.color[Z]")
+
+
+def _db(size: int):
+    return build_company(CompanyConfig(employees=size, seed=21))
+
+
+@pytest.fixture(scope="module", params=SIZES)
+def sized_db(request):
+    return request.param, _db(request.param)
+
+
+def test_answers_agree_before_timing():
+    for size in SIZES[:2]:
+        db = _db(size)
+        q = Query(db)
+        two = {tuple(sorted(r.items())) for r in q.all(TWO_DIM)}
+        conj = {tuple(sorted(r.items()))
+                for r in q.all(CONJUNCTION, variables=["X", "A", "C", "Z"])}
+        assert two == conj
+        report("B1-agreement", employees=size, answers=len(two))
+
+
+def bench_two_dimensional(benchmark_fn, db):
+    q = Query(db)
+    literals = parse_query(TWO_DIM)
+    return benchmark_fn(lambda: q.all(literals))
+
+
+@pytest.mark.benchmark(group="B1-twodim")
+def test_bench_pathlog_two_dim(benchmark, sized_db):
+    size, db = sized_db
+    q = Query(db)
+    literals = parse_query(TWO_DIM)
+    rows = benchmark(lambda: q.all(literals))
+    report("B1", form="2-D path", employees=size, answers=len(rows))
+
+
+@pytest.mark.benchmark(group="B1-twodim")
+def test_bench_conjunction_baseline(benchmark, sized_db):
+    size, db = sized_db
+    q = Query(db)
+    literals = parse_query(CONJUNCTION)
+    rows = benchmark(lambda: q.all(literals, variables=["X", "A", "C", "Z"]))
+    report("B1", form="1-D conjunction", employees=size, answers=len(rows))

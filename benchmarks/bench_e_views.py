@@ -1,0 +1,91 @@
+"""B5 / E2.4, E6.1, E6.3: virtual-object view materialisation.
+
+Materialises the paper's two views -- the address restructuring (2.4)
+and the EmployeeBoss view (6.1)/(6.3) -- over growing person/employee
+populations.  Expected shape: one virtual object per qualifying source
+object, derived facts linear in population, one engine iteration past
+the fixpoint check (the views are non-recursive).
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.datasets import CompanyConfig, build_company
+from repro.engine import Engine
+from repro.frontends import compile_xsql_view
+from repro.lang.parser import parse_program
+from repro.oodb.database import Database
+
+SIZES = (100, 400, 1600)
+
+ADDRESS_RULE = parse_program("""
+    X.address[street -> X.street; city -> X.city] <- X : person.
+""")
+
+BOSS_RULE = parse_program("""
+    X.empBoss[worksFor -> D] <- X : employee[worksFor -> D].
+""")
+
+XSQL_VIEW = """
+    CREATE VIEW EmployeeBoss
+    SELECT WorksFor = D
+    FROM Employee X
+    OID FUNCTION OF X
+    WHERE X.WorksFor[D]
+"""
+
+
+def people_db(size: int) -> Database:
+    db = Database()
+    for index in range(size):
+        db.add_object(f"p{index}", classes=["person"], scalars={
+            "street": f"street{index % 37}",
+            "city": f"city{index % 11}",
+        })
+    return db
+
+
+@pytest.fixture(scope="module", params=SIZES)
+def sized_people(request):
+    return request.param, people_db(request.param)
+
+
+@pytest.fixture(scope="module", params=SIZES[:2])
+def sized_company(request):
+    return request.param, build_company(
+        CompanyConfig(employees=request.param, seed=51))
+
+
+def test_view_shapes():
+    db = people_db(200)
+    engine = Engine(db, ADDRESS_RULE)
+    out = engine.run()
+    assert out.virtual_count() == 200
+    assert engine.stats.derived_scalar == 3 * 200  # address + street + city
+    report("B5-shape", persons=200, virtuals=out.virtual_count(),
+           derived=engine.stats.derived_total)
+
+
+@pytest.mark.benchmark(group="B5-address")
+def test_bench_address_view(benchmark, sized_people):
+    size, db = sized_people
+    out = benchmark(lambda: Engine(db, ADDRESS_RULE).run())
+    report("B5", view="address", persons=size,
+           virtuals=out.virtual_count())
+
+
+@pytest.mark.benchmark(group="B5-boss")
+def test_bench_boss_view(benchmark, sized_company):
+    size, db = sized_company
+    out = benchmark(lambda: Engine(db, BOSS_RULE).run())
+    report("B5", view="empBoss(rule)", employees=size,
+           virtuals=out.virtual_count())
+
+
+@pytest.mark.benchmark(group="B5-boss")
+def test_bench_xsql_view(benchmark, sized_company):
+    size, db = sized_company
+    rule = compile_xsql_view(XSQL_VIEW)
+    out = benchmark(lambda: Engine(db, [rule]).run())
+    report("B5", view="EmployeeBoss(xsql)", employees=size,
+           virtuals=out.virtual_count())

@@ -1,0 +1,16 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench prints the *shape* of its result (answer counts, winners,
+derived-fact counts) alongside pytest-benchmark's timing table, so a run
+regenerates the rows recorded in EXPERIMENTS.md.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+
+def report(experiment: str, **fields) -> None:
+    """Print one labelled result row (captured by pytest -s or on failure)."""
+    rendered = "  ".join(f"{key}={value}" for key, value in fields.items())
+    print(f"[{experiment}] {rendered}")

@@ -1,0 +1,103 @@
+"""Virtual objects and views: the paper's Section 2/6 examples, executable.
+
+Run with ``python examples/company_views.py``.
+
+Demonstrates:
+
+1. the address view (paper rule (2.4)): person attributes restructured
+   into fresh virtual address objects, referenced as ``X.address``;
+2. the boss rules (6.1) vs (6.2): creating virtual bosses vs. only
+   constraining existing ones;
+3. the XSQL ``CREATE VIEW`` translation (6.3) and why PathLog's
+   method-based references make the view's function symbol superfluous;
+4. signature-directed typing of the virtual objects.
+"""
+
+from repro import Database, Engine, Query, SignatureSet, parse_program
+from repro.frontends import compile_xsql_view
+
+
+def build_people() -> Database:
+    db = Database()
+    db.add_object("ann", classes=["person", "employee"],
+                  scalars={"street": "mainSt", "city": "newYork",
+                           "worksFor": "cs1"})
+    db.add_object("bob", classes=["person", "employee"],
+                  scalars={"street": "elmSt", "city": "detroit",
+                           "worksFor": "cs2"})
+    db.add_object("cara", classes=["person"])   # no street/city
+    return db
+
+
+def main() -> None:
+    db = build_people()
+
+    # --- 1. The address view (paper rule 2.4) --------------------------
+    program = parse_program("""
+        X.address[street -> X.street; city -> X.city] <- X : person.
+    """)
+    engine = Engine(db, program)
+    derived = engine.run()
+    query = Query(derived)
+    print("== virtual address objects ==")
+    for row in query.all("X : person.address[city -> C]",
+                         variables=["X", "C"]):
+        print(f"  {row.value('X')} has address in {row.value('C')}")
+    print(f"  (cara has no attributes, so no address: "
+          f"{query.objects('cara.address') == frozenset()})")
+    print(f"  virtual objects created: {derived.virtual_count()}")
+
+    # --- 2. Boss rules (6.1) vs (6.2) -----------------------------------
+    program_61 = parse_program("""
+        X.boss[worksFor -> D] <- X : employee[worksFor -> D].
+    """)
+    with_virtual_bosses = Engine(db, program_61).run()
+    print("== rule (6.1): virtual bosses ==")
+    for row in Query(with_virtual_bosses).all(
+            "X : employee.boss[worksFor -> D]", variables=["X", "D"]):
+        print(f"  boss of {row.value('X')} works for {row.value('D')}")
+
+    db2 = build_people()
+    db2.add_object("ann", scalars={"boss": "dan"})
+    db2.add_object("dan", classes=["employee"])
+    program_62 = parse_program("""
+        Z[worksFor -> D] <- X : employee[worksFor -> D].boss[Z].
+    """)
+    existing_only = Engine(db2, program_62).run()
+    print("== rule (6.2): only existing bosses ==")
+    for row in Query(existing_only).all("dan[worksFor -> D]",
+                                        variables=["D"]):
+        print(f"  dan works for {row.value('D')}")
+    print(f"  bob still has no boss: "
+          f"{Query(existing_only).objects('bob.boss') == frozenset()}")
+
+    # --- 3. XSQL CREATE VIEW (6.3) --------------------------------------
+    view_rule = compile_xsql_view("""
+        CREATE VIEW EmployeeBoss
+        SELECT WorksFor = D
+        FROM Employee X
+        OID FUNCTION OF X
+        WHERE X.WorksFor[D]
+    """)
+    print("== XSQL view (6.3) compiles to the PathLog rule ==")
+    print(f"  {view_rule}")
+    viewed = Engine(db, [view_rule]).run()
+    for row in Query(viewed).all("X : employee.employeeBoss[worksFor -> D]",
+                                 variables=["X", "D"]):
+        print(f"  employeeBoss({row.value('X')}) worksFor {row.value('D')}")
+
+    # --- 4. Signatures type the virtual objects -------------------------
+    sigs = SignatureSet()
+    sigs.declare_scalar("person", "address", (), "addressObj")
+    sigs.declare_scalar("addressObj", "city", (), "string")
+    added = sigs.type_virtual_objects(derived)
+    print(f"== signature-directed typing: {added} memberships added ==")
+    for row in Query(derived).all("A : addressObj[city -> C]",
+                                  variables=["A", "C"]):
+        print(f"  {row.value('A')} : addressObj in {row.value('C')}")
+    violations = sigs.check_database(derived)
+    print(f"  type violations: {len(violations)}")
+
+
+if __name__ == "__main__":
+    main()

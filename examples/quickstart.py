@@ -1,0 +1,74 @@
+"""Quickstart: load objects, run the paper's flagship query, add a rule.
+
+Run with ``python examples/quickstart.py``.
+
+This walks the opening example of the paper: employees own vehicles,
+automobiles are vehicles, and we want the colors of the 4-cylinder
+automobiles of 30-year-old New Yorkers -- expressed as ONE
+two-dimensional path expression (paper example (2.1)) instead of the
+conjunction of paths other languages need (paper example (1.4)).
+"""
+
+from repro import Database, Engine, Query, parse_program
+
+
+def build_database() -> Database:
+    """A small company database, matching the paper's Section 1 setup."""
+    db = Database()
+    db.subclass("automobile", "vehicle")
+    db.subclass("manager", "employee")
+
+    db.add_object("car1", classes=["automobile"],
+                  scalars={"color": "red", "cylinders": 4})
+    db.add_object("car2", classes=["automobile"],
+                  scalars={"color": "blue", "cylinders": 6})
+    db.add_object("bike1", classes=["vehicle"],
+                  scalars={"color": "green"})
+
+    db.add_object("mary", classes=["employee"],
+                  scalars={"age": 30, "city": "newYork", "boss": "peter"},
+                  sets={"vehicles": ["car1", "bike1"]})
+    db.add_object("john", classes=["employee"],
+                  scalars={"age": 45, "city": "boston", "boss": "peter"},
+                  sets={"vehicles": ["car2"]})
+    db.add_object("peter", classes=["manager"],
+                  scalars={"age": 50, "city": "newYork"})
+    return db
+
+
+def main() -> None:
+    db = build_database()
+    query = Query(db)
+
+    # Paper example (2.1): one two-dimensional path.
+    print("== colors of 4-cylinder automobiles of 30-year-old New Yorkers ==")
+    answers = query.all(
+        "X : employee[age -> 30; city -> newYork]"
+        "..vehicles : automobile[cylinders -> 4].color[Z]"
+    )
+    for row in answers:
+        print(f"  employee={row.value('X')}  color={row.value('Z')}")
+
+    # Paper example (2.3): a nested path inside a filter -- employees who
+    # live in the same city as their boss.
+    print("== employees living in their boss's city ==")
+    for row in query.all("X : employee[city -> X.boss.city]",
+                         variables=["X"]):
+        print(f"  {row.value('X')}")
+
+    # A rule defining an intensional method, then a query against the
+    # materialised result (paper Section 6 style).
+    program = parse_program("""
+        % Employees with a red vehicle are flagged.
+        X[flagged -> yes] <- X : employee..vehicles[color -> red].
+    """)
+    engine = Engine(db, program)
+    derived = engine.run()
+    print("== flagged employees (derived) ==")
+    for row in Query(derived).all("X[flagged -> yes]", variables=["X"]):
+        print(f"  {row.value('X')}")
+    print(f"engine stats: {engine.stats.as_row()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim: all metadata lives in pyproject.toml.
+
+Present only so environments whose setuptools/pip cannot build PEP 517
+editable wheels offline can fall back to ``pip install -e . --no-use-pep517``.
+"""
+from setuptools import setup
+
+setup()

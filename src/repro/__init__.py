@@ -1,0 +1,119 @@
+"""PathLog: access to objects by path expressions and rules.
+
+A full reproduction of Frohn, Lausen, Uphoff (1994): the PathLog
+language (two-dimensional path expressions over an object-oriented data
+model), its direct semantics, and a deductive engine with virtual
+objects, generic methods, and stratified set reasoning -- plus the
+substrates the paper presumes (an in-memory OODB, an F-logic atom layer,
+and mini O2SQL/XSQL comparator frontends).
+
+Quickstart::
+
+    from repro import Database, parse_program, Engine, Query
+
+    db = Database()
+    db.subclass("automobile", "vehicle")
+    db.add_object("car1", classes=["automobile"],
+                  scalars={"color": "red", "cylinders": 4})
+    db.add_object("p1", classes=["employee"],
+                  scalars={"age": 30}, sets={"vehicles": ["car1"]})
+
+    answers = Query(db).all("X : employee..vehicles : automobile.color[Z]")
+    for row in answers:
+        print(row["X"], row["Z"])
+"""
+
+from repro.core.ast import (
+    Comparison,
+    IsaFilter,
+    Molecule,
+    Name,
+    Negation,
+    Paren,
+    Path,
+    Program,
+    Reference,
+    Rule,
+    ScalarFilter,
+    SetEnumFilter,
+    SetFilter,
+    Var,
+)
+from repro.core.entailment import entails, rule_holds
+from repro.core.pretty import program_to_text, rule_to_text, to_text
+from repro.core.scalarity import is_scalar, is_set_valued
+from repro.core.valuation import VariableValuation, valuate
+from repro.core.wellformed import check_well_formed, is_well_formed
+from repro.errors import (
+    EvaluationError,
+    PathLogError,
+    PathLogSyntaxError,
+    ResourceLimitError,
+    ScalarConflictError,
+    StratificationError,
+    WellFormednessError,
+)
+from repro.core.signatures import Signature, SignatureSet, TypeViolation
+from repro.engine import Engine, EngineLimits, EngineStats
+from repro.lang import (
+    parse_literal,
+    parse_program,
+    parse_query,
+    parse_reference,
+    parse_rule,
+)
+from repro.oodb import Database, NamedOid, Oid, VirtualOid
+from repro.query import Answer, Query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Answer",
+    "Comparison",
+    "Database",
+    "Engine",
+    "EngineLimits",
+    "EngineStats",
+    "EvaluationError",
+    "IsaFilter",
+    "Molecule",
+    "Name",
+    "Negation",
+    "NamedOid",
+    "Oid",
+    "Paren",
+    "Path",
+    "PathLogError",
+    "PathLogSyntaxError",
+    "Program",
+    "Query",
+    "Reference",
+    "ResourceLimitError",
+    "Rule",
+    "ScalarConflictError",
+    "ScalarFilter",
+    "SetEnumFilter",
+    "SetFilter",
+    "Signature",
+    "SignatureSet",
+    "TypeViolation",
+    "Var",
+    "VariableValuation",
+    "VirtualOid",
+    "WellFormednessError",
+    "check_well_formed",
+    "entails",
+    "is_scalar",
+    "is_set_valued",
+    "is_well_formed",
+    "parse_literal",
+    "parse_program",
+    "parse_query",
+    "parse_reference",
+    "parse_rule",
+    "program_to_text",
+    "rule_holds",
+    "rule_to_text",
+    "to_text",
+    "valuate",
+]

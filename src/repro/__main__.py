@@ -1,0 +1,5 @@
+"""``python -m repro`` -- the PathLog command-line interface."""
+
+from repro.cli import main
+
+main()

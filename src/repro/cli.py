@@ -1,0 +1,114 @@
+"""Command-line interface: evaluate programs and run queries.
+
+Usage::
+
+    python -m repro program.plog --query "X : employee.age[A]"
+    python -m repro program.plog --dump out.json --stats
+    python -m repro --db snapshot.json --query "X : employee"
+
+A program file contains PathLog facts and rules (see README syntax
+table).  ``--query`` may be given multiple times; answers print one row
+per line as ``Var=value`` pairs.  ``--dump`` writes the materialised
+database as JSON (reloadable with ``--db``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.engine import Engine, EngineLimits
+from repro.errors import PathLogError
+from repro.lang.parser import parse_program
+from repro.oodb import serialize
+from repro.oodb.database import Database
+from repro.query import Query
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse definition (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PathLog: evaluate rule programs and query objects "
+                    "by path expressions (Frohn/Lausen/Uphoff 1994).",
+    )
+    parser.add_argument("program", nargs="?", type=Path,
+                        help="PathLog program file (facts and rules)")
+    parser.add_argument("--db", type=Path, metavar="JSON",
+                        help="load a database snapshot before evaluating")
+    parser.add_argument("--query", "-q", action="append", default=[],
+                        metavar="QUERY",
+                        help="conjunctive query to run (repeatable)")
+    parser.add_argument("--dump", type=Path, metavar="JSON",
+                        help="write the materialised database as JSON")
+    parser.add_argument("--naive", action="store_true",
+                        help="use naive instead of semi-naive iteration")
+    parser.add_argument("--max-iterations", type=int, default=10_000)
+    parser.add_argument("--stats", action="store_true",
+                        help="print engine statistics after evaluation")
+    return parser
+
+
+def run(argv: Sequence[str] | None = None, *, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.program is None and args.db is None:
+        print("error: need a program file and/or --db snapshot",
+              file=out)
+        return 2
+    try:
+        db = _load_database(args)
+        db, engine = _evaluate(args, db)
+        if engine is not None and args.stats:
+            for key, value in engine.stats.as_row().items():
+                print(f"stats {key}: {value}", file=out)
+        for text in args.query:
+            _run_query(db, text, out)
+        if args.dump is not None:
+            args.dump.write_text(serialize.dumps(db, indent=2))
+            print(f"dumped database to {args.dump}", file=out)
+    except PathLogError as error:
+        print(f"error: {error}", file=out)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=out)
+        return 1
+    return 0
+
+
+def _load_database(args) -> Database:
+    if args.db is not None:
+        return serialize.loads(args.db.read_text())
+    return Database()
+
+
+def _evaluate(args, db: Database):
+    if args.program is None:
+        return db, None
+    program = parse_program(args.program.read_text())
+    limits = EngineLimits(max_iterations=args.max_iterations)
+    engine = Engine(db, program, seminaive=not args.naive, limits=limits)
+    return engine.run(), engine
+
+
+def _run_query(db: Database, text: str, out) -> None:
+    rows = Query(db).all(text)
+    print(f"?- {text}", file=out)
+    if not rows:
+        print("  no", file=out)
+        return
+    for row in rows:
+        if len(row) == 0:
+            print("  yes", file=out)
+        else:
+            rendered = "  ".join(
+                f"{name}={row.value(name)}" for name in sorted(row)
+            )
+            print(f"  {rendered}", file=out)
+
+
+def main() -> None:  # pragma: no cover - thin process wrapper
+    sys.exit(run())

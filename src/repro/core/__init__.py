@@ -1,0 +1,57 @@
+"""Core PathLog language: AST, static analysis, and direct semantics.
+
+This package implements the paper's Definitions 1-5:
+
+- :mod:`repro.core.ast` -- references (Definition 1), literals and rules;
+- :mod:`repro.core.scalarity` -- scalar vs. set-valued references
+  (Definition 2);
+- :mod:`repro.core.wellformed` -- well-formedness (Definition 3);
+- :mod:`repro.core.valuation` -- the valuation function ``nu_I``
+  (Definition 4);
+- :mod:`repro.core.entailment` -- entailment of references, literals and
+  rules (Definition 5);
+- :mod:`repro.core.pretty` -- the canonical concrete-syntax printer;
+- :mod:`repro.core.signatures` -- method signatures and type checking;
+- :mod:`repro.core.substitution` / :mod:`repro.core.variables` --
+  variable utilities shared by the engine and the query API.
+"""
+
+from repro.core.ast import (
+    Comparison,
+    Filter,
+    IsaFilter,
+    Molecule,
+    Name,
+    Negation,
+    Paren,
+    Path,
+    Reference,
+    Rule,
+    ScalarFilter,
+    SetEnumFilter,
+    SetFilter,
+    Var,
+)
+from repro.core.scalarity import is_scalar, is_set_valued
+from repro.core.wellformed import check_well_formed, is_well_formed
+
+__all__ = [
+    "Comparison",
+    "Filter",
+    "IsaFilter",
+    "Molecule",
+    "Name",
+    "Negation",
+    "Paren",
+    "Path",
+    "Reference",
+    "Rule",
+    "ScalarFilter",
+    "SetEnumFilter",
+    "SetFilter",
+    "Var",
+    "is_scalar",
+    "is_set_valued",
+    "check_well_formed",
+    "is_well_formed",
+]

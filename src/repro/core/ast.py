@@ -1,0 +1,406 @@
+"""Abstract syntax of PathLog references, literals, and rules.
+
+This module is a faithful rendering of Definition 1 of the paper.  A
+*reference* is either
+
+- a **simple reference**: a name (``mary``, ``30``, ``"New York"``), a
+  variable (``X``), or a parenthesised reference ``(t)``;
+- a **path**: ``t0.m@(t1,...,tk)`` (scalar method application) or
+  ``t0..m@(t1,...,tk)`` (set-valued method application); or
+- a **molecule**: a reference followed by filters
+  ``t0[m@(...)->r]``, ``t0[m@(...)->>s]``, ``t0[m@(...)->>{e1,...,el}]``
+  or a class membership ``t0 : c``.
+
+Paths and molecules nest mutually: wherever a sub-reference is allowed,
+either kind may appear.  Method and class positions take *simple*
+references only; parentheses lift an arbitrary reference into a simple
+one (the paper's ``(M.tc)`` trick that enables generic methods).
+
+All nodes are immutable (frozen dataclasses) and hashable, so references
+can be used as dictionary keys, stored in sets, and shared freely.
+
+Beyond references, the module defines the clause layer the paper builds
+on top of them: :class:`Comparison` literals (a small extension used by
+the SQL-style frontends), :class:`Rule` (head ``<-`` body), and
+:class:`Program`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+#: Values a :class:`Name` may carry.  Names include integers and strings
+#: (the paper: "we don't distinguish between objects and values, thus N
+#: also includes integer numbers and strings").
+NameValue = Union[str, int]
+
+
+class Reference:
+    """Base class of every PathLog reference (Definition 1)."""
+
+    __slots__ = ()
+
+    def walk(self) -> Iterator["Reference"]:
+        """Yield this reference and all sub-references, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def children(self) -> tuple["Reference", ...]:
+        """Immediate sub-references, in left-to-right syntactic order."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - delegated
+        from repro.core.pretty import to_text
+
+        return to_text(self)
+
+
+@dataclass(frozen=True, slots=True)
+class Name(Reference):
+    """A name from the alphabet ``N`` -- denotes the object ``I_N(n)``.
+
+    ``value`` is a Python ``str`` (identifiers and quoted strings) or
+    ``int`` (integer literals); both are first-class objects of the
+    model, so ``Name(4)`` may appear as a method result, a class, or even
+    a method name.
+    """
+
+    value: NameValue
+
+    def children(self) -> tuple[Reference, ...]:
+        return ()
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Reference):
+    """A variable from ``V``; by convention the name is capitalised."""
+
+    name: str
+
+    def children(self) -> tuple[Reference, ...]:
+        return ()
+
+
+@dataclass(frozen=True, slots=True)
+class Paren(Reference):
+    """A parenthesised reference ``(t)``.
+
+    Parentheses are *semantically* transparent (the valuation of
+    ``(t)`` equals that of ``t``) but syntactically important: only a
+    simple reference may stand at a method or class position, and
+    ``Paren`` is the simple reference that embeds an arbitrary one, as in
+    ``L : (integer.list)`` or the generic method ``X[(M.tc) ->> {Y}]``.
+    """
+
+    inner: Reference
+
+    def children(self) -> tuple[Reference, ...]:
+        return (self.inner,)
+
+
+@dataclass(frozen=True, slots=True)
+class Path(Reference):
+    """A method application ``t0.m@(t1,...,tk)`` or ``t0..m@(t1,...,tk)``.
+
+    ``set_valued`` selects between the scalar form (``.`` -- interpreted
+    through ``I_->``) and the set-valued form (``..`` -- interpreted
+    through ``I_->>``).  ``method`` must be a simple reference;
+    ``args`` holds the parameters after ``@`` (empty for the common
+    parameterless call, where concrete syntax omits ``@()``).
+    """
+
+    base: Reference
+    method: Reference
+    args: tuple[Reference, ...] = ()
+    set_valued: bool = False
+
+    def children(self) -> tuple[Reference, ...]:
+        return (self.base, self.method, *self.args)
+
+
+class Filter:
+    """Base class of the specifications inside a molecule's brackets."""
+
+    __slots__ = ()
+
+    def references(self) -> tuple[Reference, ...]:
+        """All references occurring in this filter, left to right."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class ScalarFilter(Filter):
+    """``[m@(t1,...,tk) -> r]`` -- the scalar method must yield ``r``.
+
+    The selector sugar ``[Y]`` of XSQL parses into
+    ``ScalarFilter(Name("self"), (), Y)``; ``self`` is the built-in
+    identity method.
+    """
+
+    method: Reference
+    args: tuple[Reference, ...]
+    result: Reference
+
+    def references(self) -> tuple[Reference, ...]:
+        return (self.method, *self.args, self.result)
+
+
+@dataclass(frozen=True, slots=True)
+class SetFilter(Filter):
+    """``[m@(t1,...,tk) ->> s]`` with a *set-valued reference* ``s``.
+
+    Holds for an object ``u0`` iff ``I_->>(m)(u0, args)`` is a superset
+    of the valuation of ``s`` -- including *vacuously* when ``s``
+    denotes the empty set (Definition 4, case 7).
+    """
+
+    method: Reference
+    args: tuple[Reference, ...]
+    result: Reference
+
+    def references(self) -> tuple[Reference, ...]:
+        return (self.method, *self.args, self.result)
+
+
+@dataclass(frozen=True, slots=True)
+class SetEnumFilter(Filter):
+    """``[m@(t1,...,tk) ->> {e1,...,el}]`` with scalar elements.
+
+    Holds for ``u0`` iff the method result includes the *union* of the
+    element valuations; elements that fail to denote simply drop out of
+    the union (Definition 4, case 8).
+    """
+
+    method: Reference
+    args: tuple[Reference, ...]
+    elements: tuple[Reference, ...]
+
+    def references(self) -> tuple[Reference, ...]:
+        return (self.method, *self.args, *self.elements)
+
+
+@dataclass(frozen=True, slots=True)
+class IsaFilter(Filter):
+    """``t0 : c`` -- membership of ``t0`` in class ``c`` under ``in_U``."""
+
+    cls: Reference
+
+    def references(self) -> tuple[Reference, ...]:
+        return (self.cls,)
+
+
+@dataclass(frozen=True, slots=True)
+class Molecule(Reference):
+    """A reference with filters: ``t0[f1; ...; fn]`` or ``t0 : c``.
+
+    One ``Molecule`` node corresponds to one syntactic unit: either a
+    single bracket group (whose semicolon-separated filters share the
+    base, as in ``mary[age->30; boss->peter]``) or a single ``: c``
+    membership.  Chained units such as ``X : employee[age->30]`` parse
+    into nested molecules, preserving the source structure.
+    """
+
+    base: Reference
+    filters: tuple[Filter, ...]
+
+    def children(self) -> tuple[Reference, ...]:
+        subs: list[Reference] = [self.base]
+        for filt in self.filters:
+            subs.extend(filt.references())
+        return tuple(subs)
+
+    @property
+    def is_isa(self) -> bool:
+        """True when this molecule is the ``t0 : c`` form."""
+        return len(self.filters) == 1 and isinstance(self.filters[0], IsaFilter)
+
+
+# --------------------------------------------------------------------------
+# Literals, rules, programs
+# --------------------------------------------------------------------------
+
+#: Comparison operators accepted by :class:`Comparison` literals.
+COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """A built-in comparison literal ``left OP right``.
+
+    Not part of the 1994 paper; a small extension needed by the SQL-style
+    frontends (``WHERE Y.color = red``) and convenient in rule bodies.
+    Both sides must be *scalar* references; the literal holds iff both
+    sides denote and their denoted values compare as requested (ordering
+    comparisons require two integers or two strings).
+    """
+
+    op: str
+    left: Reference
+    right: Reference
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def references(self) -> tuple[Reference, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:  # pragma: no cover - delegated
+        from repro.core.pretty import to_text
+
+        return f"{to_text(self.left)} {self.op} {to_text(self.right)}"
+
+
+@dataclass(frozen=True, slots=True)
+class Negation:
+    """Negation as failure: ``not lit`` in a rule body.
+
+    An extension beyond the 1994 paper (which sketches only positive
+    rules) in the spirit of its [NT89] citation: the negated literal
+    holds iff the inner literal has *no* solution once the predicates it
+    reads are complete -- the engine stratifies negation exactly like
+    the superset filters.  Variables occurring only inside the negation
+    are existentially quantified within it; variables shared with the
+    positive body part must be bound before the negation is checked.
+    """
+
+    literal: Union[Reference, Comparison]
+
+    def references(self) -> tuple[Reference, ...]:
+        if isinstance(self.literal, Comparison):
+            return self.literal.references()
+        return (self.literal,)
+
+    def __str__(self) -> str:  # pragma: no cover - delegated
+        from repro.core.pretty import literal_to_text
+
+        return f"not {literal_to_text(self.literal)}"
+
+
+#: A body literal: a reference used as a formula, a comparison, or a
+#: negation of either.
+Literal = Union[Reference, Comparison, Negation]
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """A deductive rule ``head <- body1, ..., bodyn.``
+
+    A *fact* is a rule with an empty body and a ground head.  The head
+    must be a scalar reference (Section 6: set-valued references in rule
+    heads are forbidden, since the object they would define is not
+    uniquely determined); the engine enforces this at normalisation time.
+    """
+
+    head: Reference
+    body: tuple[Literal, ...] = ()
+
+    @property
+    def is_fact(self) -> bool:
+        """True when the rule has an empty body."""
+        return not self.body
+
+    def __str__(self) -> str:  # pragma: no cover - delegated
+        from repro.core.pretty import rule_to_text
+
+        return rule_to_text(self)
+
+
+@dataclass(frozen=True, slots=True)
+class Program:
+    """An ordered collection of rules (facts first or interleaved)."""
+
+    rules: tuple[Rule, ...] = ()
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    @property
+    def facts(self) -> tuple[Rule, ...]:
+        """The rules with empty bodies."""
+        return tuple(rule for rule in self.rules if rule.is_fact)
+
+    @property
+    def proper_rules(self) -> tuple[Rule, ...]:
+        """The rules with non-empty bodies."""
+        return tuple(rule for rule in self.rules if not rule.is_fact)
+
+    def __str__(self) -> str:  # pragma: no cover - delegated
+        from repro.core.pretty import program_to_text
+
+        return program_to_text(self)
+
+
+# --------------------------------------------------------------------------
+# Convenience constructors
+# --------------------------------------------------------------------------
+
+#: The built-in identity method: ``self`` yields the object itself.
+SELF = Name("self")
+
+
+def name(value: NameValue) -> Name:
+    """Build a :class:`Name`; accepts ``str`` or ``int``."""
+    return Name(value)
+
+
+def var(name_: str) -> Var:
+    """Build a :class:`Var` from its (capitalised) name."""
+    return Var(name_)
+
+
+def scalar_path(base: Reference, method: NameValue | Reference,
+                *args: Reference) -> Path:
+    """Build ``base.method@(args)`` -- a scalar path."""
+    return Path(base, _as_reference(method), tuple(args), set_valued=False)
+
+
+def set_path(base: Reference, method: NameValue | Reference,
+             *args: Reference) -> Path:
+    """Build ``base..method@(args)`` -- a set-valued path."""
+    return Path(base, _as_reference(method), tuple(args), set_valued=True)
+
+
+def isa(base: Reference, cls: NameValue | Reference) -> Molecule:
+    """Build the membership molecule ``base : cls``."""
+    return Molecule(base, (IsaFilter(_as_reference(cls)),))
+
+
+def mol(base: Reference, *filters: Filter) -> Molecule:
+    """Build a bracketed molecule ``base[f1; ...; fn]``."""
+    return Molecule(base, tuple(filters))
+
+
+def sfilter(method: NameValue | Reference, result: Reference,
+            *args: Reference) -> ScalarFilter:
+    """Build the scalar filter ``[method@(args) -> result]``."""
+    return ScalarFilter(_as_reference(method), tuple(args), result)
+
+
+def selfilter(result: Reference) -> ScalarFilter:
+    """Build the selector filter ``[result]`` == ``[self -> result]``."""
+    return ScalarFilter(SELF, (), result)
+
+
+def setfilter(method: NameValue | Reference, result: Reference,
+              *args: Reference) -> SetFilter:
+    """Build the superset filter ``[method@(args) ->> result]``."""
+    return SetFilter(_as_reference(method), tuple(args), result)
+
+
+def enumfilter(method: NameValue | Reference, elements: tuple[Reference, ...],
+               *args: Reference) -> SetEnumFilter:
+    """Build the enumerated filter ``[method@(args) ->> {elements}]``."""
+    return SetEnumFilter(_as_reference(method), tuple(args), tuple(elements))
+
+
+def _as_reference(value: NameValue | Reference) -> Reference:
+    """Lift a bare name value into a :class:`Name` node."""
+    if isinstance(value, Reference):
+        return value
+    return Name(value)

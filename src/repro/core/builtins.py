@@ -1,0 +1,53 @@
+"""Built-in methods of PathLog.
+
+The paper defines exactly one built-in: ``self``, the identity method
+that backs the XSQL selector sugar ``[Y]`` == ``[self -> Y]``.  The
+registry is structured so further builtins could be added, but we keep
+the language faithful to the paper.
+
+Builtins are *infinite* relations (``self`` is defined on every object),
+so they are handled by interpretation rather than stored facts; both the
+direct valuation and the engine's matcher consult this module.
+"""
+
+from __future__ import annotations
+
+from repro.oodb.oid import NamedOid, Oid
+
+#: The OID of the built-in identity method.
+SELF_OID = NamedOid("self")
+
+#: Built-in value classes: every integer name is a member of ``integer``,
+#: every string name a member of ``string``.  These back the signature
+#: system (``person[age => integer]``) and the paper's ``integer.list``
+#: example without having to materialise infinite extents.
+INTEGER_CLASS = NamedOid("integer")
+STRING_CLASS = NamedOid("string")
+
+
+def builtin_isa(obj: Oid, cls: Oid) -> bool:
+    """Membership in the built-in value classes."""
+    if not isinstance(obj, NamedOid):
+        return False
+    if cls == INTEGER_CLASS:
+        return isinstance(obj.value, int) and not isinstance(obj.value, bool)
+    if cls == STRING_CLASS:
+        return isinstance(obj.value, str)
+    return False
+
+
+def is_builtin_scalar(method: Oid) -> bool:
+    """True when ``method`` is interpreted, not stored."""
+    return method == SELF_OID
+
+
+def apply_builtin_scalar(method: Oid, subject: Oid,
+                         args: tuple[Oid, ...]) -> Oid | None:
+    """Evaluate a built-in scalar method; None when undefined.
+
+    ``self`` takes no parameters: ``o.self == o`` and ``o.self@(x)`` is
+    undefined.
+    """
+    if method == SELF_OID and not args:
+        return subject
+    return None

@@ -1,0 +1,141 @@
+"""Entailment -- Definition 5 of the paper, lifted to literals and rules.
+
+A reference ``t`` is entailed by ``I`` w.r.t. a valuation ``nu`` iff
+``nu_I(t)`` is non-empty.  Entailment of comparisons, conjunctions, and
+rules is "defined as usual"; for rules that means: for *every* valuation
+of the rule's variables, if all body literals are entailed then so is
+the head.
+
+:func:`rule_holds` checks that universally-quantified statement by
+enumerating valuations over the universe -- exponential, but exactly
+what the definition says, which makes it the reference oracle for
+model-checking the engine's fixpoints on small databases.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator
+
+from repro.core.ast import Comparison, Literal, Negation, Reference, Rule
+from repro.core.structure import SemanticStructure
+from repro.core.valuation import GROUND, VariableValuation, valuate
+from repro.core.variables import variables_of
+from repro.errors import EvaluationError
+from repro.oodb.oid import NamedOid, Oid, oid_sort_key
+
+
+def entails(structure: SemanticStructure, item: Literal,
+            valuation: VariableValuation = GROUND) -> bool:
+    """``I |=_nu item`` for a reference, comparison, or negation literal.
+
+    Note: for a :class:`Negation` under a *total* valuation this is
+    plain complementation; the engine's negation-as-failure additionally
+    quantifies negation-local variables existentially (see
+    :mod:`repro.engine.matching`).
+    """
+    if isinstance(item, Negation):
+        return not entails(structure, item.literal, valuation)
+    if isinstance(item, Comparison):
+        return comparison_holds(structure, item, valuation)
+    return bool(valuate(item, structure, valuation))
+
+
+def entails_all(structure: SemanticStructure, literals: Iterable[Literal],
+                valuation: VariableValuation = GROUND) -> bool:
+    """``I |=_nu l`` for every literal of a conjunction."""
+    return all(entails(structure, literal, valuation) for literal in literals)
+
+
+def comparison_holds(structure: SemanticStructure, comparison: Comparison,
+                     valuation: VariableValuation = GROUND) -> bool:
+    """Evaluate a built-in comparison literal.
+
+    Both sides must denote (they are scalar, so denote at most one
+    object).  ``=`` and ``!=`` compare object identity; the ordering
+    operators require two integers or two strings and compare their
+    values.
+    """
+    left = valuate(comparison.left, structure, valuation)
+    right = valuate(comparison.right, structure, valuation)
+    if not left or not right:
+        return False
+    left_obj = next(iter(left))
+    right_obj = next(iter(right))
+    return compare_oids(comparison.op, left_obj, right_obj)
+
+
+def compare_oids(op: str, left: Oid, right: Oid) -> bool:
+    """Apply one comparison operator to two objects."""
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if not isinstance(left, NamedOid) or not isinstance(right, NamedOid):
+        return False
+    lv, rv = left.value, right.value
+    if isinstance(lv, bool) or isinstance(rv, bool):
+        return False
+    if isinstance(lv, int) != isinstance(rv, int):
+        return False
+    if op == "<":
+        return lv < rv
+    if op == "<=":
+        return lv <= rv
+    if op == ">":
+        return lv > rv
+    if op == ">=":
+        return lv >= rv
+    raise EvaluationError(f"unknown comparison operator {op!r}")
+
+
+def valuations_over(variables, universe: Iterable[Oid]
+                    ) -> Iterator[VariableValuation]:
+    """All total valuations of ``variables`` over ``universe``.
+
+    The universe is sorted for deterministic enumeration order.
+    """
+    ordered = sorted(universe, key=oid_sort_key)
+    names = list(variables)
+    for combo in itertools.product(ordered, repeat=len(names)):
+        yield VariableValuation(dict(zip(names, combo)))
+
+
+def rule_holds(structure: SemanticStructure, rule: Rule,
+               *, max_assignments: int = 1_000_000) -> bool:
+    """Model-check ``I |= rule`` by enumerating valuations.
+
+    Raises :class:`~repro.errors.EvaluationError` when the search space
+    exceeds ``max_assignments`` -- this oracle is for small universes.
+    """
+    variables = variables_of(rule)
+    universe = list(structure.universe())
+    space = len(universe) ** len(variables) if variables else 1
+    if space > max_assignments:
+        raise EvaluationError(
+            f"rule has {len(variables)} variables over a universe of "
+            f"{len(universe)} objects ({space} assignments > "
+            f"{max_assignments} limit); use the engine instead"
+        )
+    for valuation in valuations_over(variables, universe):
+        if entails_all(structure, rule.body, valuation):
+            if not entails(structure, rule.head, valuation):
+                return False
+    return True
+
+
+def counterexamples(structure: SemanticStructure, rule: Rule,
+                    *, limit: int = 10) -> list[VariableValuation]:
+    """Valuations where the body holds but the head does not.
+
+    A debugging aid used by tests; empty iff :func:`rule_holds`.
+    """
+    found: list[VariableValuation] = []
+    variables = variables_of(rule)
+    for valuation in valuations_over(variables, structure.universe()):
+        if entails_all(structure, rule.body, valuation):
+            if not entails(structure, rule.head, valuation):
+                found.append(valuation)
+                if len(found) >= limit:
+                    break
+    return found

@@ -1,0 +1,138 @@
+"""Canonical concrete-syntax printer for PathLog ASTs.
+
+The printer and the parser (:mod:`repro.lang.parser`) are exact inverses
+on ASTs: ``parse_reference(to_text(ref)) == ref`` for every well-formed
+reference the parser can produce (a property-based test pins this).
+
+Concrete-syntax conventions (ASCII rendering of the paper's notation):
+
+========================  =====================================
+paper                     this library
+========================  =====================================
+``t0.m``                  ``t0.m``
+``t0..m``                 ``t0..m``
+``m@(a, b)``              ``m@(a, b)``
+``[m -> r]``              ``[m -> r]``
+``[m ->> s]``             ``[m ->> s]``
+``[m ->> {a, b}]``        ``[m ->> {a, b}]``
+``[self -> Y]``           ``[Y]`` (selector shorthand)
+``t : c``                 ``t : c``
+``head <- body.``         ``head <- body.``
+========================  =====================================
+
+A statement terminator is a dot followed by whitespace or end of input;
+a method-application dot is followed immediately by the method name.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.ast import (
+    SELF,
+    Comparison,
+    Filter,
+    IsaFilter,
+    Literal,
+    Molecule,
+    Name,
+    Negation,
+    Paren,
+    Path,
+    Program,
+    Reference,
+    Rule,
+    ScalarFilter,
+    SetEnumFilter,
+    SetFilter,
+    Var,
+)
+
+_BARE_NAME = re.compile(r"[a-z][A-Za-z0-9_]*\Z")
+
+#: Words that would lex as keywords/operators and so must be quoted.
+_RESERVED = frozenset({"not"})
+
+
+def to_text(ref: Reference) -> str:
+    """Render a reference in canonical concrete syntax."""
+    if isinstance(ref, Name):
+        return name_to_text(ref.value)
+    if isinstance(ref, Var):
+        return ref.name
+    if isinstance(ref, Paren):
+        return f"({to_text(ref.inner)})"
+    if isinstance(ref, Path):
+        dot = ".." if ref.set_valued else "."
+        return f"{to_text(ref.base)}{dot}{to_text(ref.method)}{_args_to_text(ref.args)}"
+    if isinstance(ref, Molecule):
+        return _molecule_to_text(ref)
+    raise TypeError(f"not a reference: {ref!r}")
+
+
+def name_to_text(value: str | int) -> str:
+    """Render a name value: bare identifier, integer, or quoted string."""
+    if isinstance(value, int):
+        return str(value)
+    if _BARE_NAME.match(value) and value not in _RESERVED:
+        return value
+    escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def filter_to_text(filt: Filter) -> str:
+    """Render a single bracket filter (without the brackets)."""
+    if isinstance(filt, ScalarFilter):
+        if filt.method == SELF and not filt.args:
+            return to_text(filt.result)
+        return (f"{to_text(filt.method)}{_args_to_text(filt.args)}"
+                f" -> {to_text(filt.result)}")
+    if isinstance(filt, SetFilter):
+        return (f"{to_text(filt.method)}{_args_to_text(filt.args)}"
+                f" ->> {to_text(filt.result)}")
+    if isinstance(filt, SetEnumFilter):
+        elements = ", ".join(to_text(e) for e in filt.elements)
+        return (f"{to_text(filt.method)}{_args_to_text(filt.args)}"
+                f" ->> {{{elements}}}")
+    if isinstance(filt, IsaFilter):  # pragma: no cover - handled by molecule
+        return f": {to_text(filt.cls)}"
+    raise TypeError(f"unknown filter kind: {filt!r}")
+
+
+def literal_to_text(literal: Literal) -> str:
+    """Render a body literal (reference, comparison, or negation)."""
+    if isinstance(literal, Negation):
+        return f"not {literal_to_text(literal.literal)}"
+    if isinstance(literal, Comparison):
+        return f"{to_text(literal.left)} {literal.op} {to_text(literal.right)}"
+    return to_text(literal)
+
+
+def rule_to_text(rule: Rule) -> str:
+    """Render a rule (or fact) including the terminating dot."""
+    head = to_text(rule.head)
+    if rule.is_fact:
+        return f"{head}."
+    body = ", ".join(literal_to_text(lit) for lit in rule.body)
+    return f"{head} <- {body}."
+
+
+def program_to_text(program: Program) -> str:
+    """Render a whole program, one rule per line."""
+    return "\n".join(rule_to_text(rule) for rule in program.rules)
+
+
+def _args_to_text(args: tuple[Reference, ...]) -> str:
+    if not args:
+        return ""
+    return "@(" + ", ".join(to_text(a) for a in args) + ")"
+
+
+def _molecule_to_text(molecule: Molecule) -> str:
+    base = to_text(molecule.base)
+    if molecule.is_isa:
+        cls = molecule.filters[0]
+        assert isinstance(cls, IsaFilter)
+        return f"{base} : {to_text(cls.cls)}"
+    inner = "; ".join(filter_to_text(f) for f in molecule.filters)
+    return f"{base}[{inner}]"

@@ -1,0 +1,41 @@
+"""Scalarity of references (Definition 2 of the paper).
+
+A reference either denotes at most one object (*scalar*) or a set of
+objects (*set-valued*).  Definition 2 makes this a purely syntactic
+property:
+
+- a ``..`` path is set-valued;
+- a ``.`` path is set-valued iff its base, its method, or any argument
+  is set-valued (applying a scalar method pointwise to a set yields a
+  set, e.g. ``p1..assistants.salary``);
+- a molecule inherits the scalarity of its *base* only -- filters never
+  change scalarity (``p2[friends ->> p1..assistants]`` is scalar);
+- parentheses are transparent;
+- names and variables are scalar.
+"""
+
+from __future__ import annotations
+
+from repro.core.ast import Molecule, Name, Paren, Path, Reference, Var
+
+
+def is_set_valued(ref: Reference) -> bool:
+    """Return True iff ``ref`` is set-valued per Definition 2."""
+    if isinstance(ref, (Name, Var)):
+        return False
+    if isinstance(ref, Paren):
+        return is_set_valued(ref.inner)
+    if isinstance(ref, Path):
+        if ref.set_valued:
+            return True
+        if is_set_valued(ref.base) or is_set_valued(ref.method):
+            return True
+        return any(is_set_valued(arg) for arg in ref.args)
+    if isinstance(ref, Molecule):
+        return is_set_valued(ref.base)
+    raise TypeError(f"not a reference: {ref!r}")
+
+
+def is_scalar(ref: Reference) -> bool:
+    """Return True iff ``ref`` is scalar (i.e. not set-valued)."""
+    return not is_set_valued(ref)

@@ -1,0 +1,206 @@
+"""Method signatures and type checking.
+
+Section 2 and 6 of the paper argue that using *methods* (rather than
+function symbols or view class names) to define virtual objects lets the
+ordinary signature/typing machinery of [KLW93] apply to them.  This
+module supplies that machinery in a deliberately small form:
+
+- a signature declares, for a class, a method's argument classes and
+  result class, separately for scalar (``=>``) and set-valued (``=>>``)
+  methods::
+
+      sigs.declare_scalar("person", "address", (), "addressObj")
+      sigs.declare_set("employee", "vehicles", (), "vehicle")
+
+- :meth:`SignatureSet.check_database` verifies every stored fact against
+  every *applicable* signature (one whose class contains the subject and
+  whose method and arity match): arguments and results must be members
+  of the declared classes.  With ``strict=True`` facts whose method has
+  no applicable signature are violations too;
+
+- :meth:`SignatureSet.type_virtual_objects` performs the
+  signature-directed typing of virtual objects the paper advertises:
+  every scalar result that matches a signature is asserted into the
+  signature's result class, so ``X.address`` objects become members of
+  ``addressObj`` and can be queried as ``A : addressObj``.
+
+The built-in value classes ``integer`` and ``string`` (see
+:mod:`repro.core.builtins`) make signatures over values work:
+``person[age => integer]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.oodb.database import Database
+from repro.oodb.oid import NamedOid, NameValue, Oid
+
+
+@dataclass(frozen=True, slots=True)
+class Signature:
+    """One declaration: ``cls[method @ (args...) (=>|=>>) result]``."""
+
+    cls: Oid
+    method: Oid
+    args: tuple[Oid, ...]
+    result: Oid
+    set_valued: bool
+
+    def __str__(self) -> str:
+        arrow = "=>>" if self.set_valued else "=>"
+        args = ("@(" + ", ".join(a.display() for a in self.args) + ")"
+                if self.args else "")
+        return (f"{self.cls.display()}[{self.method.display()}{args} "
+                f"{arrow} {self.result.display()}]")
+
+
+@dataclass(frozen=True, slots=True)
+class TypeViolation:
+    """One well-typing failure, with the offending fact and reason."""
+
+    message: str
+    method: Oid
+    subject: Oid
+    result: Oid | None = None
+
+    def __str__(self) -> str:
+        return self.message
+
+
+class SignatureSet:
+    """A collection of signatures plus the checking algorithms."""
+
+    def __init__(self) -> None:
+        self._scalar: list[Signature] = []
+        self._set: list[Signature] = []
+
+    # -- declaration ---------------------------------------------------
+
+    def declare_scalar(self, cls: NameValue | Oid, method: NameValue | Oid,
+                       arg_classes: Iterable[NameValue | Oid],
+                       result_class: NameValue | Oid) -> Signature:
+        """Declare a scalar-method signature; returns it."""
+        sig = Signature(_oid(cls), _oid(method),
+                        tuple(_oid(a) for a in arg_classes),
+                        _oid(result_class), set_valued=False)
+        self._scalar.append(sig)
+        return sig
+
+    def declare_set(self, cls: NameValue | Oid, method: NameValue | Oid,
+                    arg_classes: Iterable[NameValue | Oid],
+                    result_class: NameValue | Oid) -> Signature:
+        """Declare a set-valued-method signature; returns it."""
+        sig = Signature(_oid(cls), _oid(method),
+                        tuple(_oid(a) for a in arg_classes),
+                        _oid(result_class), set_valued=True)
+        self._set.append(sig)
+        return sig
+
+    def __len__(self) -> int:
+        return len(self._scalar) + len(self._set)
+
+    def __iter__(self) -> Iterator[Signature]:
+        yield from self._scalar
+        yield from self._set
+
+    # -- checking --------------------------------------------------------
+
+    def applicable(self, db: Database, method: Oid, subject: Oid,
+                   arity: int, *, set_valued: bool) -> list[Signature]:
+        """Signatures constraining one application in ``db``."""
+        pool = self._set if set_valued else self._scalar
+        return [
+            sig for sig in pool
+            if sig.method == method and len(sig.args) == arity
+            and db.isa(subject, sig.cls)
+        ]
+
+    def check_database(self, db: Database,
+                       *, strict: bool = False) -> list[TypeViolation]:
+        """All well-typing violations of the stored facts.
+
+        Every applicable signature must be satisfied (arguments and
+        result members of the declared classes).  With ``strict`` a fact
+        whose method has no applicable signature is also reported.
+        """
+        violations: list[TypeViolation] = []
+        for (method, subject, args), result in db.scalars.items():
+            sigs = self.applicable(db, method, subject, len(args),
+                                   set_valued=False)
+            violations.extend(
+                self._check_app(db, sigs, method, subject, args, (result,),
+                                strict=strict)
+            )
+        for (method, subject, args), members in db.sets.items():
+            sigs = self.applicable(db, method, subject, len(args),
+                                   set_valued=True)
+            violations.extend(
+                self._check_app(db, sigs, method, subject, args,
+                                tuple(members), strict=strict)
+            )
+        return violations
+
+    def _check_app(self, db: Database, sigs: list[Signature], method: Oid,
+                   subject: Oid, args: tuple[Oid, ...],
+                   results: tuple[Oid, ...],
+                   *, strict: bool) -> Iterator[TypeViolation]:
+        if not sigs:
+            if strict:
+                yield TypeViolation(
+                    f"no signature covers {method.display()} on "
+                    f"{subject.display()} (strict mode)",
+                    method, subject,
+                )
+            return
+        for sig in sigs:
+            for arg, arg_cls in zip(args, sig.args):
+                if not db.isa(arg, arg_cls):
+                    yield TypeViolation(
+                        f"argument {arg.display()} of {sig} is not a "
+                        f"member of {arg_cls.display()}",
+                        method, subject, arg,
+                    )
+            for result in results:
+                if not db.isa(result, sig.result):
+                    yield TypeViolation(
+                        f"result {result.display()} of "
+                        f"{method.display()} on {subject.display()} is "
+                        f"not a member of {sig.result.display()} "
+                        f"(required by {sig})",
+                        method, subject, result,
+                    )
+
+    # -- signature-directed typing ----------------------------------------
+
+    def type_virtual_objects(self, db: Database) -> int:
+        """Assert result-class memberships implied by the signatures.
+
+        Returns the number of memberships added.  This realises the
+        paper's point that virtual objects defined through methods are
+        typed by the methods' signatures: after
+        ``declare_scalar("person", "address", (), "addressObj")`` every
+        derived ``X.address`` object becomes a member of ``addressObj``.
+        """
+        added = 0
+        for (method, subject, args), result in list(db.scalars.items()):
+            for sig in self.applicable(db, method, subject, len(args),
+                                       set_valued=False):
+                if not db.isa(result, sig.result):
+                    if db.assert_isa(result, sig.result):
+                        added += 1
+        for (method, subject, args), members in list(db.sets.items()):
+            for sig in self.applicable(db, method, subject, len(args),
+                                       set_valued=True):
+                for member in members:
+                    if not db.isa(member, sig.result):
+                        if db.assert_isa(member, sig.result):
+                            added += 1
+        return added
+
+
+def _oid(value: NameValue | Oid) -> Oid:
+    if isinstance(value, Oid):
+        return value
+    return NamedOid(value)

@@ -1,0 +1,56 @@
+"""The semantic-structure protocol: what a valuation needs from storage.
+
+Definition 4 valuates references against a semantic structure
+``I = (U, in_U, I_N, I_->, I_->>)``.  This module fixes the minimal
+query interface the valuation (and the engine's matcher) require; the
+concrete implementation is :class:`repro.oodb.database.Database`, but
+tests also use lightweight fakes.
+
+All objects are :class:`~repro.oodb.oid.Oid` values; the structure is
+responsible for resolving names (``I_N``) and for the built-in ``self``
+method, which yields the object itself for every object.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable
+
+from repro.oodb.oid import NameValue, Oid
+
+
+@runtime_checkable
+class SemanticStructure(Protocol):
+    """Read interface of ``I = (U, in_U, I_N, I_->, I_->>)``."""
+
+    def lookup_name(self, value: NameValue) -> Oid:
+        """``I_N``: the object denoted by a name (never fails)."""
+        ...
+
+    def isa(self, obj: Oid, cls: Oid) -> bool:
+        """``obj in_U cls`` under the class partial order."""
+        ...
+
+    def members(self, cls: Oid) -> Iterable[Oid]:
+        """All objects ``o`` with ``o in_U cls``."""
+        ...
+
+    def classes_of(self, obj: Oid) -> Iterable[Oid]:
+        """All classes ``c`` with ``obj in_U c``."""
+        ...
+
+    def scalar_apply(self, method: Oid, subject: Oid,
+                     args: tuple[Oid, ...]) -> Oid | None:
+        """``I_->(method)(subject, args)`` or None where undefined.
+
+        Must implement the built-in ``self`` method (identity).
+        """
+        ...
+
+    def set_apply(self, method: Oid, subject: Oid,
+                  args: tuple[Oid, ...]) -> frozenset[Oid]:
+        """``I_->>(method)(subject, args)``; empty set where undefined."""
+        ...
+
+    def universe(self) -> Iterable[Oid]:
+        """All objects of ``U`` (used when a variable is unconstrained)."""
+        ...

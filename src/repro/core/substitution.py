@@ -1,0 +1,143 @@
+"""Substitutions: finite mappings from variables to references.
+
+A :class:`Substitution` rebuilds references bottom-up, replacing each
+mapped variable by its image.  Images are usually ground (names), but
+arbitrary references are allowed -- :func:`repro.core.variables.rename_apart`
+maps variables to fresh variables, and tests build partially-instantiated
+references.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.core.ast import (
+    Comparison,
+    Filter,
+    IsaFilter,
+    Literal,
+    Molecule,
+    Name,
+    Negation,
+    Paren,
+    Path,
+    Reference,
+    Rule,
+    ScalarFilter,
+    SetEnumFilter,
+    SetFilter,
+    Var,
+)
+
+
+class Substitution:
+    """An immutable mapping ``Var -> Reference`` applied structurally."""
+
+    __slots__ = ("_mapping",)
+
+    def __init__(self, mapping: Mapping[Var, Reference] | None = None) -> None:
+        self._mapping: dict[Var, Reference] = dict(mapping or {})
+
+    def __contains__(self, variable: Var) -> bool:
+        return variable in self._mapping
+
+    def __getitem__(self, variable: Var) -> Reference:
+        return self._mapping[variable]
+
+    def __iter__(self) -> Iterator[Var]:
+        return iter(self._mapping)
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Substitution):
+            return NotImplemented
+        return self._mapping == other._mapping
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v.name}={image}" for v, image in self._mapping.items())
+        return f"Substitution({inner})"
+
+    def get(self, variable: Var, default: Reference | None = None) -> Reference | None:
+        """The image of ``variable``, or ``default`` when unmapped."""
+        return self._mapping.get(variable, default)
+
+    def extended(self, variable: Var, image: Reference) -> "Substitution":
+        """A new substitution that additionally maps ``variable``."""
+        updated = dict(self._mapping)
+        updated[variable] = image
+        return Substitution(updated)
+
+    def apply(self, ref: Reference) -> Reference:
+        """Apply to a reference, rebuilding only where something changed."""
+        if isinstance(ref, Var):
+            return self._mapping.get(ref, ref)
+        if isinstance(ref, Name):
+            return ref
+        if isinstance(ref, Paren):
+            inner = self.apply(ref.inner)
+            return ref if inner is ref.inner else Paren(inner)
+        if isinstance(ref, Path):
+            base = self.apply(ref.base)
+            method = self.apply(ref.method)
+            args = tuple(self.apply(a) for a in ref.args)
+            if base is ref.base and method is ref.method and args == ref.args:
+                return ref
+            method = _keep_simple(method)
+            return Path(base, method, args, ref.set_valued)
+        if isinstance(ref, Molecule):
+            base = self.apply(ref.base)
+            filters = tuple(self._apply_filter(f) for f in ref.filters)
+            if base is ref.base and filters == ref.filters:
+                return ref
+            return Molecule(base, filters)
+        raise TypeError(f"not a reference: {ref!r}")
+
+    def apply_literal(self, literal: Literal) -> Literal:
+        """Apply to a body literal (reference, comparison, or negation)."""
+        if isinstance(literal, Negation):
+            return Negation(self.apply_literal(literal.literal))
+        if isinstance(literal, Comparison):
+            return Comparison(literal.op, self.apply(literal.left),
+                              self.apply(literal.right))
+        return self.apply(literal)
+
+    def apply_rule(self, rule: Rule) -> Rule:
+        """Apply to head and every body literal of ``rule``."""
+        return Rule(self.apply(rule.head),
+                    tuple(self.apply_literal(lit) for lit in rule.body))
+
+    def _apply_filter(self, filt: Filter) -> Filter:
+        if isinstance(filt, IsaFilter):
+            return IsaFilter(_keep_simple(self.apply(filt.cls)))
+        if isinstance(filt, ScalarFilter):
+            return ScalarFilter(_keep_simple(self.apply(filt.method)),
+                                tuple(self.apply(a) for a in filt.args),
+                                self.apply(filt.result))
+        if isinstance(filt, SetFilter):
+            return SetFilter(_keep_simple(self.apply(filt.method)),
+                             tuple(self.apply(a) for a in filt.args),
+                             self.apply(filt.result))
+        if isinstance(filt, SetEnumFilter):
+            return SetEnumFilter(_keep_simple(self.apply(filt.method)),
+                                 tuple(self.apply(a) for a in filt.args),
+                                 tuple(self.apply(e) for e in filt.elements))
+        raise TypeError(f"unknown filter kind: {filt!r}")
+
+
+def _keep_simple(ref: Reference) -> Reference:
+    """Wrap in parentheses if substitution produced a non-simple reference.
+
+    Method and class positions must hold simple references; substituting
+    a path for a variable there would otherwise break Definition 1.
+    """
+    from repro.core.wellformed import is_simple
+
+    if is_simple(ref):
+        return ref
+    return Paren(ref)
+
+
+#: The empty substitution, shared.
+EMPTY = Substitution()

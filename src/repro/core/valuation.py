@@ -1,0 +1,201 @@
+"""The valuation function ``nu_I`` -- Definition 4 of the paper.
+
+Given a semantic structure ``I`` and a variable valuation
+``nu : V -> U``, every well-formed reference ``t`` denotes a set of
+objects ``nu_I(t) subseteq U``; scalar references denote at most a
+singleton.  The reference, viewed as a formula, is *entailed* iff this
+set is non-empty (Definition 5, in :mod:`repro.core.entailment`).
+
+The eight cases of Definition 4 are implemented verbatim, including the
+two corners a naive translation to conjunctions gets wrong:
+
+- **case 7** (``t0[m ->> s]``): the filter holds when the stored set is
+  a superset of ``nu_I(s)`` -- *vacuously* when ``s`` denotes nothing
+  (e.g. ``p1..assistants`` when ``p1`` has no assistants);
+- **case 8** (``t0[m ->> {e1,...,el}]``): the compared set ``S`` is the
+  *union* of the element valuations, so an element that fails to denote
+  (a path over an undefined method) silently drops out of ``S``.
+
+Variables must be bound by the valuation; enumerating satisfying
+valuations is the job of :mod:`repro.query`, which builds on this
+module.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Mapping
+
+from repro.core.ast import (
+    Filter,
+    IsaFilter,
+    Molecule,
+    Name,
+    Paren,
+    Path,
+    Reference,
+    ScalarFilter,
+    SetEnumFilter,
+    SetFilter,
+    Var,
+)
+from repro.core.structure import SemanticStructure
+from repro.errors import UnboundVariableError
+from repro.oodb.oid import Oid
+
+
+class VariableValuation:
+    """A total assignment ``nu`` of objects to (the relevant) variables."""
+
+    __slots__ = ("_mapping",)
+
+    def __init__(self, mapping: Mapping[Var, Oid] | None = None) -> None:
+        self._mapping: dict[Var, Oid] = dict(mapping or {})
+
+    def __getitem__(self, variable: Var) -> Oid:
+        try:
+            return self._mapping[variable]
+        except KeyError:
+            raise UnboundVariableError(
+                f"variable {variable.name} is not bound by the valuation"
+            ) from None
+
+    def __contains__(self, variable: Var) -> bool:
+        return variable in self._mapping
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def items(self) -> Iterable[tuple[Var, Oid]]:
+        return self._mapping.items()
+
+    def extended(self, variable: Var, obj: Oid) -> "VariableValuation":
+        """A new valuation that additionally binds ``variable``."""
+        updated = dict(self._mapping)
+        updated[variable] = obj
+        return VariableValuation(updated)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v.name}={o}" for v, o in self._mapping.items())
+        return f"VariableValuation({inner})"
+
+
+#: The empty valuation, for ground references.
+GROUND = VariableValuation()
+
+
+def valuate(ref: Reference, structure: SemanticStructure,
+            valuation: VariableValuation = GROUND) -> frozenset[Oid]:
+    """Compute ``nu_I(ref)`` -- the set of objects ``ref`` denotes."""
+    if isinstance(ref, Var):
+        return frozenset((valuation[ref],))
+    if isinstance(ref, Name):
+        return frozenset((structure.lookup_name(ref.value),))
+    if isinstance(ref, Paren):
+        return valuate(ref.inner, structure, valuation)
+    if isinstance(ref, Path):
+        return _valuate_path(ref, structure, valuation)
+    if isinstance(ref, Molecule):
+        return _valuate_molecule(ref, structure, valuation)
+    raise TypeError(f"not a reference: {ref!r}")
+
+
+def _valuate_path(path: Path, structure: SemanticStructure,
+                  valuation: VariableValuation) -> frozenset[Oid]:
+    bases = valuate(path.base, structure, valuation)
+    methods = valuate(path.method, structure, valuation)
+    arg_sets = [valuate(arg, structure, valuation) for arg in path.args]
+    results: set[Oid] = set()
+    for method in methods:
+        for base in bases:
+            for args in itertools.product(*arg_sets):
+                if path.set_valued:
+                    results.update(structure.set_apply(method, base, args))
+                else:
+                    value = structure.scalar_apply(method, base, args)
+                    if value is not None:
+                        results.add(value)
+    return frozenset(results)
+
+
+def _valuate_molecule(molecule: Molecule, structure: SemanticStructure,
+                      valuation: VariableValuation) -> frozenset[Oid]:
+    candidates = valuate(molecule.base, structure, valuation)
+    for filt in molecule.filters:
+        if not candidates:
+            return frozenset()
+        candidates = frozenset(
+            obj for obj in candidates
+            if filter_holds(filt, obj, structure, valuation)
+        )
+    return candidates
+
+
+def filter_holds(filt: Filter, obj: Oid, structure: SemanticStructure,
+                 valuation: VariableValuation) -> bool:
+    """Does ``obj`` satisfy one molecule filter under ``valuation``?"""
+    if isinstance(filt, IsaFilter):
+        classes = valuate(filt.cls, structure, valuation)
+        return any(structure.isa(obj, cls) for cls in classes)
+    if isinstance(filt, ScalarFilter):
+        return _scalar_filter_holds(filt, obj, structure, valuation)
+    if isinstance(filt, SetFilter):
+        return _set_filter_holds(filt, obj, structure, valuation)
+    if isinstance(filt, SetEnumFilter):
+        return _enum_filter_holds(filt, obj, structure, valuation)
+    raise TypeError(f"unknown filter kind: {filt!r}")
+
+
+def _filter_applications(filt, obj: Oid, structure: SemanticStructure,
+                         valuation: VariableValuation):
+    """All ``(method, args)`` pairs a filter's method position denotes.
+
+    Methods and filter arguments are scalar, so each valuation is at
+    most a singleton, but a parenthesised path may denote nothing -- in
+    which case the filter cannot hold.
+    """
+    methods = valuate(filt.method, structure, valuation)
+    arg_sets = [valuate(arg, structure, valuation) for arg in filt.args]
+    for method in methods:
+        for args in itertools.product(*arg_sets):
+            yield method, args
+
+
+def _scalar_filter_holds(filt: ScalarFilter, obj: Oid,
+                         structure: SemanticStructure,
+                         valuation: VariableValuation) -> bool:
+    expected = valuate(filt.result, structure, valuation)
+    if not expected:
+        # Definition 4 case 6 requires some u_r in nu(t_r).
+        return False
+    for method, args in _filter_applications(filt, obj, structure, valuation):
+        value = structure.scalar_apply(method, obj, args)
+        if value is not None and value in expected:
+            return True
+    return False
+
+
+def _set_filter_holds(filt: SetFilter, obj: Oid,
+                      structure: SemanticStructure,
+                      valuation: VariableValuation) -> bool:
+    required = valuate(filt.result, structure, valuation)
+    for method, args in _filter_applications(filt, obj, structure, valuation):
+        stored = structure.set_apply(method, obj, args)
+        # Vacuously true when ``required`` is empty (Definition 4 case 7).
+        if stored >= required:
+            return True
+    return False
+
+
+def _enum_filter_holds(filt: SetEnumFilter, obj: Oid,
+                       structure: SemanticStructure,
+                       valuation: VariableValuation) -> bool:
+    required: set[Oid] = set()
+    for element in filt.elements:
+        # Non-denoting elements drop out of S (Definition 4 case 8).
+        required.update(valuate(element, structure, valuation))
+    for method, args in _filter_applications(filt, obj, structure, valuation):
+        stored = structure.set_apply(method, obj, args)
+        if stored >= required:
+            return True
+    return False

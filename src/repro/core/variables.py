@@ -1,0 +1,95 @@
+"""Variable utilities: collection, freshness, renaming apart.
+
+These helpers are shared by the engine (standardising rules apart), the
+flattener (auxiliary variables), and the query API (answer variables).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from repro.core.ast import (
+    Comparison,
+    Literal,
+    Negation,
+    Reference,
+    Rule,
+    Var,
+)
+
+
+def variables_of(item: Reference | Comparison | Negation | Rule
+                 ) -> tuple[Var, ...]:
+    """All variables of ``item`` in first-occurrence order, without duplicates."""
+    seen: dict[Var, None] = {}
+    for ref in _references_of(item):
+        for node in ref.walk():
+            if isinstance(node, Var):
+                seen.setdefault(node, None)
+    return tuple(seen)
+
+
+def is_ground(item: Reference | Comparison | Rule) -> bool:
+    """True iff ``item`` contains no variables."""
+    return not variables_of(item)
+
+
+class FreshVariables:
+    """A generator of variables guaranteed not to clash with a given set.
+
+    Auxiliary variables are named ``_V1``, ``_V2``, ... with a numeric
+    suffix chosen past any conflicting name already in use.
+    """
+
+    def __init__(self, avoid: Iterable[Var] = (), prefix: str = "_V") -> None:
+        self._prefix = prefix
+        self._taken = {v.name for v in avoid}
+        self._counter = itertools.count(1)
+
+    def reserve(self, extra: Iterable[Var]) -> None:
+        """Also avoid the names of ``extra`` variables from now on."""
+        self._taken.update(v.name for v in extra)
+
+    def fresh(self) -> Var:
+        """Return a variable whose name has never been handed out."""
+        while True:
+            candidate = f"{self._prefix}{next(self._counter)}"
+            if candidate not in self._taken:
+                self._taken.add(candidate)
+                return Var(candidate)
+
+
+def rename_apart(rule: Rule, avoid: Iterable[Var]) -> Rule:
+    """Rename the variables of ``rule`` away from ``avoid``.
+
+    Used to standardise rules apart before joining their instantiations
+    with already-bound variables.
+    """
+    from repro.core.substitution import Substitution
+
+    avoid_names = {v.name for v in avoid}
+    own = variables_of(rule)
+    clashing = [v for v in own if v.name in avoid_names]
+    if not clashing:
+        return rule
+    fresh = FreshVariables(avoid=list(avoid) + list(own), prefix="_R")
+    mapping = Substitution({v: fresh.fresh() for v in clashing})
+    return mapping.apply_rule(rule)
+
+
+def _references_of(item: Reference | Comparison | Negation | Rule
+                   ) -> Iterable[Reference]:
+    if isinstance(item, Reference):
+        return (item,)
+    if isinstance(item, (Comparison, Negation)):
+        return item.references()
+    if isinstance(item, Rule):
+        refs: list[Reference] = [item.head]
+        for literal in item.body:
+            if isinstance(literal, (Comparison, Negation)):
+                refs.extend(literal.references())
+            else:
+                refs.append(literal)
+        return refs
+    raise TypeError(f"cannot collect variables from {item!r}")

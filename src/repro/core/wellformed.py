@@ -1,0 +1,168 @@
+"""Well-formedness of references (Definition 3 of the paper).
+
+Well-formedness restricts where *set-valued* references may appear --
+only inside molecules, never in paths:
+
+- in a scalar filter ``t0[m@(t1,...,tk) -> tr]`` the method, all
+  arguments, and the result must be scalar (the paper's (4.5),
+  ``p2[boss -> p1..assistants]``, is the canonical violation);
+- in a superset filter ``t0[m@(...) ->> s]`` the method and arguments
+  must be scalar and ``s`` must be *set-valued* (an explicitly scalar
+  right-hand side belongs in enumeration braces);
+- in an enumerated filter ``t0[m@(...) ->> {e1,...,el}]`` all elements
+  must be scalar;
+- in ``t0 : c`` the class must be scalar.
+
+Paths are *not* restricted: ``p1.paidFor@(p1..vehicles)`` is
+well-formed even though an argument is set-valued.
+
+Definition 1 additionally requires method and class positions to hold
+*simple* references (names, variables, or parenthesised references);
+this module enforces that too, since hand-built ASTs could violate it
+even though the parser cannot produce such trees.
+"""
+
+from __future__ import annotations
+
+from repro.core.ast import (
+    IsaFilter,
+    Molecule,
+    Name,
+    Paren,
+    Path,
+    Reference,
+    ScalarFilter,
+    SetEnumFilter,
+    SetFilter,
+    Var,
+)
+from repro.core.scalarity import is_scalar, is_set_valued
+from repro.errors import WellFormednessError
+
+
+def is_simple(ref: Reference) -> bool:
+    """True iff ``ref`` is a simple reference: name, variable, or ``(t)``."""
+    return isinstance(ref, (Name, Var, Paren))
+
+
+def check_well_formed(ref: Reference) -> None:
+    """Raise :class:`WellFormednessError` if ``ref`` violates Definition 3.
+
+    The error message names the offending sub-reference and the clause of
+    the definition it violates.
+    """
+    if isinstance(ref, (Name, Var)):
+        return
+    if isinstance(ref, Paren):
+        check_well_formed(ref.inner)
+        return
+    if isinstance(ref, Path):
+        _check_path(ref)
+        return
+    if isinstance(ref, Molecule):
+        _check_molecule(ref)
+        return
+    raise TypeError(f"not a reference: {ref!r}")
+
+
+def is_well_formed(ref: Reference) -> bool:
+    """Boolean form of :func:`check_well_formed`."""
+    try:
+        check_well_formed(ref)
+    except WellFormednessError:
+        return False
+    return True
+
+
+def _check_path(path: Path) -> None:
+    if not is_simple(path.method):
+        raise WellFormednessError(
+            f"method position of path {path} must hold a simple reference "
+            f"(name, variable, or parenthesised reference), got {path.method}"
+        )
+    check_well_formed(path.base)
+    check_well_formed(path.method)
+    for arg in path.args:
+        check_well_formed(arg)
+
+
+def _check_molecule(molecule: Molecule) -> None:
+    check_well_formed(molecule.base)
+    for filt in molecule.filters:
+        if isinstance(filt, IsaFilter):
+            _check_class(molecule, filt)
+        elif isinstance(filt, ScalarFilter):
+            _check_scalar_filter(molecule, filt)
+        elif isinstance(filt, SetFilter):
+            _check_set_filter(molecule, filt)
+        elif isinstance(filt, SetEnumFilter):
+            _check_enum_filter(molecule, filt)
+        else:  # pragma: no cover - future filter kinds
+            raise TypeError(f"unknown filter kind: {filt!r}")
+
+
+def _check_class(molecule: Molecule, filt: IsaFilter) -> None:
+    if not is_simple(filt.cls):
+        raise WellFormednessError(
+            f"class position of {molecule} must hold a simple reference, "
+            f"got {filt.cls}"
+        )
+    if is_set_valued(filt.cls):
+        raise WellFormednessError(
+            f"class of molecule {molecule} must be scalar, got the "
+            f"set-valued reference {filt.cls}"
+        )
+    check_well_formed(filt.cls)
+
+
+def _check_method_and_args(molecule: Molecule, method: Reference,
+                           args: tuple[Reference, ...]) -> None:
+    if not is_simple(method):
+        raise WellFormednessError(
+            f"method position in filter of {molecule} must hold a simple "
+            f"reference, got {method}"
+        )
+    if is_set_valued(method):
+        raise WellFormednessError(
+            f"method in filter of {molecule} must be scalar, got the "
+            f"set-valued reference {method}"
+        )
+    check_well_formed(method)
+    for arg in args:
+        if is_set_valued(arg):
+            raise WellFormednessError(
+                f"arguments in filters of {molecule} must be scalar, got "
+                f"the set-valued reference {arg}"
+            )
+        check_well_formed(arg)
+
+
+def _check_scalar_filter(molecule: Molecule, filt: ScalarFilter) -> None:
+    _check_method_and_args(molecule, filt.method, filt.args)
+    if is_set_valued(filt.result):
+        raise WellFormednessError(
+            f"result of scalar filter in {molecule} must be scalar, got "
+            f"the set-valued reference {filt.result} (cf. paper (4.5))"
+        )
+    check_well_formed(filt.result)
+
+
+def _check_set_filter(molecule: Molecule, filt: SetFilter) -> None:
+    _check_method_and_args(molecule, filt.method, filt.args)
+    if not is_set_valued(filt.result):
+        raise WellFormednessError(
+            f"result of ->> filter in {molecule} must be a set-valued "
+            f"reference or an explicit set, got the scalar {filt.result}"
+        )
+    check_well_formed(filt.result)
+
+
+def _check_enum_filter(molecule: Molecule, filt: SetEnumFilter) -> None:
+    _check_method_and_args(molecule, filt.method, filt.args)
+    for element in filt.elements:
+        if is_set_valued(element):
+            raise WellFormednessError(
+                f"elements of the explicit set in {molecule} must be "
+                f"scalar, got the set-valued reference {element}"
+            )
+        check_well_formed(element)

@@ -1,0 +1,23 @@
+"""Synthetic workload generators for tests, examples, and benchmarks.
+
+The paper's running examples live in two domains -- a company database
+(employees, managers, vehicles, automobiles, producers) and a genealogy
+(``kids``/``desc``).  These generators scale those domains to arbitrary
+sizes deterministically (seeded), so the benchmark harness can sweep
+database size while preserving the paper's structure.  A third domain
+(university curricula) exercises parameterised methods and deeper class
+hierarchies.
+"""
+
+from repro.datasets.company import CompanyConfig, build_company
+from repro.datasets.genealogy import build_family, desc_rules, generic_tc_rules
+from repro.datasets.university import build_university
+
+__all__ = [
+    "CompanyConfig",
+    "build_company",
+    "build_family",
+    "build_university",
+    "desc_rules",
+    "generic_tc_rules",
+]

@@ -1,0 +1,125 @@
+"""The company domain: the paper's running example, scaled.
+
+Generates employees (some managers), their vehicles (mostly automobiles
+with color/cylinders/producer, some plain vehicles), producing companies
+with cities and presidents, departments, assistants, and bosses --
+everything the paper's queries (1.1)-(1.4), (2.1)-(2.3), the Section 2
+manager query, and the Section 6 rules touch.
+
+Deterministic for a given seed and config.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.oodb.database import Database
+
+#: Attribute pools, small enough that joins are selective but non-empty.
+CITIES = ("newYork", "detroit", "boston", "chicago", "seattle")
+COLORS = ("red", "blue", "green", "black", "white")
+CYLINDERS = (4, 6, 8)
+
+
+@dataclass(frozen=True, slots=True)
+class CompanyConfig:
+    """Size and shape knobs for :func:`build_company`."""
+
+    employees: int = 50
+    manager_ratio: float = 0.2
+    vehicles_per_employee: int = 2
+    automobile_ratio: float = 0.8
+    companies: int = 5
+    assistants_per_manager: int = 2
+    seed: int = 7
+
+
+def build_company(config: CompanyConfig | None = None,
+                  db: Database | None = None) -> Database:
+    """Populate (or create) a database with the company domain.
+
+    Objects are named ``p<i>`` (employees; the first ones are managers),
+    ``car<i>``/``veh<i>`` (vehicles), ``comp<i>`` (producers), ``dep<i>``
+    (departments).  Every employee gets ``age``, ``city``, ``salary``,
+    ``worksFor``; automobiles get ``color``, ``cylinders``,
+    ``producedBy``; companies get ``city`` and a manager ``president``;
+    managers get ``assistants`` and employees a ``boss`` among the
+    managers.
+    """
+    cfg = config or CompanyConfig()
+    rng = random.Random(cfg.seed)
+    db = db or Database()
+
+    db.subclass("automobile", "vehicle")
+    db.subclass("truck", "vehicle")
+    db.subclass("manager", "employee")
+    db.subclass("employee", "person")
+
+    n_managers = max(1, int(cfg.employees * cfg.manager_ratio))
+    manager_names = [f"p{i}" for i in range(n_managers)]
+    employee_names = [f"p{i}" for i in range(cfg.employees)]
+
+    company_names = [f"comp{i}" for i in range(cfg.companies)]
+    for index, name in enumerate(company_names):
+        if index == 0:
+            # Deterministic anchor for the paper's Section 2 manager
+            # query: comp0 sits in Detroit and is presided by p0.
+            scalars = {"city": "detroit", "president": "p0"}
+        else:
+            scalars = {
+                "city": rng.choice(CITIES),
+                "president": rng.choice(manager_names),
+            }
+        db.add_object(name, classes=["company"], scalars=scalars)
+
+    department_names = [f"dep{i}" for i in range(max(1, cfg.companies))]
+    for name in department_names:
+        db.add_object(name, classes=["department"])
+
+    vehicle_counter = 0
+    for index, name in enumerate(employee_names):
+        classes = ["manager"] if index < n_managers else ["employee"]
+        vehicles = []
+        for _ in range(cfg.vehicles_per_employee):
+            vehicle_counter += 1
+            if rng.random() < cfg.automobile_ratio:
+                vname = f"car{vehicle_counter}"
+                db.add_object(vname, classes=["automobile"], scalars={
+                    "color": rng.choice(COLORS),
+                    "cylinders": rng.choice(CYLINDERS),
+                    "producedBy": rng.choice(company_names),
+                })
+            else:
+                vname = f"veh{vehicle_counter}"
+                db.add_object(vname, classes=["truck"], scalars={
+                    "color": rng.choice(COLORS),
+                })
+            vehicles.append(vname)
+        scalars = {
+            "age": rng.randint(25, 60),
+            "city": rng.choice(CITIES),
+            "salary": rng.choice((1000, 2000, 3000, 4000)),
+            "worksFor": rng.choice(department_names),
+        }
+        if index >= n_managers:
+            scalars["boss"] = rng.choice(manager_names)
+        db.add_object(name, classes=classes, scalars=scalars,
+                      sets={"vehicles": vehicles})
+
+    non_managers = employee_names[n_managers:]
+    for name in manager_names:
+        if not non_managers:
+            break
+        count = min(cfg.assistants_per_manager, len(non_managers))
+        assistants = rng.sample(non_managers, count)
+        db.add_object(name, sets={"assistants": assistants})
+
+    # The other half of the Section 2 anchor: manager p0 owns a red
+    # automobile produced by comp0, so the paper's query has an answer.
+    db.add_object("goldcar", classes=["automobile"], scalars={
+        "color": "red", "cylinders": 8, "producedBy": "comp0",
+    })
+    db.add_object("p0", sets={"vehicles": ["goldcar"]})
+
+    return db

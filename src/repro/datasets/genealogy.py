@@ -1,0 +1,93 @@
+"""The genealogy domain: ``kids`` trees for the transitive-closure rules.
+
+Builds random forests of people with set-valued ``kids`` facts and
+returns the matching :mod:`networkx` digraph, so tests can check the
+engine's ``desc``/``kids.tc`` fixpoints against an independent
+transitive-closure computation.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+
+from repro.core.ast import Program
+from repro.lang.parser import parse_program
+from repro.oodb.database import Database
+
+
+def build_family(generations: int = 4, branching: int = 2,
+                 roots: int = 1, seed: int = 3,
+                 db: Database | None = None) -> tuple[Database, nx.DiGraph]:
+    """A forest of ``kids`` facts plus its networkx digraph.
+
+    Each person in generation ``g < generations - 1`` gets between 0 and
+    ``branching`` children (seeded); node names are ``f<root>_<g>_<i>``.
+    The digraph has an edge parent -> child for every ``kids`` fact.
+    """
+    rng = random.Random(seed)
+    db = db or Database()
+    graph = nx.DiGraph()
+
+    for root in range(roots):
+        previous = [f"f{root}_0_0"]
+        graph.add_node(previous[0])
+        db.add_object(previous[0], classes=["person"])
+        counter = 0
+        for generation in range(1, generations):
+            current: list[str] = []
+            for parent_index, parent in enumerate(previous):
+                # The first parent of a generation always procreates, so
+                # a tree of the requested depth actually exists.
+                lower = 1 if parent_index == 0 else 0
+                n_children = rng.randint(lower, branching)
+                children = []
+                for _ in range(n_children):
+                    counter += 1
+                    child = f"f{root}_{generation}_{counter}"
+                    children.append(child)
+                    graph.add_edge(parent, child)
+                    db.add_object(child, classes=["person"])
+                if children:
+                    db.add_object(parent, sets={"kids": children})
+                current.extend(children)
+            if not current:
+                break
+            previous = current
+    return db, graph
+
+
+def chain_family(length: int, db: Database | None = None
+                 ) -> tuple[Database, nx.DiGraph]:
+    """A single descending chain -- the worst case for naive iteration."""
+    db = db or Database()
+    graph = nx.DiGraph()
+    for index in range(length - 1):
+        parent, child = f"c{index}", f"c{index + 1}"
+        db.add_object(parent, classes=["person"], sets={"kids": [child]})
+        db.add_object(child, classes=["person"])
+        graph.add_edge(parent, child)
+    return db, graph
+
+
+def desc_rules() -> Program:
+    """The paper's specialised transitive closure (6.4)."""
+    return parse_program("""
+        X[desc ->> {Y}] <- X[kids ->> {Y}].
+        X[desc ->> {Y}] <- X..desc[kids ->> {Y}].
+    """)
+
+
+def generic_tc_rules() -> Program:
+    """The paper's generic transitive closure (Section 6, ``M.tc``)."""
+    return parse_program("""
+        X[(M.tc) ->> {Y}] <- X[M ->> {Y}].
+        X[(M.tc) ->> {Y}] <- X..(M.tc)[M ->> {Y}].
+    """)
+
+
+def closure_edges(graph: nx.DiGraph) -> set[tuple[str, str]]:
+    """The transitive closure of ``graph`` as (ancestor, descendant)."""
+    closure = nx.transitive_closure(graph, reflexive=False)
+    return set(closure.edges())

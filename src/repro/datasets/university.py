@@ -1,0 +1,66 @@
+"""The university domain: parameterised methods and deeper hierarchies.
+
+Exercises features the company domain does not: methods with
+``@``-parameters (``grade@(course)``, ``salary@(year)`` in the paper's
+``john.salary@(1994)`` spirit), a three-level class hierarchy, and a
+prerequisite graph suitable for the generic transitive closure
+(``prereq.tc``).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.oodb.database import Database
+
+GRADES = (1, 2, 3, 4, 5)
+
+
+def build_university(courses: int = 10, students: int = 20,
+                     teachers: int = 5, seed: int = 11,
+                     db: Database | None = None) -> Database:
+    """Populate (or create) a database with the university domain.
+
+    - classes: ``professor < teacher < person``, ``student < person``;
+    - each course ``crs<i>`` has up to two prerequisites among earlier
+      courses (set-valued ``prereq``) and one teacher (``taughtBy``);
+    - each student enrolls in a few courses (set-valued ``enrolled``)
+      and gets a parameterised ``grade@(course)`` per enrolled course;
+    - each teacher has ``salary@(year)`` facts for two years.
+    """
+    rng = random.Random(seed)
+    db = db or Database()
+
+    db.subclass("professor", "teacher")
+    db.subclass("teacher", "person")
+    db.subclass("student", "person")
+
+    teacher_names = [f"t{i}" for i in range(teachers)]
+    for index, name in enumerate(teacher_names):
+        cls = "professor" if index % 2 == 0 else "teacher"
+        db.add_object(name, classes=[cls])
+        subject = db.obj(name)
+        for year in (1993, 1994):
+            db.assert_scalar(db.obj("salary"), subject,
+                             (db.obj(year),),
+                             db.obj(2000 + 100 * index + (year - 1993) * 50))
+
+    course_names = [f"crs{i}" for i in range(courses)]
+    for index, name in enumerate(course_names):
+        scalars = {"taughtBy": rng.choice(teacher_names)}
+        sets = {}
+        if index > 0:
+            n_prereq = rng.randint(0, min(2, index))
+            if n_prereq:
+                sets["prereq"] = rng.sample(course_names[:index], n_prereq)
+        db.add_object(name, classes=["course"], scalars=scalars, sets=sets)
+
+    for i in range(students):
+        name = f"s{i}"
+        enrolled = rng.sample(course_names, rng.randint(1, min(4, courses)))
+        db.add_object(name, classes=["student"], sets={"enrolled": enrolled})
+        subject = db.obj(name)
+        for course in enrolled:
+            db.assert_scalar(db.obj("grade"), subject,
+                             (db.obj(course),), db.obj(rng.choice(GRADES)))
+    return db

@@ -1,0 +1,36 @@
+"""The deductive engine: bottom-up evaluation of PathLog programs.
+
+Section 6 of the paper says "well-known bottom-up techniques may be
+applied"; this package supplies them:
+
+- :mod:`repro.engine.matching` -- solving one primitive atom against a
+  database under a partial binding (with index selection);
+- :mod:`repro.engine.solve` -- backtracking conjunction solver with a
+  greedy, dynamically re-planned atom order;
+- :mod:`repro.engine.normalize` -- rule normalisation: head scalarity
+  and range-restriction checks, hoisting of head read-expressions into
+  the body, body flattening;
+- :mod:`repro.engine.heads` -- head realisation, including the paper's
+  virtual-object creation (scalar paths in heads define objects);
+- :mod:`repro.engine.stratify` -- NT89-style stratification driven by
+  the *strong* dependencies of superset filters;
+- :mod:`repro.engine.fixpoint` -- the :class:`Engine` driver with naive
+  and semi-naive iteration, resource limits, and profiling.
+"""
+
+from repro.engine.fixpoint import Engine, EngineLimits
+from repro.engine.normalize import NormalizedRule, normalize_program, normalize_rule
+from repro.engine.profiler import EngineStats
+from repro.engine.solve import solve
+from repro.engine.stratify import stratify
+
+__all__ = [
+    "Engine",
+    "EngineLimits",
+    "EngineStats",
+    "NormalizedRule",
+    "normalize_program",
+    "normalize_rule",
+    "solve",
+    "stratify",
+]

@@ -1,0 +1,178 @@
+"""The :class:`Engine`: stratified bottom-up fixpoint evaluation.
+
+Evaluation proceeds stratum by stratum (see
+:mod:`repro.engine.stratify`); within a stratum the engine iterates to a
+fixpoint, either
+
+- **naively** -- every rule re-evaluated against the full database each
+  iteration -- or
+- **semi-naively** -- after the first full pass, *pure* rules (bodies of
+  data atoms and comparisons only) are re-evaluated only through the
+  facts newly derived in the previous iteration, one delta position at a
+  time.  Rules containing superset atoms, and rules reading ``isa``
+  while the delta contains new class memberships (the transitive closure
+  makes per-edge deltas incomplete), fall back to full evaluation for
+  that iteration.
+
+Body solutions are materialised before head realisation so the solver
+never iterates over indexes the realizer is mutating.
+
+Safeguards (the paper is silent on termination, so the engine is not):
+``max_iterations`` per stratum, ``max_universe`` size, and
+``max_virtual_depth`` for head-created objects, all raising
+:class:`~repro.errors.ResourceLimitError` with actionable messages.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+from repro.core.ast import Program, Rule
+from repro.engine.heads import Derived, HeadRealizer
+from repro.engine.matching import Binding, MatchPolicy, match_atom_delta
+from repro.engine.normalize import NormalizedRule, normalize_program
+from repro.engine.profiler import EngineStats
+from repro.engine.solve import solve
+from repro.engine.stratify import stratify
+from repro.errors import ResourceLimitError
+from repro.flogic.atoms import (
+    EnumSupersetAtom,
+    IsaAtom,
+    NegationAtom,
+    ScalarAtom,
+    SetMemberAtom,
+    SupersetAtom,
+)
+from repro.oodb.database import Database
+
+
+@dataclass(frozen=True, slots=True)
+class EngineLimits:
+    """Resource bounds for one evaluation run."""
+
+    max_iterations: int = 10_000
+    max_universe: int = 1_000_000
+    max_virtual_depth: int = 32
+    #: Virtual-nesting depth allowed for objects used *as methods* during
+    #: rule matching.  The paper's generic-method programs (``kids.tc``)
+    #: have an infinite minimal model; this bound truncates it uniformly
+    #: (see :class:`repro.engine.matching.MatchPolicy`).  Depth 1 covers
+    #: every example in the paper.
+    max_method_depth: int | None = 1
+
+
+class Engine:
+    """Evaluates a PathLog program bottom-up over a database.
+
+    The input database is never mutated: :meth:`run` clones it and
+    returns the materialised result.  After a run, :attr:`stats` holds
+    the :class:`~repro.engine.profiler.EngineStats` of the evaluation.
+    """
+
+    def __init__(self, db: Database,
+                 program: Union[Program, Iterable[Rule]],
+                 *, seminaive: bool = True,
+                 limits: EngineLimits | None = None) -> None:
+        self._db = db
+        self._rules = normalize_program(program)
+        self._seminaive = seminaive
+        self._limits = limits or EngineLimits()
+        self._policy = MatchPolicy(self._limits.max_method_depth)
+        self.stats = EngineStats(seminaive=seminaive)
+
+    def run(self) -> Database:
+        """Evaluate to fixpoint; returns the materialised database."""
+        work = self._db.clone()
+        strata = stratify(self._rules)
+        self.stats = EngineStats(seminaive=self._seminaive,
+                                 strata=len(strata))
+        realizer = HeadRealizer(
+            work, max_virtual_depth=self._limits.max_virtual_depth
+        )
+        started = time.perf_counter()
+        for group in strata:
+            self._eval_stratum(work, group, realizer)
+        self.stats.elapsed_s = time.perf_counter() - started
+        self.stats.virtuals_created = realizer.virtuals_created
+        return work
+
+    # ------------------------------------------------------------------
+
+    def _eval_stratum(self, db: Database, rules: list[NormalizedRule],
+                      realizer: HeadRealizer) -> None:
+        delta: list[Derived] | None = None
+        iterations = 0
+        while True:
+            iterations += 1
+            if iterations > self._limits.max_iterations:
+                raise ResourceLimitError(
+                    f"no fixpoint after {self._limits.max_iterations} "
+                    f"iterations in one stratum; raise "
+                    f"EngineLimits.max_iterations if the program is "
+                    f"genuinely that deep"
+                )
+            new_log: list[Derived] = []
+            realizer.log = new_log
+            isa_in_delta = delta is not None and any(
+                entry[0] == "isa" for entry in delta
+            )
+            for rule in rules:
+                if delta is None or not _is_pure(rule):
+                    self._fire_full(db, rule, realizer)
+                elif isa_in_delta and _reads_isa(rule):
+                    self._fire_full(db, rule, realizer)
+                else:
+                    self._fire_delta(db, rule, realizer, delta)
+            if len(db) > self._limits.max_universe:
+                raise ResourceLimitError(
+                    f"universe grew past {self._limits.max_universe} "
+                    f"objects; the program likely creates virtual objects "
+                    f"without bound"
+                )
+            self.stats.count_derived(new_log)
+            if not new_log:
+                break
+            delta = new_log if self._seminaive else None
+        self.stats.iterations.append(iterations)
+
+    def _fire_full(self, db: Database, rule: NormalizedRule,
+                   realizer: HeadRealizer) -> None:
+        solutions = list(solve(db, rule.body, {}, self._policy))
+        self._realize_all(rule, solutions, realizer)
+
+    def _fire_delta(self, db: Database, rule: NormalizedRule,
+                    realizer: HeadRealizer, delta: list[Derived]) -> None:
+        solutions: list[Binding] = []
+        for position, atom in enumerate(rule.body):
+            if not isinstance(atom, (ScalarAtom, SetMemberAtom)):
+                continue
+            rest = list(rule.body[:position]) + list(rule.body[position + 1:])
+            for seed in match_atom_delta(db, atom, {}, delta, self._policy):
+                solutions.extend(solve(db, rest, seed, self._policy))
+        self._realize_all(rule, solutions, realizer)
+
+    def _realize_all(self, rule: NormalizedRule, solutions: list[Binding],
+                     realizer: HeadRealizer) -> None:
+        for binding in solutions:
+            realizer.realize(rule.head, binding)
+            self.stats.firings += 1
+
+
+def _is_pure(rule: NormalizedRule) -> bool:
+    """Pure rules contain no superset/negation atoms (semi-naive eligible)."""
+    return not any(
+        isinstance(atom, (SupersetAtom, EnumSupersetAtom, NegationAtom))
+        for atom in rule.body
+    )
+
+
+def _reads_isa(rule: NormalizedRule) -> bool:
+    return any(isinstance(atom, IsaAtom) for atom in rule.body)
+
+
+def evaluate(db: Database, program: Union[Program, Iterable[Rule]],
+             **kwargs) -> Database:
+    """One-shot convenience: build an :class:`Engine` and run it."""
+    return Engine(db, program, **kwargs).run()

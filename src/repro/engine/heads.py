@@ -1,0 +1,157 @@
+"""Head realisation: making a rule head true, creating virtual objects.
+
+Given a normalised head spine and a body solution (a total binding of
+the head's variables), :class:`HeadRealizer` asserts whatever facts make
+the head entailed:
+
+- a scalar **path** along the spine is *define-or-reference*: when
+  ``I_->(m)(subject, args)`` is already defined the existing object is
+  referenced; otherwise a fresh :class:`~repro.oodb.oid.VirtualOid`
+  ``m(subject, args)`` is created and the scalar fact asserted -- the
+  paper's virtual objects (Section 6, rules (2.4) and (6.1)), and the
+  mechanism behind generic methods (``(M.tc)`` creates the method object
+  ``tc(M)``);
+- a **scalar filter** asserts its fact, raising
+  :class:`~repro.errors.ScalarConflictError` when a different result is
+  already stored;
+- an **enumerated set filter** adds each element to the method's set;
+- an **isa filter** declares class membership (the class hierarchy
+  rejects derived cycles).
+
+Every *newly* asserted primitive is appended to the realizer's ``log``
+(kind-tagged tuples), which drives the engine's semi-naive deltas and
+its fixpoint detection.
+"""
+
+from __future__ import annotations
+
+from repro.core import builtins as _builtins
+from repro.core.ast import (
+    IsaFilter,
+    Molecule,
+    Name,
+    Paren,
+    Path,
+    Reference,
+    ScalarFilter,
+    SetEnumFilter,
+    Var,
+)
+from repro.engine.matching import Binding
+from repro.errors import EvaluationError, ResourceLimitError
+from repro.oodb.database import Database
+from repro.oodb.oid import Oid, VirtualOid
+
+#: A derived primitive, as logged for semi-naive deltas:
+#: ("scalar", m, s, args, r) | ("set", m, s, args, r) | ("isa", o, c).
+Derived = tuple
+
+
+class HeadRealizer:
+    """Asserts head spines into a database, tracking what was new."""
+
+    def __init__(self, db: Database, *, max_virtual_depth: int = 32) -> None:
+        self._db = db
+        self._max_virtual_depth = max_virtual_depth
+        #: Newly asserted primitives; the engine swaps this list per
+        #: iteration to collect deltas.
+        self.log: list[Derived] = []
+        #: Total number of virtual objects this realizer created.
+        self.virtuals_created = 0
+
+    def realize(self, head: Reference, binding: Binding) -> tuple[Oid, bool]:
+        """Make ``head`` true under ``binding``.
+
+        Returns the object the head denotes and whether any *new* fact
+        was asserted.
+        """
+        before = len(self.log)
+        obj = self._realize(head, binding)
+        return obj, len(self.log) > before
+
+    # -- spine walk ---------------------------------------------------------
+
+    def _realize(self, ref: Reference, binding: Binding) -> Oid:
+        if isinstance(ref, Name):
+            return self._db.lookup_name(ref.value)
+        if isinstance(ref, Var):
+            try:
+                return binding[ref]
+            except KeyError:
+                raise EvaluationError(
+                    f"head variable {ref.name} is unbound; normalisation "
+                    f"should have rejected this rule"
+                ) from None
+        if isinstance(ref, Paren):
+            return self._realize(ref.inner, binding)
+        if isinstance(ref, Path):
+            return self._realize_path(ref, binding)
+        if isinstance(ref, Molecule):
+            return self._realize_molecule(ref, binding)
+        raise TypeError(f"not a reference: {ref!r}")
+
+    def _realize_path(self, path: Path, binding: Binding) -> Oid:
+        subject = self._realize(path.base, binding)
+        method = self._realize(path.method, binding)
+        args = tuple(self._realize(a, binding) for a in path.args)
+        if _builtins.is_builtin_scalar(method):
+            value = _builtins.apply_builtin_scalar(method, subject, args)
+            if value is None:
+                raise EvaluationError(
+                    f"built-in method {method} is undefined on {subject} "
+                    f"with args {args} in a rule head"
+                )
+            return value
+        existing = self._db.scalars.get(method, subject, args)
+        if existing is not None:
+            return existing
+        virtual = VirtualOid(method, subject, args)
+        if virtual.depth() > self._max_virtual_depth:
+            raise ResourceLimitError(
+                f"virtual object nesting exceeded {self._max_virtual_depth} "
+                f"({virtual}); the program likely creates objects without "
+                f"bound -- see DESIGN.md on termination"
+            )
+        self._db.assert_scalar(method, subject, args, virtual)
+        self.log.append(("scalar", method, subject, args, virtual))
+        self.virtuals_created += 1
+        return virtual
+
+    def _realize_molecule(self, molecule: Molecule, binding: Binding) -> Oid:
+        subject = self._realize(molecule.base, binding)
+        for filt in molecule.filters:
+            if isinstance(filt, ScalarFilter):
+                self._assert_scalar_filter(subject, filt, binding)
+            elif isinstance(filt, SetEnumFilter):
+                self._assert_enum_filter(subject, filt, binding)
+            elif isinstance(filt, IsaFilter):
+                cls = self._realize(filt.cls, binding)
+                if self._db.assert_isa(subject, cls):
+                    self.log.append(("isa", subject, cls))
+            else:  # pragma: no cover - normalisation removes SetFilter
+                raise TypeError(f"unexpected head filter: {filt!r}")
+        return subject
+
+    def _assert_scalar_filter(self, subject: Oid, filt: ScalarFilter,
+                              binding: Binding) -> None:
+        method = self._realize(filt.method, binding)
+        args = tuple(self._realize(a, binding) for a in filt.args)
+        result = self._realize(filt.result, binding)
+        if _builtins.is_builtin_scalar(method):
+            if _builtins.apply_builtin_scalar(method, subject, args) != result:
+                raise EvaluationError(
+                    f"cannot assert {subject}[self -> {result}]: the "
+                    f"built-in identity is not redefinable"
+                )
+            return
+        if self._db.assert_scalar(method, subject, args, result):
+            self.log.append(("scalar", method, subject, args, result))
+
+    def _assert_enum_filter(self, subject: Oid, filt: SetEnumFilter,
+                            binding: Binding) -> None:
+        method = self._realize(filt.method, binding)
+        args = tuple(self._realize(a, binding) for a in filt.args)
+        for element in filt.elements:
+            member = self._realize(element, binding)
+            if self._db.assert_set_member(method, subject, args, member):
+                self.log.append(("set", method, subject, args, member))

@@ -1,0 +1,370 @@
+"""Rule normalisation: head checks, read hoisting, body flattening.
+
+A raw rule from the parser becomes a :class:`NormalizedRule`:
+
+- the body is flattened into primitive atoms (engine mode, preserving
+  the superset semantics);
+- the head is reduced to a *spine*: a chain of paths and molecules whose
+  read positions (path arguments, filter arguments and results,
+  enumerated elements, classes) are plain names or variables.  Complex
+  read expressions are hoisted into fresh body atoms, so::
+
+      X.address[street -> X.street]  <-  X : person.
+
+  becomes  ``head X.address[street -> _V1]`` with the extra body atom
+  ``street(X) = _V1``.  A head read that fails to denote simply keeps
+  the rule from firing for that binding (the guarded reading -- the
+  head could not be made true otherwise);
+- superset filters in heads (``p2[friends ->> p1..assistants]``, the
+  paper's (4.4)) hoist their source: the body binds a fresh variable to
+  each member and the head adds it, which derives exactly the inclusion;
+- *method* positions are **not** hoisted: a path or a parenthesised path
+  at method position in a head is define-or-reference -- realising
+  ``X[(M.tc) ->> {Y}]`` creates the virtual method object ``tc(M)`` when
+  undefined, which is how the paper's generic transitive closure works.
+
+Normalisation also enforces the paper's head restrictions (a head must
+be a scalar reference) and the classic range restriction (every head
+variable must be bindable by the body), and computes the predicate sets
+stratification needs: ``defines``, ``weak_reads``, ``strong_reads``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.ast import (
+    Comparison,
+    Filter,
+    IsaFilter,
+    Molecule,
+    Name,
+    Negation,
+    Paren,
+    Path,
+    Program,
+    Reference,
+    Rule,
+    ScalarFilter,
+    SetEnumFilter,
+    SetFilter,
+    Var,
+)
+from repro.core.scalarity import is_set_valued
+from repro.core.variables import FreshVariables, variables_of
+from repro.core.wellformed import check_well_formed
+from repro.errors import HeadError
+from repro.flogic.atoms import (
+    Atom,
+    ComparisonAtom,
+    EnumSupersetAtom,
+    IsaAtom,
+    NegationAtom,
+    ScalarAtom,
+    SetMemberAtom,
+    SupersetAtom,
+)
+from repro.flogic.flatten import flatten_literal, flatten_reference
+
+#: A stratification predicate: (kind, method name) where kind is
+#: "scalar", "set", or "isa".  The name slot holds
+#:
+#: - a concrete name (``"kids"``),
+#: - ``None`` -- a *variable* at method position: may be any method, or
+#: - :data:`COMPUTED` -- a parenthesised path at method position (like
+#:   ``(M.tc)``): the method object is computed at run time.
+Pred = tuple[str, object]
+
+ISA_PRED: Pred = ("isa", "isa")
+
+#: Sentinel for computed method objects (Paren paths at method position).
+COMPUTED = "__computed__"
+
+#: The built-in identity method never participates in dependencies.
+_SELF = Name("self")
+
+
+def pred_matches(read: Pred, define: Pred) -> bool:
+    """Can a read of ``read`` observe facts contributed by ``define``?
+
+    Variables (``None``) match everything in both directions.  Computed
+    methods (:data:`COMPUTED`) match each other and variables, but *not*
+    concrete names: the engine materialises computed method objects as
+    virtual OIDs (``tc(kids)``), which can never coincide with a named
+    method unless the user explicitly asserts a scalar fact mapping a
+    method path onto an existing name -- a corner we document as
+    unsupported for stratification (see DESIGN.md) because treating
+    COMPUTED as a full wildcard would reject natural programs such as a
+    superset filter over ``C..(prereq.tc)`` in a rule defining a named
+    set method.
+    """
+    if read[0] != define[0]:
+        return False
+    read_name, define_name = read[1], define[1]
+    if read_name is None or define_name is None:
+        return True
+    if read_name == COMPUTED or define_name == COMPUTED:
+        return read_name == define_name
+    return read_name == define_name
+
+
+@dataclass(frozen=True, slots=True)
+class NormalizedRule:
+    """An engine-ready rule: spine head, atom body, dependency preds."""
+
+    head: Reference
+    body: tuple[Atom, ...]
+    original: Rule
+    defines: frozenset[Pred]
+    weak_reads: frozenset[Pred]
+    strong_reads: frozenset[Pred]
+
+    @property
+    def is_fact(self) -> bool:
+        """True when the body is empty."""
+        return not self.body
+
+    def __str__(self) -> str:
+        from repro.core.pretty import rule_to_text
+
+        return rule_to_text(self.original)
+
+
+def normalize_rule(rule: Rule) -> NormalizedRule:
+    """Normalise one rule; raises :class:`HeadError` on head violations."""
+    check_well_formed(rule.head)
+    if is_set_valued(rule.head):
+        raise HeadError(
+            f"rule head {rule.head} is set-valued; the object it would "
+            f"define cannot be uniquely determined (Section 6)"
+        )
+    fresh = FreshVariables(avoid=variables_of(rule))
+    atoms: list[Atom] = []
+    for literal in rule.body:
+        if isinstance(literal, Negation):
+            _check_negated(literal)
+            atoms.extend(flatten_literal(literal, fresh))
+        elif isinstance(literal, Comparison):
+            check_well_formed(literal.left)
+            check_well_formed(literal.right)
+            left = _hoist_read(literal.left, fresh, atoms)
+            right = _hoist_read(literal.right, fresh, atoms)
+            atoms.append(ComparisonAtom(literal.op, left, right))
+        else:
+            check_well_formed(literal)
+            result = flatten_reference(literal, fresh)
+            atoms.extend(result.atoms)
+    head = _hoist_head(rule.head, fresh, atoms)
+    _check_range_restriction(rule, head, atoms)
+    defines = frozenset(_head_defines(head))
+    weak, strong = _body_reads(tuple(atoms))
+    return NormalizedRule(head=head, body=tuple(atoms), original=rule,
+                          defines=defines, weak_reads=frozenset(weak),
+                          strong_reads=frozenset(strong))
+
+
+def normalize_program(program: Program | Iterable[Rule]) -> list[NormalizedRule]:
+    """Normalise every rule of a program, in order."""
+    rules = program.rules if isinstance(program, Program) else tuple(program)
+    return [normalize_rule(rule) for rule in rules]
+
+
+# ---------------------------------------------------------------------------
+# Head hoisting
+# ---------------------------------------------------------------------------
+
+def _hoist_head(ref: Reference, fresh: FreshVariables,
+                atoms: list[Atom]) -> Reference:
+    """Reduce a head to its spine, hoisting reads into ``atoms``."""
+    if isinstance(ref, (Name, Var)):
+        return ref
+    if isinstance(ref, Paren):
+        return _hoist_head(ref.inner, fresh, atoms)
+    if isinstance(ref, Path):
+        base = _hoist_head(ref.base, fresh, atoms)
+        method = _hoist_method(ref.method, fresh, atoms)
+        args = tuple(_hoist_read(a, fresh, atoms) for a in ref.args)
+        return Path(base, method, args, set_valued=False)
+    if isinstance(ref, Molecule):
+        base = _hoist_head(ref.base, fresh, atoms)
+        filters = tuple(_hoist_filter(f, fresh, atoms) for f in ref.filters)
+        return Molecule(base, filters)
+    raise TypeError(f"not a reference: {ref!r}")
+
+
+def _hoist_method(method: Reference, fresh: FreshVariables,
+                  atoms: list[Atom]) -> Reference:
+    """Method positions stay in the head: they are define-or-reference."""
+    if isinstance(method, (Name, Var)):
+        return method
+    if isinstance(method, Paren):
+        return Paren(_hoist_head(method.inner, fresh, atoms))
+    raise HeadError(
+        f"method position in a head must be a simple reference, got {method}"
+    )
+
+
+def _hoist_filter(filt: Filter, fresh: FreshVariables,
+                  atoms: list[Atom]) -> Filter:
+    if isinstance(filt, IsaFilter):
+        return IsaFilter(_hoist_read(filt.cls, fresh, atoms))
+    if isinstance(filt, ScalarFilter):
+        return ScalarFilter(
+            _hoist_method(filt.method, fresh, atoms),
+            tuple(_hoist_read(a, fresh, atoms) for a in filt.args),
+            _hoist_read(filt.result, fresh, atoms),
+        )
+    if isinstance(filt, SetEnumFilter):
+        return SetEnumFilter(
+            _hoist_method(filt.method, fresh, atoms),
+            tuple(_hoist_read(a, fresh, atoms) for a in filt.args),
+            tuple(_hoist_read(e, fresh, atoms) for e in filt.elements),
+        )
+    if isinstance(filt, SetFilter):
+        # Head inclusion (paper (4.4)): bind each member of the source in
+        # the body, add it in the head.  Vacuous sources derive nothing,
+        # exactly as the inclusion requires.
+        method = _hoist_method(filt.method, fresh, atoms)
+        args = tuple(_hoist_read(a, fresh, atoms) for a in filt.args)
+        result = flatten_reference(filt.result, fresh)
+        atoms.extend(result.atoms)
+        return SetEnumFilter(method, args, (result.term,))
+    raise TypeError(f"unknown filter kind: {filt!r}")
+
+
+def _hoist_read(expr: Reference, fresh: FreshVariables,
+                atoms: list[Atom]) -> Reference:
+    """Replace a complex read expression by a fresh, body-bound variable."""
+    peeled = expr
+    while isinstance(peeled, Paren):
+        peeled = peeled.inner
+    if isinstance(peeled, (Name, Var)):
+        return peeled
+    result = flatten_reference(peeled, fresh)
+    atoms.extend(result.atoms)
+    return result.term
+
+
+def _check_negated(literal: Negation) -> None:
+    inner = literal.literal
+    if isinstance(inner, Comparison):
+        check_well_formed(inner.left)
+        check_well_formed(inner.right)
+    else:
+        check_well_formed(inner)
+
+
+def _check_range_restriction(rule: Rule, head: Reference,
+                             atoms: list[Atom]) -> None:
+    bindable: set[Var] = set()
+    for atom in atoms:
+        bindable.update(atom.variables())
+        if isinstance(atom, (SupersetAtom, EnumSupersetAtom)):
+            bindable.update(atom.source_variables())
+        # NegationAtom deliberately contributes nothing: negation as
+        # failure never binds variables.
+    missing = [v for v in variables_of(head) if v not in bindable]
+    if missing:
+        names = ", ".join(v.name for v in missing)
+        raise HeadError(
+            f"unsafe rule: head variable(s) {names} are not bound by the "
+            f"body in {rule}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Dependency predicates
+# ---------------------------------------------------------------------------
+
+def _method_pred(kind: str, method: Reference) -> Pred:
+    if isinstance(method, Name):
+        return (kind, method.value)
+    if isinstance(method, Var):
+        return (kind, None)
+    # Parenthesised paths: a computed (virtual) method object.
+    return (kind, COMPUTED)
+
+
+def _head_defines(head: Reference) -> set[Pred]:
+    defines: set[Pred] = set()
+    _collect_head_defines(head, defines)
+    return defines
+
+
+def _collect_head_defines(ref: Reference, out: set[Pred]) -> None:
+    if isinstance(ref, (Name, Var)):
+        return
+    if isinstance(ref, Paren):
+        _collect_head_defines(ref.inner, out)
+        return
+    if isinstance(ref, Path):
+        _collect_head_defines(ref.base, out)
+        if ref.method != _SELF:
+            out.add(_method_pred("scalar", ref.method))
+        if isinstance(ref.method, Paren):
+            _collect_head_defines(ref.method.inner, out)
+        return
+    if isinstance(ref, Molecule):
+        _collect_head_defines(ref.base, out)
+        for filt in ref.filters:
+            if isinstance(filt, IsaFilter):
+                out.add(ISA_PRED)
+            elif isinstance(filt, ScalarFilter):
+                if filt.method != _SELF:
+                    out.add(_method_pred("scalar", filt.method))
+                if isinstance(filt.method, Paren):
+                    _collect_head_defines(filt.method.inner, out)
+            elif isinstance(filt, SetEnumFilter):
+                out.add(_method_pred("set", filt.method))
+                if isinstance(filt.method, Paren):
+                    _collect_head_defines(filt.method.inner, out)
+        return
+    raise TypeError(f"not a reference: {ref!r}")
+
+
+def _body_reads(atoms: tuple[Atom, ...]) -> tuple[set[Pred], set[Pred]]:
+    weak: set[Pred] = set()
+    strong: set[Pred] = set()
+    for atom in atoms:
+        if isinstance(atom, ScalarAtom):
+            if atom.method != _SELF:
+                weak.add(_method_pred("scalar", atom.method))
+        elif isinstance(atom, SetMemberAtom):
+            weak.add(_method_pred("set", atom.method))
+        elif isinstance(atom, IsaAtom):
+            weak.add(ISA_PRED)
+        elif isinstance(atom, SupersetAtom):
+            weak.add(_method_pred("set", atom.method))
+            strong.update(_reference_reads(atom.source))
+        elif isinstance(atom, EnumSupersetAtom):
+            weak.add(_method_pred("set", atom.method))
+            for element in atom.elements:
+                strong.update(_reference_reads(element))
+        elif isinstance(atom, NegationAtom):
+            # Everything read under a negation must be complete first:
+            # classic stratified negation [NT89].
+            inner_weak, inner_strong = _body_reads(atom.inner)
+            strong.update(inner_weak)
+            strong.update(inner_strong)
+    return weak, strong
+
+
+def _reference_reads(ref: Reference) -> set[Pred]:
+    """All predicates a reference's valuation can depend on."""
+    reads: set[Pred] = set()
+    for node in ref.walk():
+        if isinstance(node, Path):
+            kind = "set" if node.set_valued else "scalar"
+            if node.method != _SELF:
+                reads.add(_method_pred(kind, node.method))
+        elif isinstance(node, Molecule):
+            for filt in node.filters:
+                if isinstance(filt, IsaFilter):
+                    reads.add(ISA_PRED)
+                elif isinstance(filt, ScalarFilter):
+                    if filt.method != _SELF:
+                        reads.add(_method_pred("scalar", filt.method))
+                elif isinstance(filt, (SetFilter, SetEnumFilter)):
+                    reads.add(_method_pred("set", filt.method))
+    return reads

@@ -1,0 +1,54 @@
+"""Evaluation statistics: what the engine did and how hard it worked."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EngineStats:
+    """Counters filled in by one :meth:`repro.engine.Engine.run`."""
+
+    #: Number of evaluation strata.
+    strata: int = 0
+    #: Fixpoint iterations per stratum, in evaluation order.
+    iterations: list[int] = field(default_factory=list)
+    #: Body solutions found (head realisations attempted).
+    firings: int = 0
+    #: Newly derived primitives by kind.
+    derived_scalar: int = 0
+    derived_set: int = 0
+    derived_isa: int = 0
+    #: Virtual objects created.
+    virtuals_created: int = 0
+    #: Wall-clock evaluation time in seconds.
+    elapsed_s: float = 0.0
+    #: Whether semi-naive iteration was used.
+    seminaive: bool = True
+
+    @property
+    def derived_total(self) -> int:
+        """All newly derived primitives."""
+        return self.derived_scalar + self.derived_set + self.derived_isa
+
+    def count_derived(self, entries) -> None:
+        """Tally a batch of realizer log entries."""
+        for entry in entries:
+            kind = entry[0]
+            if kind == "scalar":
+                self.derived_scalar += 1
+            elif kind == "set":
+                self.derived_set += 1
+            else:
+                self.derived_isa += 1
+
+    def as_row(self) -> dict[str, object]:
+        """Dict form for tabular bench output."""
+        return {
+            "strata": self.strata,
+            "iters": sum(self.iterations),
+            "firings": self.firings,
+            "derived": self.derived_total,
+            "virtuals": self.virtuals_created,
+            "seconds": round(self.elapsed_s, 4),
+        }

@@ -1,0 +1,161 @@
+"""Backtracking conjunction solver with greedy dynamic atom ordering.
+
+Given a conjunction of atoms, :func:`solve` yields every binding of
+their variables that satisfies all of them.  At each step it picks the
+cheapest remaining atom under the current binding -- bound-position
+counting for data atoms, with superset and comparison atoms deferred
+until their inputs are bound -- so join order adapts as variables become
+bound.  This is the evaluator behind both rule bodies and the public
+query API.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.engine.matching import (
+    UNRESTRICTED,
+    Binding,
+    MatchPolicy,
+    match_atom,
+    resolve,
+)
+from repro.flogic.atoms import (
+    Atom,
+    ComparisonAtom,
+    EnumSupersetAtom,
+    IsaAtom,
+    NegationAtom,
+    ScalarAtom,
+    SetMemberAtom,
+    SupersetAtom,
+)
+from repro.oodb.database import Database
+
+#: Cost added per unbound position; bound methods/subjects are the most
+#: selective, hence their larger discounts.
+_UNBOUND_PENALTY = 10.0
+
+
+def atom_cost(db: Database, atom: Atom, binding: Binding) -> float:
+    """Heuristic cost of solving ``atom`` next under ``binding``."""
+    if isinstance(atom, ComparisonAtom):
+        unbound = sum(1 for v in atom.variables() if v not in binding)
+        # A ready comparison is a free filter; an unready one must wait.
+        return -5.0 if unbound == 0 else 1e9
+    if isinstance(atom, (SupersetAtom, EnumSupersetAtom)):
+        free_terms = sum(1 for v in atom.variables() if v not in binding)
+        free_source = sum(1 for v in atom.source_variables()
+                          if v not in binding)
+        # Prefer these after data atoms; unbound source variables force
+        # universe enumeration, so weigh them heavily.
+        return 100.0 + _UNBOUND_PENALTY * free_terms + 1000.0 * free_source
+    if isinstance(atom, NegationAtom):
+        # Context-free estimate; pick_next overrides this with the
+        # floundering-aware cost when choosing among several atoms.
+        free_inner = sum(1 for v in atom.inner_variables()
+                         if v not in binding)
+        return 500.0 + 100.0 * free_inner
+    cost = 0.0
+    if isinstance(atom, (ScalarAtom, SetMemberAtom)):
+        if resolve(atom.method, db, binding) is None:
+            cost += 30.0
+        if resolve(atom.subject, db, binding) is None:
+            cost += 15.0
+        last = atom.result if isinstance(atom, ScalarAtom) else atom.member
+        if resolve(last, db, binding) is None:
+            cost += 5.0
+        for arg in atom.args:
+            if resolve(arg, db, binding) is None:
+                cost += 5.0
+        return cost
+    if isinstance(atom, IsaAtom):
+        if resolve(atom.obj, db, binding) is None:
+            cost += 15.0
+        if resolve(atom.cls, db, binding) is None:
+            cost += 10.0
+        return cost
+    raise TypeError(f"unknown atom kind: {atom!r}")  # pragma: no cover
+
+
+#: Cost marking an atom that must not run yet (floundering guard).
+_MUST_WAIT = 1e12
+
+
+def pick_next(db: Database, atoms: Sequence[Atom],
+              binding: Binding) -> tuple[int, float]:
+    """Cheapest atom to solve next as ``(index, cost)``.
+
+    A negation whose unbound variables also occur in *other* remaining
+    atoms is marked :data:`_MUST_WAIT`: running it early would quantify
+    those shared variables existentially inside the negation and flip
+    answers.  Variables local to the negation stay existential and are
+    fine.
+    """
+    best_index = 0
+    best_cost = float("inf")
+    for index, atom in enumerate(atoms):
+        if isinstance(atom, NegationAtom):
+            cost = _negation_cost(atoms, index, atom, binding)
+        else:
+            cost = atom_cost(db, atom, binding)
+        if cost < best_cost:
+            best_cost = cost
+            best_index = index
+    return best_index, best_cost
+
+
+def _negation_cost(atoms: Sequence[Atom], index: int, atom: NegationAtom,
+                   binding: Binding) -> float:
+    unbound = [v for v in atom.inner_variables() if v not in binding]
+    if not unbound:
+        return 500.0
+    elsewhere: set = set()
+    for other_index, other in enumerate(atoms):
+        if other_index == index:
+            continue
+        elsewhere.update(other.variables())
+        if isinstance(other, (SupersetAtom, EnumSupersetAtom)):
+            elsewhere.update(other.source_variables())
+        if isinstance(other, NegationAtom):
+            elsewhere.update(other.inner_variables())
+    if any(v in elsewhere for v in unbound):
+        return _MUST_WAIT
+    # Purely negation-local variables: existential, safe to run.
+    return 600.0
+
+
+def solve(db: Database, atoms: Iterable[Atom],
+          binding: Binding | None = None,
+          policy: MatchPolicy = UNRESTRICTED) -> Iterator[Binding]:
+    """Yield every binding satisfying all ``atoms`` (extends ``binding``)."""
+    remaining = list(atoms)
+    yield from _solve(db, remaining, dict(binding or {}), policy)
+
+
+def _solve(db: Database, atoms: list[Atom], binding: Binding,
+           policy: MatchPolicy) -> Iterator[Binding]:
+    if not atoms:
+        yield binding
+        return
+    index, cost = pick_next(db, atoms, binding)
+    if cost >= _MUST_WAIT:
+        from repro.errors import EvaluationError
+
+        raise EvaluationError(
+            "unsafe negation: its variables cannot be bound by the "
+            "positive part of the conjunction"
+        )
+    atom = atoms[index]
+    rest = atoms[:index] + atoms[index + 1:]
+    for extended in match_atom(db, atom, binding, policy):
+        yield from _solve(db, rest, extended, policy)
+
+
+def exists(db: Database, atoms: Iterable[Atom],
+           binding: Binding | None = None,
+           policy: MatchPolicy = UNRESTRICTED) -> bool:
+    """True iff the conjunction has at least one solution."""
+    for _ in solve(db, atoms, binding, policy):
+        return True
+    return False

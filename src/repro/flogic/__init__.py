@@ -1,0 +1,44 @@
+"""The F-logic substrate: primitive atoms and reference flattening.
+
+PathLog "builds upon F-logic"; only a small subset is relevant and this
+package implements it: the primitive atom forms (is-a, scalar data,
+set-membership) plus the two non-primitive atoms PathLog's direct
+semantics needs (superset and enumerated-superset checks), and the
+*flattening* translation from nested references to atom conjunctions.
+
+Flattening is exactly the transformation XSQL uses to give its paths
+meaning ("semantics is only sketched by a transformation into F-logic",
+Section 2); the paper's contribution is a *direct* semantics instead.
+We implement both and use the flattener in two roles:
+
+- the engine normalises rule bodies through it (keeping the special
+  superset atoms so Definition 4's corner cases stay faithful), and
+- the *strict* mode (:func:`repro.flogic.flatten.flatten_strict`)
+  is the one-dimensional comparator used by the benchmarks: it refuses
+  the superset filters that plain conjunctions cannot express, which is
+  itself one of the paper's claims.
+"""
+
+from repro.flogic.atoms import (
+    Atom,
+    ComparisonAtom,
+    EnumSupersetAtom,
+    IsaAtom,
+    ScalarAtom,
+    SetMemberAtom,
+    SupersetAtom,
+)
+from repro.flogic.flatten import FlattenResult, flatten_literal, flatten_reference
+
+__all__ = [
+    "Atom",
+    "ComparisonAtom",
+    "EnumSupersetAtom",
+    "FlattenResult",
+    "IsaAtom",
+    "ScalarAtom",
+    "SetMemberAtom",
+    "SupersetAtom",
+    "flatten_literal",
+    "flatten_reference",
+]

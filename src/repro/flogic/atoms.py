@@ -1,0 +1,212 @@
+"""Primitive atoms: the flat building blocks references compile to.
+
+A *term* in an atom is a simple scalar reference -- a :class:`Name` or a
+:class:`Var`.  Flattening introduces fresh variables for every
+intermediate object of a path, so after flattening the only structure
+left is the conjunction itself.
+
+Atom kinds:
+
+=====================  ====================================================
+:class:`IsaAtom`        ``obj in_U cls``
+:class:`ScalarAtom`     ``I_->(method)(subject, args) = result``
+:class:`SetMemberAtom`  ``result in I_->>(method)(subject, args)``
+:class:`SupersetAtom`   ``I_->>(method)(subject, args) >= nu(source)``
+:class:`EnumSupersetAtom`  like Superset but over enumerated elements
+:class:`ComparisonAtom` built-in comparison of two terms
+=====================  ====================================================
+
+The first three are the F-logic data atoms; they are *monotone* and
+delta-friendly, so the semi-naive evaluator handles them natively.  The
+superset atoms carry an unflattened sub-reference (or element list)
+because Definition 4's cases 7 and 8 are not expressible as existential
+conjunctions; they are evaluated directly and force stratification
+(their source methods must be complete first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.core.ast import Name, Reference, Var
+
+#: A flat term: name constant or variable.
+Term = Union[Name, Var]
+
+
+class Atom:
+    """Base class of primitive atoms."""
+
+    __slots__ = ()
+
+    def terms(self) -> tuple[Term, ...]:
+        """The flat terms of this atom (excluding embedded references)."""
+        raise NotImplementedError
+
+    def variables(self) -> tuple[Var, ...]:
+        """Variables among :meth:`terms`, first-occurrence order."""
+        seen: dict[Var, None] = {}
+        for term in self.terms():
+            if isinstance(term, Var):
+                seen.setdefault(term, None)
+        return tuple(seen)
+
+
+@dataclass(frozen=True, slots=True)
+class IsaAtom(Atom):
+    """Class membership ``obj in_U cls``."""
+
+    obj: Term
+    cls: Term
+
+    def terms(self) -> tuple[Term, ...]:
+        return (self.obj, self.cls)
+
+    def __str__(self) -> str:
+        return f"{self.obj} : {self.cls}"
+
+
+@dataclass(frozen=True, slots=True)
+class ScalarAtom(Atom):
+    """``method(subject, args) = result`` in ``I_->``."""
+
+    method: Term
+    subject: Term
+    args: tuple[Term, ...]
+    result: Term
+
+    def terms(self) -> tuple[Term, ...]:
+        return (self.method, self.subject, *self.args, self.result)
+
+    def __str__(self) -> str:
+        args = "@(" + ", ".join(map(str, self.args)) + ")" if self.args else ""
+        return f"{self.subject}[{self.method}{args} -> {self.result}]"
+
+
+@dataclass(frozen=True, slots=True)
+class SetMemberAtom(Atom):
+    """``result in method(subject, args)`` in ``I_->>``."""
+
+    method: Term
+    subject: Term
+    args: tuple[Term, ...]
+    member: Term
+
+    def terms(self) -> tuple[Term, ...]:
+        return (self.method, self.subject, *self.args, self.member)
+
+    def __str__(self) -> str:
+        args = "@(" + ", ".join(map(str, self.args)) + ")" if self.args else ""
+        return f"{self.subject}[{self.method}{args} ->> {{{self.member}}}]"
+
+
+@dataclass(frozen=True, slots=True)
+class SupersetAtom(Atom):
+    """``method(subject, args) >= nu(source)`` -- Definition 4, case 7.
+
+    ``source`` is kept as an unflattened set-valued reference; it is
+    valuated wholesale at evaluation time (its methods must come from a
+    strictly lower stratum), and the inclusion holds vacuously when the
+    source denotes nothing.
+    """
+
+    method: Term
+    subject: Term
+    args: tuple[Term, ...]
+    source: Reference
+
+    def terms(self) -> tuple[Term, ...]:
+        return (self.method, self.subject, *self.args)
+
+    def source_variables(self) -> tuple[Var, ...]:
+        """Variables occurring inside the unflattened source reference."""
+        seen: dict[Var, None] = {}
+        for node in self.source.walk():
+            if isinstance(node, Var):
+                seen.setdefault(node, None)
+        return tuple(seen)
+
+    def __str__(self) -> str:
+        args = "@(" + ", ".join(map(str, self.args)) + ")" if self.args else ""
+        return f"{self.subject}[{self.method}{args} ->> {self.source}]"
+
+
+@dataclass(frozen=True, slots=True)
+class EnumSupersetAtom(Atom):
+    """``method(subject, args) >= S`` with enumerated scalar elements.
+
+    Only elements that are *complex* (paths/molecules) end up here --
+    plain names and variables always denote and are desugared into
+    :class:`SetMemberAtom` conjuncts by the flattener.  Elements that
+    fail to denote drop out of ``S`` (Definition 4, case 8).
+    """
+
+    method: Term
+    subject: Term
+    args: tuple[Term, ...]
+    elements: tuple[Reference, ...]
+
+    def terms(self) -> tuple[Term, ...]:
+        return (self.method, self.subject, *self.args)
+
+    def source_variables(self) -> tuple[Var, ...]:
+        """Variables occurring inside the element references."""
+        seen: dict[Var, None] = {}
+        for element in self.elements:
+            for node in element.walk():
+                if isinstance(node, Var):
+                    seen.setdefault(node, None)
+        return tuple(seen)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(e) for e in self.elements)
+        args = "@(" + ", ".join(map(str, self.args)) + ")" if self.args else ""
+        return f"{self.subject}[{self.method}{args} ->> {{{inner}}}]"
+
+
+@dataclass(frozen=True, slots=True)
+class ComparisonAtom(Atom):
+    """Built-in comparison between two flat terms (frontend extension)."""
+
+    op: str
+    left: Term
+    right: Term
+
+    def terms(self) -> tuple[Term, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True, slots=True)
+class NegationAtom(Atom):
+    """Negation as failure over an inner atom conjunction.
+
+    Holds (binding nothing) iff the inner conjunction has *no* solution
+    extending the current binding; inner-only variables are thereby
+    existentially quantified inside the negation.  Like the superset
+    atoms, every predicate read inside is a *strong* dependency -- the
+    negation can only be decided once those predicates are complete
+    (classic stratified negation, matching the paper's [NT89] pointer).
+    """
+
+    inner: tuple[Atom, ...]
+
+    def terms(self) -> tuple[Term, ...]:
+        return ()
+
+    def inner_variables(self) -> tuple[Var, ...]:
+        """Variables of the inner conjunction, first-occurrence order."""
+        seen: dict[Var, None] = {}
+        for atom in self.inner:
+            for var in atom.variables():
+                seen.setdefault(var, None)
+            if isinstance(atom, (SupersetAtom, EnumSupersetAtom)):
+                for var in atom.source_variables():
+                    seen.setdefault(var, None)
+        return tuple(seen)
+
+    def __str__(self) -> str:
+        return "not (" + ", ".join(str(a) for a in self.inner) + ")"

@@ -1,0 +1,214 @@
+"""Flattening: compiling nested references into atom conjunctions.
+
+``flatten_reference`` turns a reference into a *result term* plus a
+conjunction of atoms whose solutions are exactly Definition 4: for every
+solution of the atoms, the result term denotes one object of ``nu_I(t)``,
+and ``t`` is entailed iff a solution exists.
+
+Every intermediate object of a path gets a fresh auxiliary variable
+(prefix ``_V``), reproducing the classic one-dimensional translation::
+
+    X..vehicles : automobile.color[Z]
+      ==>   result _V2 with
+            _V1 in vehicles(X),  _V1 : automobile,
+            color(_V1) = _V2,    self(_V2) = Z
+
+Two modes:
+
+- **engine mode** (default): the superset filters of Definition 4 cases
+  7/8 become :class:`SupersetAtom` / :class:`EnumSupersetAtom`, keeping
+  the direct semantics intact (vacuous superset, dropped elements);
+- **strict mode** (:func:`flatten_strict`): raises
+  :class:`FlattenUnsupported` on those filters.  Strict mode is the
+  honest one-dimensional comparator -- a conjunction of paths simply
+  cannot express a superset condition, which is one of the paper's
+  arguments for the second dimension.
+
+Enumerated filters whose elements are plain names or variables are
+desugared into membership atoms in *both* modes: such elements always
+denote, so ``X[kids ->> {Y}]`` means exactly ``Y in kids(X)`` (the
+paper's Section 5 discussion of binding set elements one at a time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ast import (
+    Comparison,
+    IsaFilter,
+    Literal,
+    Molecule,
+    Name,
+    Negation,
+    Paren,
+    Path,
+    Reference,
+    ScalarFilter,
+    SetEnumFilter,
+    SetFilter,
+    Var,
+)
+from repro.core.variables import FreshVariables, variables_of
+from repro.errors import PathLogError
+from repro.flogic.atoms import (
+    Atom,
+    ComparisonAtom,
+    EnumSupersetAtom,
+    IsaAtom,
+    NegationAtom,
+    ScalarAtom,
+    SetMemberAtom,
+    SupersetAtom,
+    Term,
+)
+
+
+class FlattenUnsupported(PathLogError):
+    """Strict (one-dimensional) flattening hit a construct it cannot express."""
+
+
+@dataclass(frozen=True, slots=True)
+class FlattenResult:
+    """The output of flattening: a result term and its constraining atoms."""
+
+    term: Term
+    atoms: tuple[Atom, ...]
+
+
+def flatten_reference(ref: Reference, fresh: FreshVariables | None = None,
+                      *, strict: bool = False) -> FlattenResult:
+    """Flatten one reference into (result term, atoms)."""
+    flattener = _Flattener(fresh or FreshVariables(avoid=variables_of(ref)),
+                           strict=strict)
+    term = flattener.flatten(ref)
+    return FlattenResult(term, tuple(flattener.atoms))
+
+
+def flatten_strict(ref: Reference,
+                   fresh: FreshVariables | None = None) -> FlattenResult:
+    """The one-dimensional comparator translation (raises on supersets)."""
+    return flatten_reference(ref, fresh, strict=True)
+
+
+def flatten_literal(literal: Literal, fresh: FreshVariables,
+                    *, strict: bool = False) -> tuple[Atom, ...]:
+    """Flatten a body literal (reference/comparison/negation) into atoms."""
+    if isinstance(literal, Negation):
+        inner = flatten_literal(literal.literal, fresh, strict=strict)
+        return (NegationAtom(inner),)
+    flattener = _Flattener(fresh, strict=strict)
+    if isinstance(literal, Comparison):
+        left = flattener.flatten(literal.left)
+        right = flattener.flatten(literal.right)
+        flattener.atoms.append(ComparisonAtom(literal.op, left, right))
+    else:
+        flattener.flatten(literal)
+    return tuple(flattener.atoms)
+
+
+def flatten_conjunction(literals: tuple[Literal, ...],
+                        *, strict: bool = False) -> tuple[Atom, ...]:
+    """Flatten a conjunction, sharing one fresh-variable pool."""
+    fresh = FreshVariables()
+    for literal in literals:
+        if isinstance(literal, Comparison):
+            fresh.reserve(variables_of(literal.left))
+            fresh.reserve(variables_of(literal.right))
+        else:
+            fresh.reserve(variables_of(literal))
+    atoms: list[Atom] = []
+    for literal in literals:
+        atoms.extend(flatten_literal(literal, fresh, strict=strict))
+    return tuple(atoms)
+
+
+def is_term(ref: Reference) -> bool:
+    """True when ``ref`` is already a flat term (name or variable)."""
+    return isinstance(ref, (Name, Var))
+
+
+class _Flattener:
+    """Stateful single-pass flattener accumulating atoms."""
+
+    def __init__(self, fresh: FreshVariables, *, strict: bool) -> None:
+        self._fresh = fresh
+        self._strict = strict
+        self.atoms: list[Atom] = []
+
+    def flatten(self, ref: Reference) -> Term:
+        if isinstance(ref, (Name, Var)):
+            return ref
+        if isinstance(ref, Paren):
+            return self.flatten(ref.inner)
+        if isinstance(ref, Path):
+            return self._flatten_path(ref)
+        if isinstance(ref, Molecule):
+            return self._flatten_molecule(ref)
+        raise TypeError(f"not a reference: {ref!r}")
+
+    def _flatten_path(self, path: Path) -> Term:
+        base = self.flatten(path.base)
+        method = self.flatten(path.method)
+        args = tuple(self.flatten(arg) for arg in path.args)
+        result = self._fresh.fresh()
+        if path.set_valued:
+            self.atoms.append(SetMemberAtom(method, base, args, result))
+        else:
+            self.atoms.append(ScalarAtom(method, base, args, result))
+        return result
+
+    def _flatten_molecule(self, molecule: Molecule) -> Term:
+        base = self.flatten(molecule.base)
+        for filt in molecule.filters:
+            if isinstance(filt, IsaFilter):
+                cls = self.flatten(filt.cls)
+                self.atoms.append(IsaAtom(base, cls))
+            elif isinstance(filt, ScalarFilter):
+                method = self.flatten(filt.method)
+                args = tuple(self.flatten(a) for a in filt.args)
+                result = self.flatten(filt.result)
+                self.atoms.append(ScalarAtom(method, base, args, result))
+            elif isinstance(filt, SetFilter):
+                self._flatten_set_filter(base, filt)
+            elif isinstance(filt, SetEnumFilter):
+                self._flatten_enum_filter(base, filt)
+            else:  # pragma: no cover - future filter kinds
+                raise TypeError(f"unknown filter kind: {filt!r}")
+        return base
+
+    def _flatten_set_filter(self, base: Term, filt: SetFilter) -> None:
+        if self._strict:
+            raise FlattenUnsupported(
+                f"a conjunction of one-dimensional paths cannot express the "
+                f"superset condition of [{filt.method} ->> {filt.result}]"
+            )
+        method = self.flatten(filt.method)
+        args = tuple(self.flatten(a) for a in filt.args)
+        self.atoms.append(SupersetAtom(method, base, args, filt.result))
+
+    def _flatten_enum_filter(self, base: Term, filt: SetEnumFilter) -> None:
+        method = self.flatten(filt.method)
+        args = tuple(self.flatten(a) for a in filt.args)
+        complex_elements = [e for e in filt.elements if not is_term(_peel(e))]
+        for element in filt.elements:
+            peeled = _peel(element)
+            if is_term(peeled):
+                # Names and variables always denote: plain membership.
+                self.atoms.append(SetMemberAtom(method, base, args, peeled))
+        if complex_elements:
+            if self._strict:
+                raise FlattenUnsupported(
+                    "a conjunction of one-dimensional paths cannot express "
+                    "the drop-if-undefined semantics of enumerated set "
+                    f"elements {complex_elements}"
+                )
+            self.atoms.append(EnumSupersetAtom(method, base, args,
+                                               tuple(complex_elements)))
+
+
+def _peel(ref: Reference) -> Reference:
+    """Strip redundant parentheses."""
+    while isinstance(ref, Paren):
+        ref = ref.inner
+    return ref

@@ -1,0 +1,27 @@
+"""Comparator frontends: the SQL-style languages the paper contrasts.
+
+Section 1 and 2 of the paper compare PathLog against O2SQL and XSQL
+query styles; Section 6 contrasts PathLog's virtual objects with XSQL's
+``CREATE VIEW ... OID FUNCTION OF``.  To make those comparisons
+executable, this package implements the exact fragments the paper uses:
+
+- :mod:`repro.frontends.o2sql` -- ``SELECT/FROM x IN coll/WHERE`` with
+  one-dimensional dotted paths, translated to PathLog literals;
+- :mod:`repro.frontends.xsql` -- ``SELECT/FROM class var/WHERE`` with
+  selector-style paths, and ``CREATE VIEW`` with OID functions,
+  translated to PathLog rules (the view name becomes a *method*, which
+  is precisely the paper's simplification).
+"""
+
+from repro.frontends.o2sql import O2SQLQuery, compile_o2sql, run_o2sql
+from repro.frontends.xsql import XSQLQuery, compile_xsql, compile_xsql_view, run_xsql
+
+__all__ = [
+    "O2SQLQuery",
+    "XSQLQuery",
+    "compile_o2sql",
+    "compile_xsql",
+    "compile_xsql_view",
+    "run_o2sql",
+    "run_xsql",
+]

@@ -1,0 +1,77 @@
+"""Shared tokenizer and helpers for the SQL-style mini frontends."""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.ast import Name, Path, Reference, Var
+from repro.errors import PathLogSyntaxError
+
+#: One token: keyword/identifier, integer, quoted string, or punctuation.
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>"(?:[^"\\]|\\.)*")
+      | (?P<int>\d+)
+      | (?P<word>[A-Za-z_][A-Za-z0-9_]*)
+      | (?P<punct>=|,|\.|\(|\)|\[|\]|\{|\})
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize_sql(text: str) -> list[str]:
+    """Split SQL-style text into raw token strings."""
+    tokens: list[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise PathLogSyntaxError(
+                f"unexpected input in SQL-style query: {remainder[:20]!r}"
+            )
+        tokens.append(match.group().strip())
+        position = match.end()
+    return tokens
+
+
+def is_variable_word(word: str) -> bool:
+    """SQL frontends follow the paper: variables are capitalised."""
+    return bool(word) and (word[0].isupper() or word[0] == "_")
+
+
+def word_to_term(word: str) -> Reference:
+    """An identifier becomes a variable (capitalised) or a name."""
+    if word.startswith('"') and word.endswith('"'):
+        return Name(word[1:-1])
+    if word.isdigit():
+        return Name(int(word))
+    if is_variable_word(word):
+        return Var(word)
+    return Name(word)
+
+
+def dotted_path(words: list[str], *, set_valued_last: bool = False) -> Reference:
+    """Build a scalar dotted path ``w0.w1.w2...`` from identifier parts.
+
+    The SQL frontends only write one-dimensional scalar paths; set-valued
+    hops appear solely in ``FROM x IN path`` ranges, where the *last*
+    method is the set-valued one (``set_valued_last``).
+    """
+    base = word_to_term(words[0])
+    for index, word in enumerate(words[1:], start=1):
+        is_last = index == len(words) - 1
+        base = Path(base, word_to_term(word), (),
+                    set_valued=set_valued_last and is_last)
+    return base
+
+
+def lower_initial(word: str) -> str:
+    """``WorksFor`` -> ``worksFor`` (XSQL attribute names to methods)."""
+    if not word:
+        return word
+    return word[0].lower() + word[1:]

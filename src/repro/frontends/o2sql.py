@@ -1,0 +1,207 @@
+"""Mini O2SQL: the fragment used by the paper's comparison queries.
+
+Grammar (case-insensitive keywords)::
+
+    SELECT item (, item)*
+    FROM var IN range          -- one or more FROM clauses
+    [WHERE cond (AND cond)*]
+
+    item  := var | dotted path (X.vehicles.color)
+    range := class name | dotted path rooted at a var
+    cond  := path IN class | path = (path | constant)
+
+Translation to PathLog (Section 1/2 of the paper):
+
+- ``FROM X IN employee``     -> ``X : employee``
+- ``FROM Y IN X.vehicles``   -> ``X..vehicles[Y]`` (the final hop of a
+  FROM range is the set-valued method being flattened -- O2SQL treats
+  the result of a set-valued path "like a class", which is exactly why
+  it needs the second FROM clause the paper points at);
+- ``WHERE Y IN automobile``  -> ``Y : automobile``
+- ``WHERE p = q``            -> a comparison literal;
+- ``SELECT Y.color``         -> a fresh answer variable selected from
+  the path, labelled with the original text.
+
+This is deliberately *one-dimensional*: the frontend never produces
+molecule filters, mirroring O2SQL's lack of the second dimension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ast import (
+    SELF,
+    Comparison,
+    Literal,
+    Molecule,
+    Name,
+    Reference,
+    ScalarFilter,
+    Var,
+)
+from repro.errors import PathLogSyntaxError
+from repro.frontends.common import dotted_path, tokenize_sql, word_to_term
+from repro.oodb.database import Database
+from repro.query.bindings import Answer
+from repro.query.query import Query
+
+
+@dataclass(frozen=True, slots=True)
+class O2SQLQuery:
+    """A compiled O2SQL query: PathLog literals plus a projection."""
+
+    text: str
+    literals: tuple[Literal, ...]
+    select: tuple[tuple[str, Var], ...]
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """The projected variable names, in SELECT order."""
+        return tuple(var.name for _, var in self.select)
+
+
+def compile_o2sql(text: str) -> O2SQLQuery:
+    """Compile O2SQL text into PathLog literals."""
+    return _O2SQLParser(text).parse()
+
+
+def run_o2sql(db: Database, text: str) -> list[Answer]:
+    """Compile and evaluate; answers are keyed by SELECT labels."""
+    compiled = compile_o2sql(text)
+    rows = Query(db).all(compiled.literals, variables=compiled.variables)
+    relabelled = []
+    for row in rows:
+        relabelled.append(Answer({
+            label: row[var.name] for label, var in compiled.select
+        }))
+    return relabelled
+
+
+class _O2SQLParser:
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = tokenize_sql(text)
+        self._index = 0
+        self._fresh = 0
+        self._literals: list[Literal] = []
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self) -> str | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _peek_keyword(self) -> str | None:
+        token = self._peek()
+        return token.upper() if token is not None else None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise PathLogSyntaxError("unexpected end of O2SQL query")
+        self._index += 1
+        return token
+
+    def _expect_keyword(self, keyword: str) -> None:
+        token = self._next()
+        if token.upper() != keyword:
+            raise PathLogSyntaxError(
+                f"expected {keyword} in O2SQL query, found {token!r}"
+            )
+
+    def _fresh_var(self) -> Var:
+        self._fresh += 1
+        return Var(f"_S{self._fresh}")
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse(self) -> O2SQLQuery:
+        self._expect_keyword("SELECT")
+        select_paths = [self._dotted_words()]
+        while self._peek() == ",":
+            self._next()
+            select_paths.append(self._dotted_words())
+        while self._peek_keyword() == "FROM":
+            self._next()
+            self._parse_from()
+        if self._peek_keyword() == "WHERE":
+            self._next()
+            self._parse_cond()
+            while self._peek_keyword() == "AND":
+                self._next()
+                self._parse_cond()
+        if self._peek() is not None:
+            raise PathLogSyntaxError(
+                f"trailing input in O2SQL query: {self._peek()!r}"
+            )
+        select = tuple(self._compile_select(words) for words in select_paths)
+        return O2SQLQuery(self._text, tuple(self._literals), select)
+
+    def _dotted_words(self) -> list[str]:
+        words = [self._next()]
+        while self._peek() == ".":
+            self._next()
+            words.append(self._next())
+        return words
+
+    def _parse_from(self) -> None:
+        var_word = self._next()
+        variable = word_to_term(var_word)
+        if not isinstance(variable, Var):
+            raise PathLogSyntaxError(
+                f"FROM needs a (capitalised) variable, got {var_word!r}"
+            )
+        self._expect_keyword("IN")
+        words = self._dotted_words()
+        if len(words) == 1:
+            # Range over a class.
+            cls = word_to_term(words[0])
+            self._literals.append(Molecule(variable, (_isa(cls),)))
+            return
+        # Range over a set-valued path: flatten with a selector.
+        path = dotted_path(words, set_valued_last=True)
+        self._literals.append(
+            Molecule(path, (ScalarFilter(SELF, (), variable),))
+        )
+
+    def _parse_cond(self) -> None:
+        left_words = self._dotted_words()
+        token = self._peek()
+        if token is not None and token.upper() == "IN":
+            self._next()
+            cls = word_to_term(self._next())
+            left = dotted_path(left_words)
+            self._literals.append(Molecule(left, (_isa(cls),)))
+            return
+        if token == "=":
+            self._next()
+            right = dotted_path(self._dotted_words())
+            left = dotted_path(left_words)
+            self._literals.append(Comparison("=", left, right))
+            return
+        raise PathLogSyntaxError(
+            f"expected IN or = in O2SQL condition, found {token!r}"
+        )
+
+    def _compile_select(self, words: list[str]) -> tuple[str, Var]:
+        label = ".".join(words)
+        ref = dotted_path(words)
+        if isinstance(ref, Var):
+            return (label, ref)
+        selected = self._fresh_var()
+        self._literals.append(
+            Molecule(ref, (ScalarFilter(SELF, (), selected),))
+        )
+        return (label, selected)
+
+
+def _isa(cls: Reference):
+    from repro.core.ast import IsaFilter
+
+    if isinstance(cls, Var):
+        return IsaFilter(cls)
+    if isinstance(cls, Name):
+        return IsaFilter(cls)
+    raise PathLogSyntaxError(f"class position needs a name, got {cls}")

@@ -1,0 +1,233 @@
+"""Mini XSQL: selector-style queries and OID-function views.
+
+The query fragment (paper examples (1.2), (1.4), (2.2))::
+
+    SELECT var (, var)*
+    FROM class var (, class var)*
+    WHERE condition (AND condition)*
+
+where each condition is a path expression in XSQL's selector style --
+``X.vehicles[Y].color[Z]`` -- or a comparison.  XSQL writes a plain dot
+even for set-valued methods, so the frontend resolves each hop against
+the database schema at run time (``run_xsql``), or against an explicit
+``set_methods`` hint at compile time.  XSQL also capitalises attribute
+names (``X.WorksFor[D]``); the frontend lowercases method initials.
+
+The view fragment (paper example (6.3))::
+
+    CREATE VIEW EmployeeBoss
+    SELECT WorksFor = D
+    FROM Employee X
+    OID FUNCTION OF X
+    WHERE X.WorksFor[D]
+
+compiles into the PathLog rule the paper gives as (6.1)::
+
+    X.employeeBoss[worksFor -> D] <- X : employee[worksFor -> D].
+
+i.e. the view name becomes a *method* and the OID function becomes a
+virtual object -- the translation Section 6 argues makes XSQL's
+function symbols superfluous.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.ast import (
+    Comparison,
+    IsaFilter,
+    Literal,
+    Molecule,
+    Name,
+    Path,
+    Reference,
+    Rule,
+    ScalarFilter,
+    SetEnumFilter,
+    SetFilter,
+    Var,
+)
+from repro.errors import PathLogSyntaxError
+from repro.frontends.common import lower_initial
+from repro.lang.parser import parse_literal
+from repro.oodb.database import Database
+from repro.oodb.oid import NamedOid
+from repro.query.bindings import Answer
+from repro.query.query import Query
+
+_KEYWORD_SPLIT = re.compile(r"\b(SELECT|FROM|WHERE|AND|CREATE|VIEW|OID|"
+                            r"FUNCTION|OF)\b", re.IGNORECASE)
+
+#: ``.Attr`` -> ``.attr``: XSQL capitalises attributes, PathLog would
+#: read them as variables.
+_DOTTED_ATTR = re.compile(r"\.([A-Z])")
+
+
+@dataclass(frozen=True, slots=True)
+class XSQLQuery:
+    """A compiled XSQL query: PathLog literals plus projected variables."""
+
+    text: str
+    literals: tuple[Literal, ...]
+    select: tuple[str, ...]
+
+
+def compile_xsql(text: str,
+                 set_methods: frozenset[str] = frozenset()) -> XSQLQuery:
+    """Compile an XSQL SELECT query; ``set_methods`` marks ``..`` hops."""
+    sections = _split_sections(text)
+    if "SELECT" not in sections or "FROM" not in sections:
+        raise PathLogSyntaxError("XSQL query needs SELECT and FROM")
+    select = tuple(v.strip() for v in sections["SELECT"].split(",") if v.strip())
+    literals: list[Literal] = []
+    for clause in sections["FROM"].split(","):
+        literals.append(_from_clause(clause))
+    for condition in sections.get("WHERE", []):
+        literals.append(_where_condition(condition, set_methods))
+    return XSQLQuery(text, tuple(literals), select)
+
+
+def run_xsql(db: Database, text: str) -> list[Answer]:
+    """Compile against the database's schema and evaluate."""
+    compiled = compile_xsql(text, _schema_set_methods(db))
+    return Query(db).all(compiled.literals, variables=compiled.select)
+
+
+def compile_xsql_view(text: str,
+                      set_methods: frozenset[str] = frozenset()) -> Rule:
+    """Compile ``CREATE VIEW ... OID FUNCTION OF ...`` into a rule."""
+    sections = _split_sections(text)
+    view_name = sections.get("VIEW", "").strip()
+    if not view_name:
+        raise PathLogSyntaxError("CREATE VIEW needs a view name")
+    oid_of = sections.get("OF", "").strip()
+    if not oid_of:
+        raise PathLogSyntaxError("CREATE VIEW needs OID FUNCTION OF <var>")
+    assignments = []
+    for item in sections["SELECT"].split(","):
+        if "=" not in item:
+            raise PathLogSyntaxError(
+                f"view SELECT items have the form Attr = value: {item!r}"
+            )
+        attr, _, value = item.partition("=")
+        assignments.append((lower_initial(attr.strip()), value.strip()))
+    body: list[Literal] = [_from_clause(sections["FROM"])]
+    for condition in sections.get("WHERE", []):
+        body.append(_where_condition(condition, set_methods))
+    head_base = Path(Var(oid_of), Name(lower_initial(view_name)), ())
+    filters = tuple(
+        ScalarFilter(Name(attr), (), _value_term(value))
+        for attr, value in assignments
+    )
+    return Rule(Molecule(head_base, filters), tuple(body))
+
+
+# ---------------------------------------------------------------------------
+# Internals
+# ---------------------------------------------------------------------------
+
+def _split_sections(text: str) -> dict:
+    """Split on top-level keywords; WHERE collects AND-separated parts."""
+    parts = _KEYWORD_SPLIT.split(text)
+    sections: dict = {}
+    index = 1
+    while index < len(parts):
+        keyword = parts[index].upper()
+        content = parts[index + 1] if index + 1 < len(parts) else ""
+        index += 2
+        if keyword == "WHERE":
+            conditions = [content.strip()]
+            while index < len(parts) and parts[index].upper() == "AND":
+                conditions.append(parts[index + 1].strip())
+                index += 2
+            sections["WHERE"] = [c for c in conditions if c]
+        else:
+            sections[keyword] = content.strip()
+    return sections
+
+
+def _from_clause(clause: str) -> Literal:
+    words = clause.split()
+    if len(words) != 2:
+        raise PathLogSyntaxError(
+            f"XSQL FROM clause has the form 'class Var': {clause!r}"
+        )
+    cls, var = words
+    if not var[0].isupper():
+        raise PathLogSyntaxError(
+            f"XSQL range variables are capitalised: {var!r}"
+        )
+    return Molecule(Var(var), (IsaFilter(Name(lower_initial(cls))),))
+
+
+def _where_condition(condition: str, set_methods: frozenset[str]) -> Literal:
+    normalised = _DOTTED_ATTR.sub(lambda m: "." + m.group(1).lower(),
+                                  condition)
+    literal = parse_literal(normalised)
+    if isinstance(literal, Comparison):
+        return Comparison(literal.op,
+                          _mark_set_methods(literal.left, set_methods),
+                          _mark_set_methods(literal.right, set_methods))
+    return _mark_set_methods(literal, set_methods)
+
+
+def _mark_set_methods(ref: Reference, set_methods: frozenset[str]) -> Reference:
+    """Turn ``.m`` into ``..m`` for schema-known set-valued methods."""
+    if isinstance(ref, (Name, Var)):
+        return ref
+    if isinstance(ref, Path):
+        base = _mark_set_methods(ref.base, set_methods)
+        method = _mark_set_methods(ref.method, set_methods)
+        args = tuple(_mark_set_methods(a, set_methods) for a in ref.args)
+        set_valued = ref.set_valued or (
+            isinstance(ref.method, Name) and ref.method.value in set_methods
+        )
+        return Path(base, method, args, set_valued)
+    if isinstance(ref, Molecule):
+        base = _mark_set_methods(ref.base, set_methods)
+        filters = tuple(_mark_filter(f, set_methods) for f in ref.filters)
+        return Molecule(base, filters)
+    from repro.core.ast import Paren
+
+    if isinstance(ref, Paren):
+        return Paren(_mark_set_methods(ref.inner, set_methods))
+    raise TypeError(f"not a reference: {ref!r}")
+
+
+def _mark_filter(filt, set_methods: frozenset[str]):
+    if isinstance(filt, IsaFilter):
+        return filt
+    if isinstance(filt, ScalarFilter):
+        # A selector on a set-valued method becomes a set filter? No --
+        # XSQL's ``vehicles[Y]`` selects one member; in PathLog terms the
+        # set-valuedness lives in the path hop, so filters stay as-is.
+        return ScalarFilter(filt.method, filt.args,
+                            _mark_set_methods(filt.result, set_methods))
+    if isinstance(filt, SetFilter):
+        return SetFilter(filt.method, filt.args,
+                         _mark_set_methods(filt.result, set_methods))
+    if isinstance(filt, SetEnumFilter):
+        return SetEnumFilter(filt.method, filt.args,
+                             tuple(_mark_set_methods(e, set_methods)
+                                   for e in filt.elements))
+    return filt
+
+
+def _value_term(value: str) -> Reference:
+    value = value.strip()
+    if value.isdigit():
+        return Name(int(value))
+    if value[0].isupper():
+        return Var(value)
+    return Name(value)
+
+
+def _schema_set_methods(db: Database) -> frozenset[str]:
+    """Names of methods with stored set facts (the run-time schema hint)."""
+    names = set()
+    for method in db.sets.methods():
+        if isinstance(method, NamedOid) and isinstance(method.value, str):
+            names.add(method.value)
+    return frozenset(names)

@@ -1,0 +1,26 @@
+"""Concrete syntax of PathLog: lexer and recursive-descent parser.
+
+The exported helpers are the usual entry points:
+
+- :func:`repro.lang.parser.parse_reference` -- one reference;
+- :func:`repro.lang.parser.parse_literal` -- one body literal;
+- :func:`repro.lang.parser.parse_query` -- a comma-separated conjunction;
+- :func:`repro.lang.parser.parse_rule` -- one rule or fact;
+- :func:`repro.lang.parser.parse_program` -- a whole program.
+"""
+
+from repro.lang.parser import (
+    parse_literal,
+    parse_program,
+    parse_query,
+    parse_reference,
+    parse_rule,
+)
+
+__all__ = [
+    "parse_literal",
+    "parse_program",
+    "parse_query",
+    "parse_reference",
+    "parse_rule",
+]

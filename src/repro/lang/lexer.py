@@ -1,0 +1,235 @@
+"""Lexer for PathLog concrete syntax.
+
+The only genuinely tricky rule is the dot.  PathLog uses ``.`` both for
+scalar method application (``mary.boss``) and as the statement
+terminator (``mary[age -> 30].``).  The lexer disambiguates the way a
+human reader does: a dot immediately followed by something that can
+start a method (an identifier, a digit-free name, or ``(``) is a
+method-application :data:`~repro.lang.tokens.TokenKind.DOT`, while a dot
+followed by whitespace, a comment, or the end of input is a
+:data:`~repro.lang.tokens.TokenKind.TERMINATOR`.  ``..`` is always the
+set-valued application token.
+
+Comments run from ``%`` or ``//`` to the end of the line.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PathLogSyntaxError
+from repro.lang.tokens import Token, TokenKind
+
+_SIMPLE_TOKENS = {
+    ":": TokenKind.COLON,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    ";": TokenKind.SEMICOLON,
+    ",": TokenKind.COMMA,
+    "@": TokenKind.AT,
+    "=": TokenKind.EQ,
+}
+
+#: Characters that may start a method after a path dot.
+_METHOD_START = frozenset(
+    "abcdefghijklmnopqrstuvwxyz"
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    "0123456789_(\""
+)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lex ``text`` into tokens, ending with a single EOF token.
+
+    Raises :class:`~repro.errors.PathLogSyntaxError` on any character the
+    grammar does not know.
+    """
+    return list(_Lexer(text).run())
+
+
+class _Lexer:
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    def run(self):
+        while True:
+            self._skip_trivia()
+            if self._pos >= len(self._text):
+                yield self._token(TokenKind.EOF, None)
+                return
+            yield self._next_token()
+
+    # -- scanning helpers ---------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index >= len(self._text):
+            return ""
+        return self._text[index]
+
+    def _advance(self, count: int = 1) -> str:
+        chunk = self._text[self._pos:self._pos + count]
+        for char in chunk:
+            if char == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+        self._pos += count
+        return chunk
+
+    def _token(self, kind: TokenKind, value) -> Token:
+        return Token(kind, value, self._line, self._column)
+
+    def _skip_trivia(self) -> None:
+        while self._pos < len(self._text):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._advance()
+            elif char == "%" or (char == "/" and self._peek(1) == "/"):
+                while self._pos < len(self._text) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    # -- token recognisers --------------------------------------------------
+
+    def _next_token(self) -> Token:
+        char = self._peek()
+        if char == ".":
+            return self._lex_dot()
+        if char == "-":
+            return self._lex_arrow()
+        if char == "<":
+            return self._lex_less()
+        if char == ">":
+            return self._lex_greater()
+        if char == "!":
+            return self._lex_bang()
+        if char == "?":
+            return self._lex_question()
+        if char in _SIMPLE_TOKENS:
+            token = self._token(_SIMPLE_TOKENS[char], char)
+            self._advance()
+            return token
+        if char == '"':
+            return self._lex_string()
+        if char.isdigit():
+            return self._lex_integer()
+        if char.isalpha() or char == "_":
+            return self._lex_word()
+        raise PathLogSyntaxError(
+            f"unexpected character {char!r}", self._line, self._column
+        )
+
+    def _lex_dot(self) -> Token:
+        if self._peek(1) == ".":
+            token = self._token(TokenKind.DOTDOT, "..")
+            self._advance(2)
+            return token
+        if self._peek(1) in _METHOD_START:
+            token = self._token(TokenKind.DOT, ".")
+            self._advance()
+            return token
+        token = self._token(TokenKind.TERMINATOR, ".")
+        self._advance()
+        return token
+
+    def _lex_arrow(self) -> Token:
+        if self._peek(1) != ">":
+            raise PathLogSyntaxError(
+                "expected '->' or '->>'", self._line, self._column
+            )
+        if self._peek(2) == ">":
+            token = self._token(TokenKind.DARROW, "->>")
+            self._advance(3)
+            return token
+        token = self._token(TokenKind.ARROW, "->")
+        self._advance(2)
+        return token
+
+    def _lex_less(self) -> Token:
+        if self._peek(1) == "-":
+            token = self._token(TokenKind.IMPLIED, "<-")
+            self._advance(2)
+            return token
+        if self._peek(1) == "=":
+            token = self._token(TokenKind.LE, "<=")
+            self._advance(2)
+            return token
+        token = self._token(TokenKind.LT, "<")
+        self._advance()
+        return token
+
+    def _lex_greater(self) -> Token:
+        if self._peek(1) == "=":
+            token = self._token(TokenKind.GE, ">=")
+            self._advance(2)
+            return token
+        token = self._token(TokenKind.GT, ">")
+        self._advance()
+        return token
+
+    def _lex_bang(self) -> Token:
+        if self._peek(1) == "=":
+            token = self._token(TokenKind.NEQ, "!=")
+            self._advance(2)
+            return token
+        raise PathLogSyntaxError("expected '!='", self._line, self._column)
+
+    def _lex_question(self) -> Token:
+        if self._peek(1) == "-":
+            token = self._token(TokenKind.QUERY, "?-")
+            self._advance(2)
+            return token
+        raise PathLogSyntaxError("expected '?-'", self._line, self._column)
+
+    def _lex_string(self) -> Token:
+        line, column = self._line, self._column
+        self._advance()  # opening quote
+        parts: list[str] = []
+        while True:
+            if self._pos >= len(self._text):
+                raise PathLogSyntaxError("unterminated string", line, column)
+            char = self._advance()
+            if char == '"':
+                break
+            if char == "\\":
+                escape = self._advance()
+                if escape == "n":
+                    parts.append("\n")
+                elif escape == "t":
+                    parts.append("\t")
+                elif escape in ('"', "\\"):
+                    parts.append(escape)
+                else:
+                    raise PathLogSyntaxError(
+                        f"unknown escape \\{escape}", self._line, self._column
+                    )
+            else:
+                parts.append(char)
+        return Token(TokenKind.NAME, "".join(parts), line, column)
+
+    def _lex_integer(self) -> Token:
+        line, column = self._line, self._column
+        digits: list[str] = []
+        while self._peek().isdigit():
+            digits.append(self._advance())
+        return Token(TokenKind.INTEGER, int("".join(digits)), line, column)
+
+    def _lex_word(self) -> Token:
+        line, column = self._line, self._column
+        chars: list[str] = []
+        while self._peek().isalnum() or self._peek() == "_":
+            chars.append(self._advance())
+        word = "".join(chars)
+        if word == "not":
+            return Token(TokenKind.NOT, word, line, column)
+        if word[0].isupper() or word[0] == "_":
+            return Token(TokenKind.VARIABLE, word, line, column)
+        return Token(TokenKind.NAME, word, line, column)

@@ -1,0 +1,318 @@
+"""Recursive-descent parser for PathLog.
+
+Grammar (terminals in quotes; ``*`` is repetition, ``?`` is option)::
+
+    program    :=  statement*
+    statement  :=  reference ( '<-' body )? '.'
+    body       :=  literal ( ',' literal )*
+    literal    :=  reference ( compop reference )?
+    compop     :=  '=' | '!=' | '<' | '<=' | '>' | '>='
+
+    reference  :=  primary postfix*
+    primary    :=  NAME | VARIABLE | INTEGER | '(' reference ')'
+    postfix    :=  '.' simple params?          -- scalar path
+                |  '..' simple params?         -- set-valued path
+                |  ':' simple                  -- class membership
+                |  '[' filter (';' filter)* ']'
+    simple     :=  NAME | VARIABLE | INTEGER | '(' reference ')'
+    params     :=  '@' '(' reference (',' reference)* ')'
+
+    filter     :=  simple params? '->' reference
+                |  simple params? '->>' '{' reference (',' reference)* '}'
+                |  simple params? '->>' reference
+                |  reference                   -- selector == self -> ref
+
+A dot followed by whitespace or end of input terminates a statement; a
+dot glued to the following method name is a path (see the lexer).  The
+selector form ``[Y]`` desugars to ``[self -> Y]`` exactly as Section 4.1
+of the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from repro.core.ast import (
+    SELF,
+    Comparison,
+    Filter,
+    IsaFilter,
+    Literal,
+    Molecule,
+    Name,
+    Negation,
+    Paren,
+    Path,
+    Program,
+    Reference,
+    Rule,
+    ScalarFilter,
+    SetEnumFilter,
+    SetFilter,
+    Var,
+)
+from repro.core.wellformed import check_well_formed, is_simple
+from repro.errors import PathLogSyntaxError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import COMPARISON_KINDS, REFERENCE_START, Token, TokenKind
+
+
+def parse_reference(text: str, *, check: bool = True) -> Reference:
+    """Parse a single reference; optionally check well-formedness."""
+    parser = _Parser(text)
+    ref = parser.reference()
+    parser.expect(TokenKind.EOF)
+    if check:
+        check_well_formed(ref)
+    return ref
+
+
+def parse_literal(text: str, *, check: bool = True) -> Literal:
+    """Parse a single body literal (reference or comparison)."""
+    parser = _Parser(text)
+    literal = parser.literal()
+    parser.expect(TokenKind.EOF)
+    if check:
+        _check_literal(literal)
+    return literal
+
+
+def parse_query(text: str, *, check: bool = True) -> tuple[Literal, ...]:
+    """Parse a conjunction ``lit1, ..., litn`` with optional ``?-``/``.``."""
+    parser = _Parser(text)
+    if parser.at(TokenKind.QUERY):
+        parser.advance()
+    literals = parser.body()
+    if parser.at(TokenKind.TERMINATOR):
+        parser.advance()
+    parser.expect(TokenKind.EOF)
+    if check:
+        for literal in literals:
+            _check_literal(literal)
+    return literals
+
+
+def parse_rule(text: str, *, check: bool = True) -> Rule:
+    """Parse one rule or fact, including the terminating dot."""
+    parser = _Parser(text)
+    rule = parser.rule()
+    parser.expect(TokenKind.EOF)
+    if check:
+        _check_rule(rule)
+    return rule
+
+
+def parse_program(text: str, *, check: bool = True) -> Program:
+    """Parse a whole program: a sequence of facts and rules."""
+    parser = _Parser(text)
+    rules: list[Rule] = []
+    while not parser.at(TokenKind.EOF):
+        rules.append(parser.rule())
+    program = Program(tuple(rules))
+    if check:
+        for rule in program.rules:
+            _check_rule(rule)
+    return program
+
+
+def _check_literal(literal: Literal) -> None:
+    if isinstance(literal, Negation):
+        _check_literal(literal.literal)
+    elif isinstance(literal, Comparison):
+        check_well_formed(literal.left)
+        check_well_formed(literal.right)
+    else:
+        check_well_formed(literal)
+
+
+def _check_rule(rule: Rule) -> None:
+    check_well_formed(rule.head)
+    for literal in rule.body:
+        _check_literal(literal)
+
+
+class _Parser:
+    """Token-stream wrapper with one-token lookahead."""
+
+    def __init__(self, text: str) -> None:
+        self._tokens = tokenize(text)
+        self._index = 0
+
+    # -- stream primitives --------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._index]
+
+    def at(self, kind: TokenKind) -> bool:
+        return self.current.kind is kind
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def expect(self, kind: TokenKind) -> Token:
+        if not self.at(kind):
+            raise self._error(f"expected {kind.value!r}")
+        return self.advance()
+
+    def _error(self, message: str) -> PathLogSyntaxError:
+        token = self.current
+        return PathLogSyntaxError(
+            f"{message}, found {token.describe()}", token.line, token.column
+        )
+
+    # -- grammar ------------------------------------------------------------
+
+    def rule(self) -> Rule:
+        head = self.reference()
+        body: tuple[Literal, ...] = ()
+        if self.at(TokenKind.IMPLIED):
+            self.advance()
+            body = self.body()
+        self.expect(TokenKind.TERMINATOR)
+        return Rule(head, body)
+
+    def body(self) -> tuple[Literal, ...]:
+        literals = [self.literal()]
+        while self.at(TokenKind.COMMA):
+            self.advance()
+            literals.append(self.literal())
+        return tuple(literals)
+
+    def literal(self) -> Literal:
+        if self.at(TokenKind.NOT):
+            self.advance()
+            inner = self.literal()
+            if isinstance(inner, Negation):
+                raise self._error("double negation is not supported")
+            return Negation(inner)
+        left = self.reference()
+        if self.current.kind in COMPARISON_KINDS:
+            op = COMPARISON_KINDS[self.advance().kind]
+            right = self.reference()
+            return Comparison(op, left, right)
+        return left
+
+    def reference(self) -> Reference:
+        ref = self.primary()
+        while True:
+            if self.at(TokenKind.DOT):
+                self.advance()
+                method = self.simple()
+                args = self.params()
+                ref = Path(ref, method, args, set_valued=False)
+            elif self.at(TokenKind.DOTDOT):
+                self.advance()
+                method = self.simple()
+                args = self.params()
+                ref = Path(ref, method, args, set_valued=True)
+            elif self.at(TokenKind.COLON):
+                self.advance()
+                cls = self.simple()
+                ref = Molecule(ref, (IsaFilter(cls),))
+            elif self.at(TokenKind.LBRACKET):
+                ref = Molecule(ref, self.filter_group())
+            else:
+                return ref
+
+    def primary(self) -> Reference:
+        token = self.current
+        if token.kind is TokenKind.NAME:
+            self.advance()
+            return Name(token.value)
+        if token.kind is TokenKind.INTEGER:
+            self.advance()
+            return Name(token.value)
+        if token.kind is TokenKind.VARIABLE:
+            self.advance()
+            return Var(token.value)
+        if token.kind is TokenKind.LPAREN:
+            self.advance()
+            inner = self.reference()
+            self.expect(TokenKind.RPAREN)
+            return Paren(inner)
+        raise self._error("expected a reference")
+
+    def simple(self) -> Reference:
+        """A simple reference: method or class position."""
+        token = self.current
+        if token.kind in (TokenKind.NAME, TokenKind.INTEGER):
+            self.advance()
+            return Name(token.value)
+        if token.kind is TokenKind.VARIABLE:
+            self.advance()
+            return Var(token.value)
+        if token.kind is TokenKind.LPAREN:
+            self.advance()
+            inner = self.reference()
+            self.expect(TokenKind.RPAREN)
+            return Paren(inner)
+        raise self._error("expected a simple reference (name, variable, or "
+                          "parenthesised reference)")
+
+    def params(self) -> tuple[Reference, ...]:
+        if not self.at(TokenKind.AT):
+            return ()
+        self.advance()
+        self.expect(TokenKind.LPAREN)
+        if self.at(TokenKind.RPAREN):
+            self.advance()
+            return ()
+        args = [self.reference()]
+        while self.at(TokenKind.COMMA):
+            self.advance()
+            args.append(self.reference())
+        self.expect(TokenKind.RPAREN)
+        return tuple(args)
+
+    def filter_group(self) -> tuple[Filter, ...]:
+        self.expect(TokenKind.LBRACKET)
+        if self.at(TokenKind.RBRACKET):
+            # The paper's ``t0[]``: no specification, but ``t0`` must denote.
+            self.advance()
+            return ()
+        filters = [self.filter()]
+        while self.at(TokenKind.SEMICOLON):
+            self.advance()
+            filters.append(self.filter())
+        self.expect(TokenKind.RBRACKET)
+        return tuple(filters)
+
+    def filter(self) -> Filter:
+        ref = self.reference()
+        args = self.params()
+        if self.at(TokenKind.ARROW):
+            self.advance()
+            result = self.reference()
+            return ScalarFilter(self._as_method(ref), args, result)
+        if self.at(TokenKind.DARROW):
+            self.advance()
+            if self.at(TokenKind.LBRACE):
+                return SetEnumFilter(self._as_method(ref), args,
+                                     self.enum_elements())
+            result = self.reference()
+            return SetFilter(self._as_method(ref), args, result)
+        if args:
+            raise self._error("a selector filter cannot take @-parameters")
+        return ScalarFilter(SELF, (), ref)
+
+    def enum_elements(self) -> tuple[Reference, ...]:
+        self.expect(TokenKind.LBRACE)
+        if self.at(TokenKind.RBRACE):
+            self.advance()
+            return ()
+        elements = [self.reference()]
+        while self.at(TokenKind.COMMA):
+            self.advance()
+            elements.append(self.reference())
+        self.expect(TokenKind.RBRACE)
+        return tuple(elements)
+
+    def _as_method(self, ref: Reference) -> Reference:
+        if not is_simple(ref):
+            raise self._error(
+                f"the method position of a filter needs a simple reference; "
+                f"wrap {ref} in parentheses"
+            )
+        return ref

@@ -1,0 +1,75 @@
+"""Token kinds and the token record shared by lexer and parser."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+
+class TokenKind(enum.Enum):
+    """Terminal symbols of the PathLog grammar."""
+
+    NAME = "name"              # lowercase identifier or quoted string
+    VARIABLE = "variable"      # capitalised or underscore identifier
+    INTEGER = "integer"
+    DOT = "."                  # scalar method application
+    DOTDOT = ".."              # set-valued method application
+    TERMINATOR = ". (end)"     # statement-ending dot
+    COLON = ":"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    SEMICOLON = ";"
+    COMMA = ","
+    AT = "@"
+    ARROW = "->"
+    DARROW = "->>"
+    IMPLIED = "<-"
+    QUERY = "?-"
+    NOT = "not"
+    EQ = "="
+    NEQ = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EOF = "end of input"
+
+
+#: Token kinds that may begin a reference.
+REFERENCE_START = frozenset({
+    TokenKind.NAME,
+    TokenKind.VARIABLE,
+    TokenKind.INTEGER,
+    TokenKind.LPAREN,
+})
+
+#: Token kinds usable as comparison operators in body literals.
+COMPARISON_KINDS = {
+    TokenKind.EQ: "=",
+    TokenKind.NEQ: "!=",
+    TokenKind.LT: "<",
+    TokenKind.LE: "<=",
+    TokenKind.GT: ">",
+    TokenKind.GE: ">=",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexed token with its source location (1-based)."""
+
+    kind: TokenKind
+    value: Union[str, int, None]
+    line: int
+    column: int
+
+    def describe(self) -> str:
+        """Human-readable form for error messages."""
+        if self.kind in (TokenKind.NAME, TokenKind.VARIABLE, TokenKind.INTEGER):
+            return f"{self.kind.value} {self.value!r}"
+        return repr(self.kind.value)

@@ -1,0 +1,24 @@
+"""In-memory object-oriented database: the storage substrate of PathLog.
+
+The 1994 paper assumes an OODB providing objects with identity, state
+(scalar and set-valued methods with arguments) and class membership
+under a partial order.  This package implements that substrate from
+scratch:
+
+- :mod:`repro.oodb.oid` -- object identifiers, including the *virtual*
+  OIDs that realise the paper's "methods as function symbols" idea;
+- :mod:`repro.oodb.hierarchy` -- the class partial order ``in_U`` with
+  reachability queries and cycle rejection;
+- :mod:`repro.oodb.methods` -- indexed scalar and set-valued method
+  tables (``I_->`` and ``I_->>``);
+- :mod:`repro.oodb.database` -- the :class:`Database` facade that
+  implements the semantic-structure protocol used by the valuation;
+- :mod:`repro.oodb.serialize` -- JSON round-tripping;
+- :mod:`repro.oodb.statistics` -- size/shape reports used by benches.
+"""
+
+from repro.oodb.database import Database
+from repro.oodb.hierarchy import ClassHierarchy
+from repro.oodb.oid import NamedOid, Oid, VirtualOid
+
+__all__ = ["Database", "ClassHierarchy", "NamedOid", "Oid", "VirtualOid"]

@@ -1,0 +1,203 @@
+"""The :class:`Database` facade: one object implementing the paper's ``I``.
+
+A database bundles
+
+- the universe ``U`` (every OID ever registered),
+- the name interpretation ``I_N`` (identity by default, with optional
+  aliases so two names may denote one object),
+- the class partial order ``in_U`` (:class:`ClassHierarchy`),
+- the method interpretations ``I_->`` and ``I_->>``
+  (:class:`ScalarMethodTable` / :class:`SetMethodTable`),
+
+and offers both the low-level assertion API used by the engine and a
+high-level loading API used by examples and tests
+(:meth:`Database.add_object`, :meth:`Database.subclass`).
+
+The built-in ``self`` method is interpreted here, so
+``db.scalar_apply(self, o, ())`` is ``o`` for every object.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.core import builtins as _builtins
+from repro.oodb.hierarchy import ClassHierarchy
+from repro.oodb.methods import ScalarMethodTable, SetMethodTable
+from repro.oodb.oid import NamedOid, NameValue, Oid, VirtualOid
+
+
+class Database:
+    """An in-memory OODB instance: the semantic structure ``I``."""
+
+    def __init__(self, *, indexed: bool = True, reflexive_isa: bool = False) -> None:
+        self._aliases: dict[NameValue, Oid] = {}
+        self._universe: set[Oid] = set()
+        self.hierarchy = ClassHierarchy(reflexive=reflexive_isa)
+        self.scalars = ScalarMethodTable(indexed=indexed)
+        self.sets = SetMethodTable(indexed=indexed)
+        self._indexed = indexed
+
+    # ------------------------------------------------------------------
+    # Names and universe
+    # ------------------------------------------------------------------
+
+    def lookup_name(self, value: NameValue) -> Oid:
+        """``I_N``: the object a name denotes (registers it in ``U``)."""
+        oid = self._aliases.get(value)
+        if oid is None:
+            oid = NamedOid(value)
+        self._universe.add(oid)
+        return oid
+
+    def alias(self, value: NameValue, target: NameValue | Oid) -> None:
+        """Make the name ``value`` denote the object behind ``target``.
+
+        This realises the paper's remark that ``I_N`` need not be
+        injective: several names may denote the same object.
+        """
+        oid = target if isinstance(target, Oid) else self.lookup_name(target)
+        self._aliases[value] = oid
+        self._universe.add(oid)
+
+    def register(self, oid: Oid) -> Oid:
+        """Add an OID to the universe (idempotent); returns it."""
+        self._universe.add(oid)
+        return oid
+
+    def universe(self) -> frozenset[Oid]:
+        """The current universe ``U``."""
+        return frozenset(self._universe)
+
+    def __contains__(self, oid: Oid) -> bool:
+        return oid in self._universe
+
+    def __len__(self) -> int:
+        return len(self._universe)
+
+    # ------------------------------------------------------------------
+    # Class hierarchy
+    # ------------------------------------------------------------------
+
+    def assert_isa(self, obj: Oid, cls: Oid) -> bool:
+        """Declare ``obj in_U cls``; returns False if already implied."""
+        self._universe.add(obj)
+        self._universe.add(cls)
+        return self.hierarchy.declare(obj, cls)
+
+    def isa(self, obj: Oid, cls: Oid) -> bool:
+        """``obj in_U cls``: declared closure or built-in value classes.
+
+        Integer names are members of ``integer``, string names of
+        ``string``; these built-in extents are not enumerable (they do
+        not appear in :meth:`members`), only checkable.
+        """
+        if self.hierarchy.isa(obj, cls):
+            return True
+        return _builtins.builtin_isa(obj, cls)
+
+    def members(self, cls: Oid) -> frozenset[Oid]:
+        """All objects of class ``cls``."""
+        return self.hierarchy.members(cls)
+
+    def classes_of(self, obj: Oid) -> frozenset[Oid]:
+        """All classes of ``obj``."""
+        return self.hierarchy.classes_of(obj)
+
+    # ------------------------------------------------------------------
+    # Methods
+    # ------------------------------------------------------------------
+
+    def assert_scalar(self, method: Oid, subject: Oid,
+                      args: tuple[Oid, ...], result: Oid) -> bool:
+        """Store a scalar fact; see :meth:`ScalarMethodTable.put`."""
+        self._register_app(method, subject, args, result)
+        return self.scalars.put(method, subject, args, result)
+
+    def assert_set_member(self, method: Oid, subject: Oid,
+                          args: tuple[Oid, ...], member: Oid) -> bool:
+        """Store a set membership fact."""
+        self._register_app(method, subject, args, member)
+        return self.sets.add(method, subject, args, member)
+
+    def _register_app(self, method: Oid, subject: Oid,
+                      args: tuple[Oid, ...], result: Oid) -> None:
+        self._universe.add(method)
+        self._universe.add(subject)
+        self._universe.update(args)
+        self._universe.add(result)
+
+    def scalar_apply(self, method: Oid, subject: Oid,
+                     args: tuple[Oid, ...] = ()) -> Oid | None:
+        """``I_->(method)(subject, args)``, including builtins."""
+        if _builtins.is_builtin_scalar(method):
+            return _builtins.apply_builtin_scalar(method, subject, args)
+        return self.scalars.get(method, subject, args)
+
+    def set_apply(self, method: Oid, subject: Oid,
+                  args: tuple[Oid, ...] = ()) -> frozenset[Oid]:
+        """``I_->>(method)(subject, args)``; empty where undefined."""
+        return self.sets.get(method, subject, args)
+
+    # ------------------------------------------------------------------
+    # High-level loading API
+    # ------------------------------------------------------------------
+
+    def obj(self, name: NameValue) -> Oid:
+        """Look up (and register) the object for a Python name value."""
+        return self.lookup_name(name)
+
+    def subclass(self, sub: NameValue, sup: NameValue) -> None:
+        """Declare ``sub in_U sup`` between two named classes."""
+        self.assert_isa(self.lookup_name(sub), self.lookup_name(sup))
+
+    def add_object(self, name: NameValue, *,
+                   classes: Iterable[NameValue] = (),
+                   scalars: Mapping[NameValue, NameValue] | None = None,
+                   sets: Mapping[NameValue, Iterable[NameValue]] | None = None,
+                   ) -> Oid:
+        """Create/extend a named object with memberships and attributes.
+
+        ``scalars`` maps method names to one value each; ``sets`` maps
+        method names to iterables of values.  All values are names
+        (strings or integers).  Example::
+
+            db.add_object("p1", classes=["employee"],
+                          scalars={"age": 30, "city": "newYork"},
+                          sets={"vehicles": ["car1", "car2"]})
+        """
+        subject = self.lookup_name(name)
+        for cls in classes:
+            self.assert_isa(subject, self.lookup_name(cls))
+        for method_name, value in (scalars or {}).items():
+            self.assert_scalar(self.lookup_name(method_name), subject, (),
+                               self.lookup_name(value))
+        for method_name, values in (sets or {}).items():
+            method = self.lookup_name(method_name)
+            for value in values:
+                self.assert_set_member(method, subject, (), self.lookup_name(value))
+        return subject
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def clone(self) -> "Database":
+        """An independent deep copy (used by the engine for evaluation)."""
+        copy = Database(indexed=self._indexed,
+                        reflexive_isa=self.hierarchy.reflexive)
+        copy._aliases = dict(self._aliases)
+        copy._universe = set(self._universe)
+        copy.hierarchy = self.hierarchy.clone()
+        copy.scalars = self.scalars.clone()
+        copy.sets = self.sets.clone()
+        return copy
+
+    def virtual_count(self) -> int:
+        """Number of virtual objects currently in the universe."""
+        return sum(1 for oid in self._universe if isinstance(oid, VirtualOid))
+
+    def __repr__(self) -> str:
+        return (f"Database(|U|={len(self._universe)}, "
+                f"isa={len(self.hierarchy)}, "
+                f"scalar={len(self.scalars)}, set={len(self.sets)})")

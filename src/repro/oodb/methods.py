@@ -1,0 +1,279 @@
+"""Extensional method state: the tables behind ``I_->`` and ``I_->>``.
+
+A scalar fact is ``method(subject, args) = result`` with ``I_->``
+interpreting each method object as a *partial function*; a set fact is
+``result in method(subject, args)``.  Both tables key applications by
+``(method, subject, args)`` where every component is an
+:class:`~repro.oodb.oid.Oid` and ``args`` is a (possibly empty) tuple.
+
+The tables maintain secondary indexes for the access patterns the
+evaluator needs:
+
+- by method (enumerate all applications of ``vehicles``);
+- by method and result (inverse lookup: whose color is ``red``?);
+- by subject (enumerate all methods defined on ``p1`` -- needed for
+  variables at method position, as in the generic ``M.tc`` rules).
+
+Indexes can be disabled (``indexed=False``) to support the index
+ablation benchmark; all lookups then scan the primary dict.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import ScalarConflictError
+from repro.oodb.oid import Oid
+
+#: An application key: (method, subject, args).
+AppKey = tuple[Oid, Oid, tuple[Oid, ...]]
+
+
+class ScalarMethodTable:
+    """The stored graph of ``I_->``: partial functions per method object."""
+
+    def __init__(self, *, indexed: bool = True) -> None:
+        self._facts: dict[AppKey, Oid] = {}
+        self._indexed = indexed
+        self._by_method: dict[Oid, dict[AppKey, Oid]] = {}
+        self._by_method_result: dict[tuple[Oid, Oid], set[AppKey]] = {}
+        self._by_subject: dict[Oid, dict[AppKey, Oid]] = {}
+
+    # -- mutation -----------------------------------------------------------
+
+    def put(self, method: Oid, subject: Oid, args: tuple[Oid, ...],
+            result: Oid) -> bool:
+        """Store ``method(subject, args) = result``.
+
+        Returns False when the identical fact is already present.  Raises
+        :class:`~repro.errors.ScalarConflictError` when a *different*
+        result is already stored -- scalar methods are functions.
+        """
+        key = (method, subject, args)
+        existing = self._facts.get(key)
+        if existing is not None:
+            if existing == result:
+                return False
+            raise ScalarConflictError(method, subject, args, existing, result)
+        self._facts[key] = result
+        if self._indexed:
+            self._by_method.setdefault(method, {})[key] = result
+            self._by_method_result.setdefault((method, result), set()).add(key)
+            self._by_subject.setdefault(subject, {})[key] = result
+        return True
+
+    def remove(self, method: Oid, subject: Oid, args: tuple[Oid, ...]) -> bool:
+        """Delete one stored application; return False if absent."""
+        key = (method, subject, args)
+        result = self._facts.pop(key, None)
+        if result is None:
+            return False
+        if self._indexed:
+            self._by_method[method].pop(key, None)
+            self._by_method_result[(method, result)].discard(key)
+            self._by_subject[subject].pop(key, None)
+        return True
+
+    # -- queries ------------------------------------------------------------
+
+    def get(self, method: Oid, subject: Oid,
+            args: tuple[Oid, ...] = ()) -> Oid | None:
+        """The stored result of one application, or None when undefined."""
+        return self._facts.get((method, subject, args))
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __contains__(self, key: AppKey) -> bool:
+        return key in self._facts
+
+    def items(self) -> Iterator[tuple[AppKey, Oid]]:
+        """All stored facts as ``((method, subject, args), result)``."""
+        return iter(self._facts.items())
+
+    def match(self, method: Oid | None = None, subject: Oid | None = None,
+              result: Oid | None = None) -> Iterator[tuple[AppKey, Oid]]:
+        """Enumerate facts matching the bound components.
+
+        Any of ``method``/``subject``/``result`` may be None (wildcard).
+        Chooses the most selective index available.
+        """
+        if self._indexed:
+            if method is not None and result is not None:
+                keys = self._by_method_result.get((method, result), ())
+                for key in keys:
+                    if subject is None or key[1] == subject:
+                        yield (key, result)
+                return
+            if method is not None:
+                bucket = self._by_method.get(method, {})
+                for key, value in bucket.items():
+                    if subject is not None and key[1] != subject:
+                        continue
+                    yield (key, value)
+                return
+            if subject is not None:
+                bucket = self._by_subject.get(subject, {})
+                for key, value in bucket.items():
+                    if result is not None and value != result:
+                        continue
+                    yield (key, value)
+                return
+        for key, value in self._facts.items():
+            if method is not None and key[0] != method:
+                continue
+            if subject is not None and key[1] != subject:
+                continue
+            if result is not None and value != result:
+                continue
+            yield (key, value)
+
+    def methods(self) -> frozenset[Oid]:
+        """All method objects with at least one stored application."""
+        if self._indexed:
+            return frozenset(m for m, bucket in self._by_method.items() if bucket)
+        return frozenset(key[0] for key in self._facts)
+
+    def mentioned_oids(self) -> Iterator[Oid]:
+        """Every OID occurring in any stored fact."""
+        for (method, subject, args), result in self._facts.items():
+            yield method
+            yield subject
+            yield from args
+            yield result
+
+    def clone(self) -> "ScalarMethodTable":
+        """An independent copy (same indexing mode)."""
+        copy = ScalarMethodTable(indexed=self._indexed)
+        for (method, subject, args), result in self._facts.items():
+            copy.put(method, subject, args, result)
+        return copy
+
+
+class SetMethodTable:
+    """The stored graph of ``I_->>``: a set of results per application."""
+
+    def __init__(self, *, indexed: bool = True) -> None:
+        self._facts: dict[AppKey, set[Oid]] = {}
+        self._indexed = indexed
+        self._by_method: dict[Oid, dict[AppKey, set[Oid]]] = {}
+        self._by_method_member: dict[tuple[Oid, Oid], set[AppKey]] = {}
+        self._by_subject: dict[Oid, dict[AppKey, set[Oid]]] = {}
+
+    # -- mutation -----------------------------------------------------------
+
+    def add(self, method: Oid, subject: Oid, args: tuple[Oid, ...],
+            member: Oid) -> bool:
+        """Add ``member`` to ``method(subject, args)``; False if present."""
+        key = (method, subject, args)
+        bucket = self._facts.get(key)
+        if bucket is None:
+            bucket = set()
+            self._facts[key] = bucket
+            if self._indexed:
+                self._by_method.setdefault(method, {})[key] = bucket
+                self._by_subject.setdefault(subject, {})[key] = bucket
+        if member in bucket:
+            return False
+        bucket.add(member)
+        if self._indexed:
+            self._by_method_member.setdefault((method, member), set()).add(key)
+        return True
+
+    def discard(self, method: Oid, subject: Oid, args: tuple[Oid, ...],
+                member: Oid) -> bool:
+        """Remove one membership; return False if it was absent."""
+        key = (method, subject, args)
+        bucket = self._facts.get(key)
+        if bucket is None or member not in bucket:
+            return False
+        bucket.discard(member)
+        if self._indexed:
+            self._by_method_member[(method, member)].discard(key)
+        return True
+
+    # -- queries ------------------------------------------------------------
+
+    def get(self, method: Oid, subject: Oid,
+            args: tuple[Oid, ...] = ()) -> frozenset[Oid]:
+        """The stored result set of one application (empty when undefined)."""
+        bucket = self._facts.get((method, subject, args))
+        if bucket is None:
+            return frozenset()
+        return frozenset(bucket)
+
+    def defined(self, method: Oid, subject: Oid,
+                args: tuple[Oid, ...] = ()) -> bool:
+        """True when the application has a (possibly empty) stored set."""
+        return (method, subject, args) in self._facts
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._facts.values())
+
+    def applications(self) -> int:
+        """Number of distinct ``(method, subject, args)`` applications."""
+        return len(self._facts)
+
+    def items(self) -> Iterator[tuple[AppKey, frozenset[Oid]]]:
+        """All applications with their full result sets."""
+        for key, bucket in self._facts.items():
+            yield key, frozenset(bucket)
+
+    def match(self, method: Oid | None = None, subject: Oid | None = None,
+              member: Oid | None = None) -> Iterator[tuple[AppKey, Oid]]:
+        """Enumerate memberships matching the bound components.
+
+        Yields one ``((method, subject, args), member)`` pair per
+        membership, using the most selective index available.
+        """
+        if self._indexed:
+            if method is not None and member is not None:
+                for key in self._by_method_member.get((method, member), ()):
+                    if subject is None or key[1] == subject:
+                        yield (key, member)
+                return
+            if method is not None:
+                for key, bucket in self._by_method.get(method, {}).items():
+                    if subject is not None and key[1] != subject:
+                        continue
+                    for value in bucket:
+                        yield (key, value)
+                return
+            if subject is not None:
+                for key, bucket in self._by_subject.get(subject, {}).items():
+                    for value in bucket:
+                        if member is not None and value != member:
+                            continue
+                        yield (key, value)
+                return
+        for key, bucket in self._facts.items():
+            if method is not None and key[0] != method:
+                continue
+            if subject is not None and key[1] != subject:
+                continue
+            for value in bucket:
+                if member is not None and value != member:
+                    continue
+                yield (key, value)
+
+    def methods(self) -> frozenset[Oid]:
+        """All method objects with at least one stored application."""
+        if self._indexed:
+            return frozenset(m for m, bucket in self._by_method.items() if bucket)
+        return frozenset(key[0] for key in self._facts)
+
+    def mentioned_oids(self) -> Iterator[Oid]:
+        """Every OID occurring in any stored membership."""
+        for (method, subject, args), bucket in self._facts.items():
+            yield method
+            yield subject
+            yield from args
+            yield from bucket
+
+    def clone(self) -> "SetMethodTable":
+        """An independent copy (same indexing mode)."""
+        copy = SetMethodTable(indexed=self._indexed)
+        for (method, subject, args), bucket in self._facts.items():
+            for member in bucket:
+                copy.add(method, subject, args, member)
+        return copy

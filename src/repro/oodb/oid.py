@@ -1,0 +1,89 @@
+"""Object identifiers.
+
+The paper distinguishes the user-visible *names* from the storage-level
+object identity.  We model identity with two OID kinds:
+
+- :class:`NamedOid` -- the object a name denotes by default (``I_N`` is
+  injective unless aliases are declared on the database).  Values
+  (integers, strings) are names denoting themselves, so ``NamedOid(30)``
+  is the object "thirty".
+
+- :class:`VirtualOid` -- a virtual object created by a scalar path in a
+  rule head (Section 6).  Its identity *is* the ground method
+  application that defined it, ``method(subject, args)``; this is the
+  paper's observation that methods can do the job function symbols do in
+  F-logic.  Virtual OIDs nest: the boss of the boss of ``p1`` is
+  ``boss(boss(p1))``.
+
+Both kinds are immutable and hashable and compare structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+#: Python values usable as names.
+NameValue = Union[str, int]
+
+
+class Oid:
+    """Base class of object identifiers."""
+
+    __slots__ = ()
+
+    def display(self) -> str:
+        """Human-readable, PathLog-like rendering of this identity."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.display()
+
+
+@dataclass(frozen=True, slots=True)
+class NamedOid(Oid):
+    """The storage identity behind a name (or value)."""
+
+    value: NameValue
+
+    def display(self) -> str:
+        from repro.core.pretty import name_to_text
+
+        return name_to_text(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class VirtualOid(Oid):
+    """A virtual object: the ground scalar application that created it."""
+
+    method: Oid
+    subject: Oid
+    args: tuple[Oid, ...] = ()
+
+    def display(self) -> str:
+        args = ""
+        if self.args:
+            args = "@(" + ", ".join(a.display() for a in self.args) + ")"
+        return f"{self.subject.display()}.{self.method.display()}{args}"
+
+    def depth(self) -> int:
+        """Nesting depth of virtual construction (used by engine limits)."""
+        children = [self.method, self.subject, *self.args]
+        return 1 + max(
+            (c.depth() for c in children if isinstance(c, VirtualOid)),
+            default=0,
+        )
+
+
+def oid_sort_key(oid: Oid) -> tuple:
+    """A total order over OIDs for deterministic output.
+
+    Named OIDs sort before virtual ones; names sort strings before
+    integers by type name then value, which is arbitrary but stable.
+    """
+    if isinstance(oid, NamedOid):
+        return (0, type(oid.value).__name__, str(oid.value))
+    if isinstance(oid, VirtualOid):
+        return (1, oid_sort_key(oid.method), oid_sort_key(oid.subject),
+                tuple(oid_sort_key(a) for a in oid.args))
+    raise TypeError(f"not an oid: {oid!r}")

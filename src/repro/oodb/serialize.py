@@ -1,0 +1,140 @@
+"""JSON serialisation of databases.
+
+The format is self-describing and stable: OIDs encode as
+
+- ``{"n": value}`` for named OIDs (value is a string or integer), and
+- ``{"v": [method, subject, arg...]}`` for virtual OIDs (recursively
+  encoded),
+
+and a database encodes as its aliases, isa edges, scalar facts, and set
+facts.  ``loads(dumps(db))`` reproduces an equivalent database (a
+property-based test pins this).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import PathLogError
+from repro.oodb.database import Database
+from repro.oodb.oid import NamedOid, Oid, VirtualOid, oid_sort_key
+
+FORMAT_VERSION = 1
+
+
+class SerializationError(PathLogError):
+    """The JSON document is not a valid database encoding."""
+
+
+def encode_oid(oid: Oid) -> Any:
+    """Encode one OID as a JSON-compatible value."""
+    if isinstance(oid, NamedOid):
+        return {"n": oid.value}
+    if isinstance(oid, VirtualOid):
+        parts = [encode_oid(oid.method), encode_oid(oid.subject)]
+        parts.extend(encode_oid(a) for a in oid.args)
+        return {"v": parts}
+    raise TypeError(f"not an oid: {oid!r}")
+
+
+def decode_oid(data: Any) -> Oid:
+    """Decode one OID from its JSON form."""
+    if not isinstance(data, dict):
+        raise SerializationError(f"expected an oid object, got {data!r}")
+    if "n" in data:
+        value = data["n"]
+        if not isinstance(value, (str, int)) or isinstance(value, bool):
+            raise SerializationError(f"bad name value {value!r}")
+        return NamedOid(value)
+    if "v" in data:
+        parts = data["v"]
+        if not isinstance(parts, list) or len(parts) < 2:
+            raise SerializationError(f"bad virtual oid {data!r}")
+        decoded = [decode_oid(p) for p in parts]
+        return VirtualOid(decoded[0], decoded[1], tuple(decoded[2:]))
+    raise SerializationError(f"unknown oid encoding {data!r}")
+
+
+def to_dict(db: Database) -> dict:
+    """Encode a whole database as a canonical JSON-compatible dict.
+
+    All lists are sorted with :func:`~repro.oodb.oid.oid_sort_key`, so
+    equal databases produce byte-identical encodings regardless of
+    insertion order.
+    """
+
+    def app_key(item):
+        (m, s, args), _ = item
+        return (oid_sort_key(m), oid_sort_key(s),
+                tuple(oid_sort_key(a) for a in args))
+
+    return {
+        "format": FORMAT_VERSION,
+        "reflexive_isa": db.hierarchy.reflexive,
+        "aliases": [
+            [value, encode_oid(target)] for value, target in sorted(
+                db._aliases.items(), key=lambda kv: (str(type(kv[0])), str(kv[0]))
+            )
+        ],
+        "universe": [
+            encode_oid(oid)
+            for oid in sorted(db.universe(), key=oid_sort_key)
+        ],
+        "isa": [
+            [encode_oid(member), encode_oid(cls)]
+            for member, cls in sorted(
+                db.hierarchy.declared_edges(),
+                key=lambda edge: (oid_sort_key(edge[0]), oid_sort_key(edge[1])),
+            )
+        ],
+        "scalars": [
+            [encode_oid(m), encode_oid(s), [encode_oid(a) for a in args],
+             encode_oid(r)]
+            for (m, s, args), r in sorted(db.scalars.items(), key=app_key)
+        ],
+        "sets": [
+            [encode_oid(m), encode_oid(s), [encode_oid(a) for a in args],
+             [encode_oid(r) for r in sorted(members, key=oid_sort_key)]]
+            for (m, s, args), members in sorted(db.sets.items(), key=app_key)
+        ],
+    }
+
+
+def from_dict(data: dict) -> Database:
+    """Decode a database from the dict produced by :func:`to_dict`."""
+    if not isinstance(data, dict) or data.get("format") != FORMAT_VERSION:
+        raise SerializationError("missing or unsupported format version")
+    db = Database(reflexive_isa=bool(data.get("reflexive_isa", False)))
+    for value, target in data.get("aliases", []):
+        db.alias(value, decode_oid(target))
+    for encoded in data.get("universe", []):
+        db.register(decode_oid(encoded))
+    for member, cls in data.get("isa", []):
+        db.assert_isa(decode_oid(member), decode_oid(cls))
+    for method, subject, args, result in data.get("scalars", []):
+        db.assert_scalar(decode_oid(method), decode_oid(subject),
+                         tuple(decode_oid(a) for a in args),
+                         decode_oid(result))
+    for method, subject, args, members in data.get("sets", []):
+        method_oid = decode_oid(method)
+        subject_oid = decode_oid(subject)
+        args_oids = tuple(decode_oid(a) for a in args)
+        for member in members:
+            db.assert_set_member(method_oid, subject_oid, args_oids,
+                                 decode_oid(member))
+    return db
+
+
+def dumps(db: Database, *, indent: int | None = None) -> str:
+    """Serialise a database to a JSON string."""
+    return json.dumps(to_dict(db), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> Database:
+    """Deserialise a database from a JSON string."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    return from_dict(data)

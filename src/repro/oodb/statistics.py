@@ -1,0 +1,49 @@
+"""Shape and size statistics of a database (used by benches and docs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.oodb.database import Database
+from repro.oodb.oid import VirtualOid
+
+
+@dataclass(frozen=True, slots=True)
+class DatabaseStats:
+    """A snapshot of database size: one row in the bench reports."""
+
+    universe: int
+    virtual_objects: int
+    isa_edges: int
+    scalar_facts: int
+    set_memberships: int
+    set_applications: int
+    scalar_methods: int
+    set_methods: int
+
+    def as_row(self) -> dict[str, int]:
+        """Dict form for tabular printing."""
+        return {
+            "|U|": self.universe,
+            "virtual": self.virtual_objects,
+            "isa": self.isa_edges,
+            "scalar": self.scalar_facts,
+            "set": self.set_memberships,
+            "set-apps": self.set_applications,
+        }
+
+
+def collect(db: Database) -> DatabaseStats:
+    """Compute the statistics of ``db``."""
+    return DatabaseStats(
+        universe=len(db),
+        virtual_objects=sum(
+            1 for oid in db.universe() if isinstance(oid, VirtualOid)
+        ),
+        isa_edges=len(db.hierarchy),
+        scalar_facts=len(db.scalars),
+        set_memberships=len(db.sets),
+        set_applications=db.sets.applications(),
+        scalar_methods=len(db.scalars.methods()),
+        set_methods=len(db.sets.methods()),
+    )

@@ -1,0 +1,14 @@
+"""Public query API: enumerate answers to PathLog queries.
+
+:class:`repro.query.query.Query` wraps a database and answers
+
+- conjunctive queries (strings, literals, or literal tuples) with
+  variable bindings,
+- truth queries (``ask``), and
+- denotation queries (``objects``: the set a reference denotes).
+"""
+
+from repro.query.bindings import Answer
+from repro.query.query import Query
+
+__all__ = ["Answer", "Query"]

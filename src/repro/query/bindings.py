@@ -1,0 +1,61 @@
+"""Answer rows: immutable mappings from variable names to objects."""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.oodb.oid import NamedOid, Oid, oid_sort_key
+
+
+class Answer(Mapping[str, Oid]):
+    """One query answer: variable name -> object.
+
+    Behaves as a read-only mapping; :meth:`value` and :meth:`values_dict`
+    unwrap named OIDs back to their Python values (handy in tests and
+    examples), while virtual objects keep their display form.
+    """
+
+    __slots__ = ("_row",)
+
+    def __init__(self, row: Mapping[str, Oid]) -> None:
+        self._row = dict(row)
+
+    def __getitem__(self, key: str) -> Oid:
+        return self._row[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._row)
+
+    def __len__(self) -> int:
+        return len(self._row)
+
+    def value(self, key: str):
+        """The Python value bound to ``key`` (or the OID's display)."""
+        oid = self._row[key]
+        if isinstance(oid, NamedOid):
+            return oid.value
+        return oid.display()
+
+    def values_dict(self) -> dict[str, object]:
+        """All bindings as Python values (see :meth:`value`)."""
+        return {key: self.value(key) for key in self._row}
+
+    def sort_key(self) -> tuple:
+        """A deterministic ordering key over the row."""
+        return tuple(
+            (name, oid_sort_key(self._row[name])) for name in sorted(self._row)
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Answer):
+            return self._row == other._row
+        if isinstance(other, Mapping):
+            return self._row == dict(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._row.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self._row.items())
+        return f"Answer({inner})"

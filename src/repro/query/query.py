@@ -1,0 +1,141 @@
+"""The :class:`Query` facade: solve conjunctions against a database.
+
+Queries are given as PathLog text (``"X : employee..vehicles.color[Z]"``
+-- possibly several literals separated by commas), as parsed literals,
+or as tuples of literals.  Answers are projections of the solutions onto
+the *user* variables (auxiliary flattening variables are hidden),
+deduplicated, in deterministic order.
+
+Examples::
+
+    q = Query(db)
+    q.ask("p1 : employee")                        # truth
+    q.all("X : employee[age -> 30].city[C]")      # bindings
+    q.objects("p1..assistants[salary -> 1000]")   # denotation
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Union
+
+from repro.core.ast import Comparison, Literal, Negation, Reference, Var
+from repro.core.valuation import VariableValuation, valuate
+from repro.core.variables import variables_of
+from repro.engine.solve import solve
+from repro.flogic.flatten import flatten_conjunction
+from repro.lang.parser import parse_query, parse_reference
+from repro.oodb.database import Database
+from repro.oodb.oid import Oid, oid_sort_key
+from repro.query.bindings import Answer
+
+#: Accepted query inputs.
+QueryInput = Union[str, Reference, Comparison, Sequence[Literal]]
+
+
+class Query:
+    """Evaluates conjunctive PathLog queries over one database."""
+
+    def __init__(self, db: Database) -> None:
+        self._db = db
+
+    # ------------------------------------------------------------------
+
+    def solutions(self, query: QueryInput,
+                  variables: Iterable[str] | None = None) -> Iterator[Answer]:
+        """Yield deduplicated answers projected onto ``variables``.
+
+        ``variables`` defaults to all variables appearing in the query,
+        in first-occurrence order.
+        """
+        literals = self._as_literals(query)
+        wanted = self._wanted_variables(literals, variables)
+        atoms = flatten_conjunction(literals)
+        seen: set[tuple] = set()
+        for binding in solve(self._db, atoms, {}):
+            row = {name: binding[Var(name)] for name in wanted}
+            key = tuple(row[name] for name in wanted)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield Answer(row)
+
+    def all(self, query: QueryInput,
+            variables: Iterable[str] | None = None,
+            *, sort: bool = True) -> list[Answer]:
+        """All answers as a list; sorted deterministically by default."""
+        answers = list(self.solutions(query, variables))
+        if sort:
+            answers.sort(key=lambda a: a.sort_key())
+        return answers
+
+    def ask(self, query: QueryInput) -> bool:
+        """True iff the query has at least one solution."""
+        literals = self._as_literals(query)
+        atoms = flatten_conjunction(literals)
+        for _ in solve(self._db, atoms, {}):
+            return True
+        return False
+
+    def objects(self, ref: Union[str, Reference]) -> frozenset[Oid]:
+        """The set of objects a reference denotes, over all solutions.
+
+        For a ground reference this is exactly ``nu_I(ref)``; for a
+        reference with variables it is the union over all satisfying
+        valuations (the natural "result column" reading).
+        """
+        reference = (parse_reference(ref) if isinstance(ref, str) else ref)
+        if not variables_of(reference):
+            return valuate(reference, self._db, VariableValuation())
+        from repro.core.variables import FreshVariables
+        from repro.flogic.flatten import flatten_reference
+
+        flattened = flatten_reference(
+            reference, FreshVariables(avoid=variables_of(reference))
+        )
+        found: set[Oid] = set()
+        for binding in solve(self._db, flattened.atoms, {}):
+            if isinstance(flattened.term, Var):
+                found.add(binding[flattened.term])
+            else:
+                found.add(self._db.lookup_name(flattened.term.value))
+        return frozenset(found)
+
+    def count(self, query: QueryInput,
+              variables: Iterable[str] | None = None) -> int:
+        """Number of distinct answers."""
+        return sum(1 for _ in self.solutions(query, variables))
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _as_literals(query: QueryInput) -> tuple[Literal, ...]:
+        if isinstance(query, str):
+            return parse_query(query)
+        if isinstance(query, (Reference, Comparison, Negation)):
+            return (query,)
+        return tuple(query)
+
+    @staticmethod
+    def _wanted_variables(literals: tuple[Literal, ...],
+                          variables: Iterable[str] | None) -> list[str]:
+        if variables is not None:
+            return list(variables)
+        wanted: dict[str, None] = {}
+        for literal in literals:
+            if isinstance(literal, Negation):
+                # Negation never binds: its variables are answer
+                # variables only if they also occur positively.
+                continue
+            if isinstance(literal, Comparison):
+                for side in literal.references():
+                    for var in variables_of(side):
+                        wanted.setdefault(var.name, None)
+            else:
+                for var in variables_of(literal):
+                    wanted.setdefault(var.name, None)
+        return list(wanted)
+
+
+def sorted_objects(objects: Iterable[Oid]) -> list[Oid]:
+    """Deterministically sorted object list (test/bench helper)."""
+    return sorted(objects, key=oid_sort_key)

@@ -1,0 +1,51 @@
+"""Shared fixtures for the paper-example integration tests."""
+
+import pytest
+
+from repro.oodb.database import Database
+
+
+@pytest.fixture
+def company_db() -> Database:
+    """A hand-built company database covering every Section 1/2 query.
+
+    Small enough that expected answers can be read off by eye:
+
+    - mary: 30, newYork, boss peter (peter lives in newYork too),
+      vehicles car1 (red automobile, 4 cyl, by gm) + bike1 (vehicle);
+    - john: 45, boston, boss peter, vehicles car2 (blue, 6 cyl, by ford);
+    - peter: manager, newYork, vehicles car3 (red, 8 cyl, by gm);
+      gm sits in detroit and peter presides over it.
+    """
+    db = Database()
+    db.subclass("automobile", "vehicle")
+    db.subclass("manager", "employee")
+
+    db.add_object("gm", classes=["company"],
+                  scalars={"city": "detroit", "president": "peter"})
+    db.add_object("ford", classes=["company"],
+                  scalars={"city": "boston", "president": "john"})
+
+    db.add_object("car1", classes=["automobile"],
+                  scalars={"color": "red", "cylinders": 4,
+                           "producedBy": "gm"})
+    db.add_object("car2", classes=["automobile"],
+                  scalars={"color": "blue", "cylinders": 6,
+                           "producedBy": "ford"})
+    db.add_object("car3", classes=["automobile"],
+                  scalars={"color": "red", "cylinders": 8,
+                           "producedBy": "gm"})
+    db.add_object("bike1", classes=["vehicle"],
+                  scalars={"color": "green"})
+
+    db.add_object("mary", classes=["employee"],
+                  scalars={"age": 30, "city": "newYork", "boss": "peter"},
+                  sets={"vehicles": ["car1", "bike1"]})
+    db.add_object("john", classes=["employee"],
+                  scalars={"age": 45, "city": "boston", "boss": "peter"},
+                  sets={"vehicles": ["car2"]})
+    db.add_object("peter", classes=["manager"],
+                  scalars={"age": 50, "city": "newYork"},
+                  sets={"vehicles": ["car3"],
+                        "assistants": ["mary", "john"]})
+    return db

@@ -1,0 +1,95 @@
+"""The documented divergences: direct semantics vs. naive flattening.
+
+Definition 4 has two corners a conjunction-of-paths translation cannot
+express (the paper's argument for a direct semantics):
+
+- case 7: ``t0[m ->> s]`` holds *vacuously* when ``s`` denotes nothing;
+- case 8: enumerated elements that fail to denote drop out of ``S``.
+
+The strict flattener refuses these constructs; these tests pin both the
+refusal and the direct evaluator's behaviour, plus the agreement of the
+two pipelines on the shared fragment.
+"""
+
+import pytest
+
+from repro.core.entailment import entails
+from repro.core.valuation import VariableValuation, valuate
+from repro.engine.solve import exists, solve
+from repro.flogic.flatten import FlattenUnsupported, flatten_reference, flatten_strict
+from repro.lang.parser import parse_reference
+from repro.oodb.database import Database
+from repro.oodb.oid import NamedOid
+
+
+def n(value):
+    return NamedOid(value)
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.add_object("p1", sets={"assistants": ["a1"]})
+    db.add_object("p2", sets={"friends": ["a1"]})
+    db.add_object("john")  # spouse undefined, assistants undefined
+    return db
+
+
+class TestVacuousSuperset:
+    def test_direct_semantics_is_vacuously_true(self, db):
+        ref = parse_reference("p2[friends ->> john..assistants]")
+        assert entails(db, ref)
+
+    def test_engine_pipeline_agrees_with_direct(self, db):
+        ref = parse_reference("p2[friends ->> john..assistants]")
+        flattened = flatten_reference(ref)
+        assert exists(db, flattened.atoms)
+
+    def test_strict_flattening_refuses(self, db):
+        with pytest.raises(FlattenUnsupported):
+            flatten_strict(parse_reference(
+                "p2[friends ->> john..assistants]"))
+
+
+class TestDroppedEnumElements:
+    def test_direct_semantics_drops_nondenoting_elements(self, db):
+        ref = parse_reference("p2[friends ->> {a1, john.spouse}]")
+        assert entails(db, ref)
+
+    def test_engine_pipeline_agrees(self, db):
+        ref = parse_reference("p2[friends ->> {a1, john.spouse}]")
+        assert exists(db, flatten_reference(ref).atoms)
+
+    def test_naive_conjunction_would_differ(self, db):
+        # The naive one-dimensional translation of
+        # ``p2[friends ->> {a1, john.spouse}]`` is the conjunction
+        # "S = john.spouse AND S in friends(p2) AND a1 in friends(p2)",
+        # which requires john.spouse to DENOTE.  It is false here, while
+        # the paper's direct semantics (element drops out) is true.
+        direct = entails(db, parse_reference(
+            "p2[friends ->> {a1, john.spouse}]"))
+        membership_part = exists(db, flatten_reference(
+            parse_reference("p2[friends ->> {a1}]")).atoms)
+        spouse_denotes = exists(db, flatten_reference(
+            parse_reference("john.spouse")).atoms)
+        naive = membership_part and spouse_denotes
+        assert direct is True
+        assert naive is False
+
+
+class TestSharedFragmentAgreement:
+    @pytest.mark.parametrize("text", [
+        "p1..assistants",
+        "p1..assistants[salary -> 1000]",
+        "p2[friends ->> {a1}]",
+        "john.spouse",
+        "p1 : person",
+    ])
+    def test_direct_equals_strict_flatten(self, db, text):
+        ref = parse_reference(text)
+        direct = entails(db, ref, VariableValuation())
+        try:
+            flattened = flatten_strict(ref)
+        except FlattenUnsupported:  # pragma: no cover - not in this list
+            raise AssertionError("fragment should be strict-flattenable")
+        assert direct == exists(db, flattened.atoms)

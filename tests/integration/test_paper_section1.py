@@ -1,0 +1,70 @@
+"""Experiments E1.1-E1.4: the Section 1 queries agree across languages.
+
+The paper introduces the same information need in O2SQL (1.1), XSQL
+(1.2), the calculus style of [VV93] (1.3), and then the variant with the
+cylinder condition that forces XSQL into two paths (1.4).  These tests
+pin the expected answers on the hand-built company database and the
+cross-language agreement the paper implies.
+"""
+
+from repro.frontends import run_o2sql, run_xsql
+from repro.query import Query
+
+E11_O2SQL = """
+    SELECT Y.color
+    FROM X IN employee
+    FROM Y IN X.vehicles
+    WHERE Y IN automobile
+"""
+
+E12_XSQL = """
+    SELECT Z
+    FROM employee X, automobile Y
+    WHERE X.vehicles[Y].color[Z]
+"""
+
+E13_CALCULUS = "X : employee..vehicles : automobile.color[Z]"
+
+E14_XSQL = """
+    SELECT Z
+    FROM employee X, automobile Y
+    WHERE X.vehicles[Y].color[Z] AND Y.cylinders[4]
+"""
+
+
+class TestE11:
+    def test_expected_colors(self, company_db):
+        rows = run_o2sql(company_db, E11_O2SQL)
+        # employees' automobiles: car1 red, car2 blue, car3 red
+        assert {r.value("Y.color") for r in rows} == {"red", "blue"}
+
+    def test_non_automobile_vehicles_excluded(self, company_db):
+        rows = run_o2sql(company_db, E11_O2SQL)
+        assert "green" not in {r.value("Y.color") for r in rows}
+
+
+class TestE12:
+    def test_matches_o2sql(self, company_db):
+        o2 = {r.value("Y.color") for r in run_o2sql(company_db, E11_O2SQL)}
+        xs = {r.value("Z") for r in run_xsql(company_db, E12_XSQL)}
+        assert o2 == xs
+
+
+class TestE13:
+    def test_calculus_style_matches(self, company_db):
+        rows = Query(company_db).all(E13_CALCULUS, variables=["Z"])
+        assert {r.value("Z") for r in rows} == {"red", "blue"}
+
+
+class TestE14:
+    def test_cylinder_condition_needs_second_path_in_xsql(self, company_db):
+        rows = run_xsql(company_db, E14_XSQL)
+        assert {r.value("Z") for r in rows} == {"red"}
+
+    def test_compiles_to_two_where_conditions(self):
+        from repro.frontends import compile_xsql
+
+        compiled = compile_xsql(E14_XSQL, set_methods=frozenset({"vehicles"}))
+        # 2 FROM literals + 2 WHERE literals: the conjunction the paper
+        # says one-dimensional path languages are forced into.
+        assert len(compiled.literals) == 4

@@ -1,0 +1,159 @@
+"""Hypothesis strategies for PathLog ASTs and databases.
+
+The reference strategy builds only *well-formed* references by
+construction (Definition 3), tracking scalarity through the recursion:
+set-valued sub-references are offered exactly where the definition
+allows them.
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import strategies as st
+
+from repro.core.ast import (
+    IsaFilter,
+    Molecule,
+    Name,
+    Paren,
+    Path,
+    Reference,
+    ScalarFilter,
+    SetEnumFilter,
+    SetFilter,
+    Var,
+)
+from repro.oodb.database import Database
+
+#: Small pools keep the chance of joins/collisions high.
+NAME_POOL = ("a", "b", "c", "kids", "boss", "color", "m1", "m2")
+VALUE_POOL = (1, 2, 30, "red", "x y", "Zed")
+VAR_POOL = ("X", "Y", "Z", "M")
+
+names = st.sampled_from(NAME_POOL).map(Name)
+values = st.sampled_from(VALUE_POOL).map(Name)
+variables = st.sampled_from(VAR_POOL).map(Var)
+
+#: Arbitrary printable names exercise the quoting path of the printer.
+wild_names = st.text(
+    alphabet=string.ascii_letters + string.digits + " _\"\\",
+    min_size=1, max_size=8,
+).map(Name)
+
+simple_scalars = st.one_of(names, values, variables)
+
+
+def references(max_depth: int = 3, *, allow_variables: bool = True,
+               set_valued: bool | None = None) -> st.SearchStrategy[Reference]:
+    """Well-formed references; ``set_valued`` constrains the result kind.
+
+    ``None`` means either kind.  With ``allow_variables=False`` the
+    references are ground.
+    """
+    leaf_pool = [names, values] + ([variables] if allow_variables else [])
+    leaves = st.one_of(*leaf_pool)
+
+    def extend(children: st.SearchStrategy[Reference]
+               ) -> st.SearchStrategy[Reference]:
+        scalar_child = children.filter(_is_scalar)
+        any_child = children
+
+        scalar_method = st.one_of(
+            leaves, scalar_child.map(Paren).filter(_is_scalar_paren)
+        )
+
+        paths = st.builds(
+            Path,
+            base=any_child,
+            method=scalar_method,
+            args=st.lists(any_child, max_size=2).map(tuple),
+            set_valued=st.booleans(),
+        )
+
+        scalar_filters = st.builds(
+            ScalarFilter,
+            method=scalar_method,
+            args=st.lists(scalar_child, max_size=1).map(tuple),
+            result=scalar_child,
+        )
+        set_filters = st.builds(
+            SetFilter,
+            method=scalar_method,
+            args=st.lists(scalar_child, max_size=1).map(tuple),
+            result=any_child.filter(lambda r: not _is_scalar(r)),
+        )
+        enum_filters = st.builds(
+            SetEnumFilter,
+            method=scalar_method,
+            args=st.lists(scalar_child, max_size=1).map(tuple),
+            elements=st.lists(scalar_child, max_size=2).map(tuple),
+        )
+        isa_filters = st.builds(
+            IsaFilter,
+            cls=st.one_of(leaves,
+                          scalar_child.map(Paren).filter(_is_scalar_paren)),
+        )
+        molecules = st.builds(
+            Molecule,
+            base=any_child,
+            filters=st.lists(
+                st.one_of(scalar_filters, set_filters, enum_filters),
+                max_size=2,
+            ).map(tuple),
+        )
+        isa_molecules = st.builds(
+            Molecule, base=any_child,
+            filters=isa_filters.map(lambda f: (f,)),
+        )
+        return st.one_of(children, paths, molecules, isa_molecules,
+                         any_child.map(Paren))
+
+    strategy = st.recursive(leaves, extend, max_leaves=max_depth * 4)
+    if set_valued is True:
+        return strategy.filter(lambda r: not _is_scalar(r))
+    if set_valued is False:
+        return strategy.filter(_is_scalar)
+    return strategy
+
+
+def _is_scalar(ref: Reference) -> bool:
+    from repro.core.scalarity import is_scalar
+
+    return is_scalar(ref)
+
+
+def _is_scalar_paren(ref: Paren) -> bool:
+    from repro.core.scalarity import is_scalar
+
+    return is_scalar(ref)
+
+
+@st.composite
+def databases(draw, max_objects: int = 8) -> Database:
+    """Small random databases over the shared name pools."""
+    db = Database()
+    objects = draw(st.lists(st.sampled_from(NAME_POOL + ("p1", "p2", "p3")),
+                            min_size=1, max_size=max_objects, unique=True))
+    class_pool = ("c1", "c2", "c3")
+    for obj in objects:
+        classes = draw(st.lists(st.sampled_from(class_pool), max_size=2,
+                                unique=True))
+        scalar_methods = draw(st.lists(st.sampled_from(NAME_POOL),
+                                       max_size=2, unique=True))
+        scalars = {}
+        for method in scalar_methods:
+            scalars[method] = draw(st.sampled_from(VALUE_POOL + tuple(objects)))
+        set_methods = draw(st.lists(st.sampled_from(NAME_POOL), max_size=2,
+                                    unique=True))
+        sets = {}
+        for method in set_methods:
+            sets[method] = draw(st.lists(st.sampled_from(tuple(objects)),
+                                         min_size=1, max_size=3,
+                                         unique=True))
+        db.add_object(obj, classes=classes, scalars=scalars, sets=sets)
+    # a couple of subclass edges (avoiding cycles by ordering)
+    for low, high in (("c1", "c2"), ("c2", "c3")):
+        if draw(st.booleans()):
+            db.subclass(low, high)
+    return db

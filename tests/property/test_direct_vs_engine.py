@@ -1,0 +1,42 @@
+"""Property: Definition 4/5 agree with the flatten-and-solve pipeline.
+
+For ground well-formed references, the direct valuation's entailment
+verdict must equal the existence of a solution for the flattened atom
+conjunction, and the denoted object set must equal the set of result
+bindings.  This ties the paper's declarative semantics to the engine's
+operational one on the full reference language (supersets included).
+"""
+
+from hypothesis import given, settings
+
+from repro.core.ast import Name, Var
+from repro.core.valuation import GROUND, valuate
+from repro.engine.solve import solve
+from repro.flogic.flatten import flatten_reference
+from tests.property.strategies import databases, references
+
+
+def engine_objects(db, ref):
+    flattened = flatten_reference(ref)
+    found = set()
+    for binding in solve(db, flattened.atoms):
+        term = flattened.term
+        if isinstance(term, Var):
+            found.add(binding[term])
+        else:
+            found.add(db.lookup_name(term.value))
+    return frozenset(found)
+
+
+@given(db=databases(), ref=references(max_depth=3, allow_variables=False))
+@settings(max_examples=250, deadline=None)
+def test_entailment_agrees(db, ref):
+    direct = bool(valuate(ref, db, GROUND))
+    operational = bool(engine_objects(db, ref))
+    assert direct == operational
+
+
+@given(db=databases(), ref=references(max_depth=3, allow_variables=False))
+@settings(max_examples=250, deadline=None)
+def test_denotation_agrees(db, ref):
+    assert valuate(ref, db, GROUND) == engine_objects(db, ref)

@@ -1,0 +1,89 @@
+"""Engine properties: evaluation-strategy parity and closure correctness."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.genealogy import closure_edges, desc_rules
+from repro.engine import Engine
+from repro.lang.parser import parse_program
+from repro.oodb.database import Database
+from repro.oodb.oid import NamedOid
+from repro.oodb.serialize import dumps
+
+
+def n(value):
+    return NamedOid(value)
+
+
+@st.composite
+def kid_forests(draw):
+    """Random small forests as (facts-db, digraph)."""
+    count = draw(st.integers(min_value=2, max_value=12))
+    people = [f"q{i}" for i in range(count)]
+    db = Database()
+    graph = nx.DiGraph()
+    graph.add_nodes_from(people)
+    for child_index in range(1, count):
+        if draw(st.booleans()):
+            parent_index = draw(st.integers(min_value=0,
+                                            max_value=child_index - 1))
+            parent, child = people[parent_index], people[child_index]
+            db.add_object(parent, sets={"kids": [child]})
+            graph.add_edge(parent, child)
+    for person in people:
+        db.add_object(person)
+    return db, graph
+
+
+@given(forest=kid_forests())
+@settings(max_examples=60, deadline=None)
+def test_desc_equals_networkx_closure(forest):
+    db, graph = forest
+    out = Engine(db, desc_rules()).run()
+    derived = {
+        (subject.value, member.value)
+        for (method, subject, _), members in out.sets.items()
+        if method == n("desc")
+        for member in members
+    }
+    assert derived == closure_edges(graph)
+
+
+@given(forest=kid_forests())
+@settings(max_examples=40, deadline=None)
+def test_naive_and_seminaive_reach_the_same_fixpoint(forest):
+    db, _ = forest
+    fast = Engine(db, desc_rules(), seminaive=True).run()
+    slow = Engine(db, desc_rules(), seminaive=False).run()
+    assert dumps(fast) == dumps(slow)
+
+
+RULE_POOL = [
+    "X[d1 -> 1] <- X[kids ->> {Y}].",
+    "X[d2 ->> {Y}] <- X[kids ->> {Y}], Y[kids ->> {Z}].",
+    "Y : reachable <- X[kids ->> {Y}].",
+    "X[d3 ->> {Z}] <- X[kids ->> {Y}], Y[kids ->> {Z}].",
+    "X.shadow[of -> X] <- X : reachable.",
+]
+
+
+@given(forest=kid_forests(),
+       picks=st.lists(st.sampled_from(RULE_POOL), min_size=1, max_size=4,
+                      unique=True))
+@settings(max_examples=40, deadline=None)
+def test_strategy_parity_on_random_programs(forest, picks):
+    db, _ = forest
+    program = parse_program("\n".join(picks))
+    fast = Engine(db, program, seminaive=True).run()
+    slow = Engine(db, program, seminaive=False).run()
+    assert dumps(fast) == dumps(slow)
+
+
+@given(forest=kid_forests())
+@settings(max_examples=30, deadline=None)
+def test_evaluation_is_idempotent(forest):
+    db, _ = forest
+    once = Engine(db, desc_rules()).run()
+    twice = Engine(once, desc_rules()).run()
+    assert dumps(once) == dumps(twice)

@@ -1,0 +1,27 @@
+"""Property: the pretty-printer and parser are exact inverses."""
+
+from hypothesis import given, settings
+
+from repro.core.pretty import to_text
+from repro.core.wellformed import check_well_formed
+from repro.lang.parser import parse_reference
+from tests.property.strategies import references, wild_names
+
+
+@given(ref=references(max_depth=4))
+@settings(max_examples=300)
+def test_parse_inverts_print(ref):
+    check_well_formed(ref)  # strategy invariant
+    assert parse_reference(to_text(ref), check=False) == ref
+
+
+@given(ref=references(max_depth=4))
+@settings(max_examples=150)
+def test_printing_is_stable(ref):
+    once = to_text(ref)
+    assert to_text(parse_reference(once, check=False)) == once
+
+
+@given(name=wild_names)
+def test_arbitrary_names_survive_quoting(name):
+    assert parse_reference(to_text(name), check=False) == name

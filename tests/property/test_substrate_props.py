@@ -1,0 +1,71 @@
+"""Substrate properties: hierarchy laws and serialisation round-trips."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PathLogError
+from repro.oodb.hierarchy import ClassHierarchy
+from repro.oodb.oid import NamedOid
+from repro.oodb.serialize import dumps, loads
+from tests.property.strategies import databases
+
+
+def n(value):
+    return NamedOid(value)
+
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 8), st.integers(0, 8)),
+    max_size=16,
+)
+
+
+@given(edges=edge_lists)
+@settings(max_examples=150)
+def test_hierarchy_stays_a_strict_partial_order(edges):
+    h = ClassHierarchy()
+    for low, high in edges:
+        try:
+            h.declare(n(low), n(high))
+        except PathLogError:
+            pass  # cycle rejected -- that's the invariant at work
+    objects = h.objects()
+    for a in objects:
+        # irreflexive
+        assert not h.isa(a, a)
+        for b in h.ancestors(a):
+            # antisymmetric
+            assert not h.isa(b, a)
+            # transitive: ancestors of ancestors are ancestors
+            assert h.ancestors(b) <= h.ancestors(a)
+
+
+@given(edges=edge_lists)
+@settings(max_examples=100)
+def test_members_and_ancestors_are_converses(edges):
+    h = ClassHierarchy()
+    for low, high in edges:
+        try:
+            h.declare(n(low), n(high))
+        except PathLogError:
+            pass
+    for obj in h.objects():
+        for cls in h.ancestors(obj):
+            assert obj in h.descendants(cls)
+
+
+@given(db=databases())
+@settings(max_examples=80, deadline=None)
+def test_serialise_round_trip(db):
+    text = dumps(db)
+    restored = loads(text)
+    assert dumps(restored) == text
+    assert restored.universe() == db.universe()
+    assert dict(restored.scalars.items()) == dict(db.scalars.items())
+    assert dict(restored.sets.items()) == dict(db.sets.items())
+
+
+@given(db=databases())
+@settings(max_examples=50, deadline=None)
+def test_clone_equals_original(db):
+    assert dumps(db.clone()) == dumps(db)

@@ -1,0 +1,120 @@
+"""Unit tests for the reference AST (Definition 1)."""
+
+import pytest
+
+from repro.core.ast import (
+    SELF,
+    Comparison,
+    IsaFilter,
+    Molecule,
+    Name,
+    Paren,
+    Path,
+    Program,
+    Rule,
+    ScalarFilter,
+    SetEnumFilter,
+    SetFilter,
+    Var,
+    enumfilter,
+    isa,
+    mol,
+    name,
+    scalar_path,
+    selfilter,
+    set_path,
+    setfilter,
+    sfilter,
+    var,
+)
+
+
+class TestNodes:
+    def test_name_holds_strings_and_integers(self):
+        assert Name("mary").value == "mary"
+        assert Name(30).value == 30
+
+    def test_nodes_are_hashable_and_structural(self):
+        assert Name("a") == Name("a")
+        assert Name("a") != Name("b")
+        assert hash(Var("X")) == hash(Var("X"))
+        assert {Name("a"), Name("a")} == {Name("a")}
+
+    def test_name_and_int_name_differ(self):
+        assert Name("4") != Name(4)
+
+    def test_path_children_order(self):
+        path = Path(Name("a"), Name("m"), (Var("X"), Name(1)))
+        assert path.children() == (Name("a"), Name("m"), Var("X"), Name(1))
+
+    def test_molecule_children_include_filter_references(self):
+        molecule = Molecule(Name("a"), (
+            ScalarFilter(Name("m"), (Var("P"),), Var("R")),
+            IsaFilter(Name("c")),
+        ))
+        assert molecule.children() == (
+            Name("a"), Name("m"), Var("P"), Var("R"), Name("c"),
+        )
+
+    def test_walk_is_preorder_and_complete(self):
+        ref = Molecule(
+            Path(Name("a"), Name("m"), ()),
+            (ScalarFilter(Name("f"), (), Var("X")),),
+        )
+        nodes = list(ref.walk())
+        assert nodes[0] is ref
+        assert Name("a") in nodes
+        assert Var("X") in nodes
+
+    def test_paren_wraps_and_unwraps(self):
+        inner = Path(Name("integer"), Name("list"), ())
+        assert Paren(inner).children() == (inner,)
+
+    def test_molecule_is_isa(self):
+        assert isa(Name("x"), "c").is_isa
+        assert not mol(Name("x"), sfilter("m", Name("r"))).is_isa
+        assert not Molecule(Name("x"), ()).is_isa
+
+
+class TestConvenienceConstructors:
+    def test_scalar_and_set_paths(self):
+        assert scalar_path(name("a"), "m") == Path(Name("a"), Name("m"), ())
+        assert set_path(name("a"), "m").set_valued
+
+    def test_string_methods_are_lifted(self):
+        assert scalar_path(name("a"), "m").method == Name("m")
+        assert sfilter("m", var("X")).method == Name("m")
+
+    def test_selector_filter_uses_self(self):
+        assert selfilter(var("Y")) == ScalarFilter(SELF, (), Var("Y"))
+
+    def test_setfilter_and_enumfilter(self):
+        assert setfilter("m", set_path(name("p"), "q")).method == Name("m")
+        enum = enumfilter("m", (var("Y"), name("z")))
+        assert enum.elements == (Var("Y"), Name("z"))
+
+
+class TestComparison:
+    def test_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            Comparison("~", Name(1), Name(2))
+
+    def test_references(self):
+        cmp = Comparison("<", Var("X"), Name(3))
+        assert cmp.references() == (Var("X"), Name(3))
+
+
+class TestRuleAndProgram:
+    def test_fact_detection(self):
+        fact = Rule(isa(name("p1"), "employee"))
+        assert fact.is_fact
+        assert not Rule(Var("X"), (Var("X"),)).is_fact
+
+    def test_program_partitions(self):
+        fact = Rule(isa(name("p1"), "employee"))
+        rule = Rule(Var("X"), (isa(var("X"), "person"),))
+        program = Program((fact, rule))
+        assert program.facts == (fact,)
+        assert program.proper_rules == (rule,)
+        assert len(program) == 2
+        assert list(program) == [fact, rule]

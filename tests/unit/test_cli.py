@@ -1,0 +1,94 @@
+"""CLI tests: programs, queries, snapshots, errors."""
+
+import io
+
+import pytest
+
+from repro.cli import run
+
+PROGRAM = """
+    p1 : employee. p1[age -> 30]. p1[worksFor -> cs1].
+    p2 : employee. p2[age -> 70].
+    X[senior -> yes] <- X : employee, X.age >= 65.
+    X.boss[worksFor -> D] <- X : employee[worksFor -> D].
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "program.plog"
+    path.write_text(PROGRAM)
+    return path
+
+
+def invoke(*argv):
+    out = io.StringIO()
+    code = run([str(a) for a in argv], out=out)
+    return code, out.getvalue()
+
+
+class TestEvaluation:
+    def test_query_answers(self, program_file):
+        code, output = invoke(program_file, "--query", "X[senior -> yes]")
+        assert code == 0
+        assert "X=p2" in output
+        assert "X=p1" not in output
+
+    def test_virtual_objects_render(self, program_file):
+        code, output = invoke(program_file, "--query",
+                              "p1.boss[worksFor -> D]")
+        assert code == 0
+        assert "D=cs1" in output
+
+    def test_boolean_query_yes_no(self, program_file):
+        code, output = invoke(program_file, "--query", "p1 : employee",
+                              "--query", "p1 : manager")
+        assert code == 0
+        assert "yes" in output
+        assert "no" in output
+
+    def test_stats(self, program_file):
+        code, output = invoke(program_file, "--stats")
+        assert code == 0
+        assert "stats derived:" in output
+
+    def test_naive_flag(self, program_file):
+        code, _ = invoke(program_file, "--naive",
+                         "--query", "X[senior -> yes]")
+        assert code == 0
+
+
+class TestSnapshots:
+    def test_dump_and_reload(self, program_file, tmp_path):
+        snapshot = tmp_path / "db.json"
+        code, output = invoke(program_file, "--dump", snapshot)
+        assert code == 0
+        assert snapshot.exists()
+        code, output = invoke("--db", snapshot,
+                              "--query", "X[senior -> yes]")
+        assert code == 0
+        assert "X=p2" in output
+
+
+class TestErrors:
+    def test_no_input(self):
+        code, output = invoke()
+        assert code == 2
+        assert "need a program" in output
+
+    def test_syntax_error_reported(self, tmp_path):
+        bad = tmp_path / "bad.plog"
+        bad.write_text("p1[a -> .")
+        code, output = invoke(bad)
+        assert code == 1
+        assert "error:" in output
+
+    def test_missing_file(self, tmp_path):
+        code, output = invoke(tmp_path / "absent.plog")
+        assert code == 1
+        assert "error:" in output
+
+    def test_bad_query(self, program_file):
+        code, output = invoke(program_file, "--query", "p1[")
+        assert code == 1
+        assert "error:" in output

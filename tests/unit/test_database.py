@@ -1,0 +1,108 @@
+"""Database facade tests: names, aliases, builtins, loading, cloning."""
+
+import pytest
+
+from repro.core.builtins import SELF_OID
+from repro.oodb.database import Database
+from repro.oodb.oid import NamedOid
+
+
+def n(value):
+    return NamedOid(value)
+
+
+class TestNames:
+    def test_lookup_registers_in_universe(self):
+        db = Database()
+        oid = db.lookup_name("mary")
+        assert oid == n("mary")
+        assert oid in db
+
+    def test_alias_makes_names_codenote(self):
+        db = Database()
+        db.add_object("mary", scalars={"age": 30})
+        db.alias("maria", "mary")
+        assert db.lookup_name("maria") == db.lookup_name("mary")
+        assert db.scalar_apply(n("age"), db.lookup_name("maria")) == n(30)
+
+
+class TestBuiltins:
+    def test_self_is_identity(self):
+        db = Database()
+        mary = db.lookup_name("mary")
+        assert db.scalar_apply(SELF_OID, mary) == mary
+
+    def test_self_with_args_is_undefined(self):
+        db = Database()
+        mary = db.lookup_name("mary")
+        assert db.scalar_apply(SELF_OID, mary, (n(1),)) is None
+
+    def test_integer_and_string_value_classes(self):
+        db = Database()
+        assert db.isa(n(42), n("integer"))
+        assert db.isa(n("abc"), n("string"))
+        assert not db.isa(n(42), n("string"))
+        assert not db.isa(n("abc"), n("integer"))
+
+    def test_value_classes_not_enumerable(self):
+        db = Database()
+        db.lookup_name(42)
+        assert db.members(n("integer")) == frozenset()
+
+    def test_declared_and_builtin_isa_combine(self):
+        db = Database()
+        db.subclass("evenNumber", "integer")
+        # hierarchy edge works alongside builtin membership
+        assert db.isa(n("evenNumber"), n("integer"))
+
+
+class TestLoading:
+    def test_add_object_full(self):
+        db = Database()
+        db.subclass("automobile", "vehicle")
+        db.add_object("car1", classes=["automobile"],
+                      scalars={"color": "red"}, sets={"tags": ["fast", "old"]})
+        car = db.lookup_name("car1")
+        assert db.isa(car, n("vehicle"))
+        assert db.scalar_apply(n("color"), car) == n("red")
+        assert db.set_apply(n("tags"), car) == {n("fast"), n("old")}
+
+    def test_add_object_extends_existing(self):
+        db = Database()
+        db.add_object("p1", scalars={"age": 30})
+        db.add_object("p1", sets={"vehicles": ["car1"]})
+        p1 = db.lookup_name("p1")
+        assert db.scalar_apply(n("age"), p1) == n(30)
+        assert db.set_apply(n("vehicles"), p1) == {n("car1")}
+
+    def test_repr_mentions_sizes(self):
+        db = Database()
+        db.add_object("p1", classes=["c"], scalars={"a": 1})
+        assert "scalar=1" in repr(db)
+
+
+class TestClone:
+    def test_clone_is_deep(self):
+        db = Database()
+        db.add_object("p1", classes=["employee"], scalars={"age": 30},
+                      sets={"vehicles": ["car1"]})
+        copy = db.clone()
+        copy.add_object("p2", classes=["employee"])
+        copy.add_object("p1", sets={"vehicles": ["car2"]})
+        assert db.lookup_name("p2") in copy
+        assert n("car2") not in db.set_apply(n("vehicles"), n("p1"))
+        assert not db.members(n("employee")) == copy.members(n("employee"))
+
+    def test_clone_preserves_aliases(self):
+        db = Database()
+        db.add_object("mary", scalars={"age": 30})
+        db.alias("maria", "mary")
+        copy = db.clone()
+        assert copy.lookup_name("maria") == n("mary")
+
+    def test_virtual_count(self):
+        from repro.oodb.oid import VirtualOid
+
+        db = Database()
+        db.register(VirtualOid(n("boss"), n("p1")))
+        assert db.virtual_count() == 1

@@ -1,0 +1,99 @@
+"""Dataset generator tests: determinism, shape, paper anchors."""
+
+import networkx as nx
+
+from repro.datasets import (
+    CompanyConfig,
+    build_company,
+    build_family,
+    build_university,
+)
+from repro.datasets.genealogy import chain_family, closure_edges
+from repro.oodb.oid import NamedOid
+from repro.oodb.serialize import dumps
+from repro.query import Query
+
+
+def n(value):
+    return NamedOid(value)
+
+
+class TestCompany:
+    def test_deterministic_for_seed(self):
+        a = build_company(CompanyConfig(employees=20, seed=5))
+        b = build_company(CompanyConfig(employees=20, seed=5))
+        assert dumps(a) == dumps(b)
+
+    def test_different_seeds_differ(self):
+        a = build_company(CompanyConfig(employees=20, seed=5))
+        b = build_company(CompanyConfig(employees=20, seed=6))
+        assert dumps(a) != dumps(b)
+
+    def test_shape(self):
+        db = build_company(CompanyConfig(employees=20, manager_ratio=0.25))
+        q = Query(db)
+        assert q.count("X : employee") >= 20
+        assert q.count("X : manager") >= 5
+        assert q.ask("X : automobile[cylinders -> 4]")
+
+    def test_golden_anchor_for_section2_query(self):
+        db = build_company(CompanyConfig(employees=10, seed=99))
+        rows = Query(db).all(
+            "X : manager..vehicles[color -> red]"
+            ".producedBy[city -> detroit; president -> X]",
+            variables=["X"],
+        )
+        assert any(r.value("X") == "p0" for r in rows)
+
+    def test_scaling(self):
+        small = build_company(CompanyConfig(employees=10))
+        large = build_company(CompanyConfig(employees=40))
+        assert len(large) > len(small)
+
+
+class TestGenealogy:
+    def test_graph_matches_database(self):
+        db, graph = build_family(generations=5, branching=2, seed=1)
+        for parent, child in graph.edges():
+            assert n(child) in db.set_apply(n("kids"), n(parent))
+        memberships = sum(
+            len(db.set_apply(n("kids"), n(node))) for node in graph.nodes()
+        )
+        assert memberships == graph.number_of_edges()
+
+    def test_tree_has_requested_depth(self):
+        _, graph = build_family(generations=5, branching=2, seed=1)
+        root = "f0_0_0"
+        assert nx.dag_longest_path_length(graph) == 4
+
+    def test_chain(self):
+        db, graph = chain_family(10)
+        assert graph.number_of_edges() == 9
+        assert len(closure_edges(graph)) == 9 * 10 // 2
+
+    def test_deterministic(self):
+        a, _ = build_family(seed=7)
+        b, _ = build_family(seed=7)
+        assert dumps(a) == dumps(b)
+
+
+class TestUniversity:
+    def test_shape(self):
+        db = build_university(courses=6, students=10, teachers=3)
+        q = Query(db)
+        assert q.count("X : course") == 6
+        assert q.count("X : student") == 10
+        assert q.ask("T : teacher[salary@(1994) -> S]")
+        assert q.ask("S : student[grade@(C) -> G]")
+
+    def test_prereqs_are_acyclic(self):
+        db = build_university(courses=10, seed=2)
+        graph = nx.DiGraph()
+        for (method, subject, _), members in db.sets.items():
+            if method == n("prereq"):
+                for member in members:
+                    graph.add_edge(subject.value, member.value)
+        assert nx.is_directed_acyclic_graph(graph)
+
+    def test_deterministic(self):
+        assert dumps(build_university(seed=3)) == dumps(build_university(seed=3))

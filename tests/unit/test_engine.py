@@ -1,0 +1,203 @@
+"""Engine tests: fixpoints, semi-naive parity, limits, statistics."""
+
+import pytest
+
+from repro.engine import Engine, EngineLimits
+from repro.engine.fixpoint import evaluate
+from repro.errors import ResourceLimitError, ScalarConflictError
+from repro.lang.parser import parse_program
+from repro.oodb.database import Database
+from repro.oodb.oid import NamedOid
+from repro.query.query import Query
+
+
+def n(value):
+    return NamedOid(value)
+
+
+def run(text: str, *, seminaive=True, limits=None, db=None):
+    engine = Engine(db or Database(), parse_program(text),
+                    seminaive=seminaive, limits=limits)
+    return engine.run(), engine
+
+
+class TestBasics:
+    def test_facts_are_loaded(self):
+        out, _ = run("p1 : employee. p1[age -> 30]. p1[kids ->> {a, b}].")
+        assert out.isa(n("p1"), n("employee"))
+        assert out.scalar_apply(n("age"), n("p1")) == n(30)
+        assert out.set_apply(n("kids"), n("p1")) == {n("a"), n("b")}
+
+    def test_input_database_not_mutated(self):
+        db = Database()
+        run("p1[age -> 30].", db=db)
+        assert db.scalar_apply(n("age"), n("p1")) is None
+
+    def test_simple_derivation(self):
+        out, _ = run("""
+            p1 : employee. p1[age -> 66].
+            X[senior -> yes] <- X : employee, X.age >= 65.
+        """)
+        assert out.scalar_apply(n("senior"), n("p1")) == n("yes")
+
+    def test_chained_rules(self):
+        out, _ = run("""
+            p1[a -> 1].
+            X[b -> 2] <- X[a -> 1].
+            X[c -> 3] <- X[b -> 2].
+        """)
+        assert out.scalar_apply(n("c"), n("p1")) == n(3)
+
+    def test_derived_isa_feeds_rules(self):
+        out, _ = run("""
+            p1[age -> 30].
+            X : adult <- X.age >= 18, X[age -> A].
+            X[canVote -> yes] <- X : adult.
+        """)
+        assert out.scalar_apply(n("canVote"), n("p1")) == n("yes")
+
+    def test_scalar_conflict_raised(self):
+        with pytest.raises(ScalarConflictError):
+            run("""
+                p1[a -> 1]. p2[a -> 2].
+                X[out -> V] <- Y[a -> V], X : sink.
+                s : sink.
+            """)
+
+
+class TestRecursion:
+    DESC = """
+        peter[kids ->> {tim, mary}].
+        tim[kids ->> {sally}].
+        mary[kids ->> {tom, paul}].
+        X[desc ->> {Y}] <- X[kids ->> {Y}].
+        X[desc ->> {Y}] <- X..desc[kids ->> {Y}].
+    """
+
+    def test_transitive_closure(self):
+        out, _ = run(self.DESC)
+        assert out.set_apply(n("desc"), n("peter")) == {
+            n("tim"), n("mary"), n("sally"), n("tom"), n("paul"),
+        }
+
+    def test_naive_and_seminaive_agree(self):
+        fast, _ = run(self.DESC, seminaive=True)
+        slow, _ = run(self.DESC, seminaive=False)
+        assert dict(fast.sets.items()) == dict(slow.sets.items())
+        assert dict(fast.scalars.items()) == dict(slow.scalars.items())
+
+    def test_seminaive_does_less_work_on_chains(self):
+        from repro.datasets.genealogy import chain_family, desc_rules
+
+        db, _ = chain_family(30)
+        fast = Engine(db, desc_rules(), seminaive=True)
+        fast.run()
+        slow = Engine(db, desc_rules(), seminaive=False)
+        slow.run()
+        assert fast.stats.firings * 5 < slow.stats.firings
+
+
+class TestStrataExecution:
+    def test_head_inclusion_needs_no_stratification(self):
+        # A superset filter in a HEAD is hoisted into per-member
+        # derivation, which the fixpoint maintains monotonically -- the
+        # paper requires stratification only for bodies.
+        out, engine = run("""
+            m : helper. k : helper.
+            p1[assistants ->> {X}] <- X : helper.
+            p2[friends ->> p1..assistants] <- p2 : anchor.
+            p2 : anchor.
+        """)
+        assert out.set_apply(n("friends"), n("p2")) == {n("m"), n("k")}
+        assert engine.stats.strata == 1
+
+    def test_body_superset_rule_sees_completed_set(self):
+        out, engine = run("""
+            m : helper. k : helper.
+            p1[assistants ->> {X}] <- X : helper.
+            p2[fullCrew -> yes] <- p2[friends ->> p1..assistants].
+            p2[friends ->> {m, k, extra}].
+        """)
+        assert out.scalar_apply(n("fullCrew"), n("p2")) == n("yes")
+        assert engine.stats.strata == 2
+
+    def test_vacuous_superset_in_body(self):
+        out, _ = run("""
+            p2 : anchor.
+            X[lonely -> yes] <- X : anchor, X[friends ->> p9..assistants].
+        """)
+        assert out.scalar_apply(n("lonely"), n("p2")) == n("yes")
+
+
+class TestVirtualObjects:
+    def test_virtual_chain_bounded_by_guard(self):
+        # Each person gets a virtual boss, but bosses are not persons,
+        # so creation stops after one level.
+        out, engine = run("""
+            p1 : person.
+            X.boss[level -> up] <- X : person.
+        """)
+        assert out.virtual_count() == 1
+        assert engine.stats.virtuals_created == 1
+
+    def test_runaway_virtuals_hit_limit(self):
+        limits = EngineLimits(max_virtual_depth=5)
+        with pytest.raises(ResourceLimitError, match="nesting"):
+            run("""
+                p1 : person.
+                X.boss : person <- X : person.
+            """, limits=limits)
+
+    def test_universe_limit(self):
+        limits = EngineLimits(max_universe=10, max_virtual_depth=10_000)
+        with pytest.raises(ResourceLimitError):
+            run("""
+                p1 : person.
+                X.boss : person <- X : person.
+            """, limits=limits)
+
+
+class TestStats:
+    def test_stats_shape(self):
+        _, engine = run("""
+            p1[a -> 1].
+            X[b -> 2] <- X[a -> 1].
+        """)
+        stats = engine.stats
+        assert stats.strata == 1
+        assert stats.derived_scalar == 2
+        assert stats.derived_total == 2
+        assert stats.elapsed_s >= 0
+        row = stats.as_row()
+        assert row["derived"] == 2
+
+    def test_evaluate_convenience(self):
+        out = evaluate(Database(), parse_program("p1[a -> 1]."))
+        assert out.scalar_apply(n("a"), n("p1")) == n(1)
+
+
+class TestGenericMethods:
+    def test_generic_tc_exact_paper_answer(self):
+        out, _ = run("""
+            peter[kids ->> {tim, mary}].
+            tim[kids ->> {sally}].
+            mary[kids ->> {tom, paul}].
+            X[(M.tc) ->> {Y}] <- X[M ->> {Y}].
+            X[(M.tc) ->> {Y}] <- X..(M.tc)[M ->> {Y}].
+        """)
+        found = Query(out).objects("peter..(kids.tc)")
+        assert {str(o) for o in found} == {"tim", "mary", "sally",
+                                           "tom", "paul"}
+
+    def test_method_depth_limit_controls_towers(self):
+        program = """
+            peter[kids ->> {tim}].
+            X[(M.tc) ->> {Y}] <- X[M ->> {Y}].
+            X[(M.tc) ->> {Y}] <- X..(M.tc)[M ->> {Y}].
+        """
+        shallow, _ = run(program,
+                         limits=EngineLimits(max_method_depth=1))
+        deeper, _ = run(program,
+                        limits=EngineLimits(max_method_depth=2))
+        # Raising the bound derives facts for tc(tc(kids)) as well.
+        assert deeper.virtual_count() > shallow.virtual_count()

@@ -1,0 +1,112 @@
+"""Definition 5: entailment, comparisons, and the model-check oracle."""
+
+import pytest
+
+from repro.core.ast import Comparison, Name, Var
+from repro.core.entailment import (
+    comparison_holds,
+    compare_oids,
+    counterexamples,
+    entails,
+    entails_all,
+    rule_holds,
+    valuations_over,
+)
+from repro.core.valuation import VariableValuation
+from repro.errors import EvaluationError
+from repro.lang.parser import parse_literal, parse_reference, parse_rule
+from repro.oodb.database import Database
+from repro.oodb.oid import NamedOid, VirtualOid
+
+
+def n(value):
+    return NamedOid(value)
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.add_object("p1", classes=["employee"],
+                  scalars={"age": 30},
+                  sets={"assistants": ["a1"]})
+    db.add_object("a1", scalars={"salary": 1000})
+    return db
+
+
+class TestReferenceEntailment:
+    def test_entailed_iff_denotes(self, db):
+        assert entails(db, parse_reference("p1.age"))
+        assert not entails(db, parse_reference("p1.spouse"))
+
+    def test_paper_section5_set_reference(self, db):
+        # p1..assistants[salary -> 1000] is true: at least one such
+        # assistant exists.
+        assert entails(db, parse_reference(
+            "p1..assistants[salary -> 1000]"))
+        assert not entails(db, parse_reference(
+            "p1..assistants[salary -> 9]"))
+
+    def test_with_valuation(self, db):
+        nu = VariableValuation({Var("X"): n("p1")})
+        assert entails(db, parse_reference("X[age -> 30]"), nu)
+
+    def test_entails_all(self, db):
+        literals = (parse_reference("p1 : employee"),
+                    parse_reference("p1.age"))
+        assert entails_all(db, literals)
+
+
+class TestComparisons:
+    def test_equality_on_objects(self, db):
+        assert comparison_holds(db, parse_literal("p1.age = 30"))
+        assert comparison_holds(db, parse_literal("p1.age != 31"))
+
+    def test_nondenoting_side_fails(self, db):
+        assert not comparison_holds(db, parse_literal("p1.spouse = p1"))
+
+    def test_integer_ordering(self, db):
+        assert comparison_holds(db, parse_literal("p1.age < 31"))
+        assert comparison_holds(db, parse_literal("p1.age >= 30"))
+        assert not comparison_holds(db, parse_literal("p1.age > 30"))
+
+    def test_string_ordering(self):
+        assert compare_oids("<", n("abc"), n("abd"))
+        assert compare_oids("<=", n("a"), n("a"))
+
+    def test_mixed_types_never_ordered(self):
+        assert not compare_oids("<", n(1), n("a"))
+        assert not compare_oids(">", n("a"), n(1))
+
+    def test_virtuals_compare_by_identity_only(self):
+        v = VirtualOid(n("boss"), n("p1"))
+        assert compare_oids("=", v, v)
+        assert not compare_oids("<", v, n(1))
+
+    def test_unknown_operator(self):
+        with pytest.raises(EvaluationError):
+            compare_oids("~~", n(1), n(2))
+
+
+class TestRuleOracle:
+    def test_satisfied_rule(self, db):
+        rule = parse_rule("X : employee <- X[age -> 30].")
+        assert rule_holds(db, rule)
+
+    def test_violated_rule_and_counterexample(self, db):
+        rule = parse_rule("X[senior -> yes] <- X[age -> 30].")
+        assert not rule_holds(db, rule)
+        witnesses = counterexamples(db, rule)
+        assert any(w[Var("X")] == n("p1") for w in witnesses)
+
+    def test_ground_rule(self, db):
+        assert rule_holds(db, parse_rule("p1 : employee <- p1.age."))
+
+    def test_explosion_guard(self, db):
+        rule = parse_rule("A[x -> B] <- A[y -> B], C[z -> D], E[w -> F].")
+        with pytest.raises(EvaluationError, match="assignments"):
+            rule_holds(db, rule, max_assignments=10)
+
+    def test_valuations_over_is_exhaustive(self):
+        universe = [n(1), n(2)]
+        all_nu = list(valuations_over([Var("X"), Var("Y")], universe))
+        assert len(all_nu) == 4

@@ -1,0 +1,150 @@
+"""Flattening tests: atoms produced, aux variables, strict mode."""
+
+import pytest
+
+from repro.core.ast import Name, Var
+from repro.core.variables import FreshVariables
+from repro.flogic.atoms import (
+    ComparisonAtom,
+    EnumSupersetAtom,
+    IsaAtom,
+    ScalarAtom,
+    SetMemberAtom,
+    SupersetAtom,
+)
+from repro.flogic.flatten import (
+    FlattenUnsupported,
+    flatten_conjunction,
+    flatten_literal,
+    flatten_reference,
+    flatten_strict,
+)
+from repro.lang.parser import parse_literal, parse_query, parse_reference
+
+
+def flat(text: str):
+    return flatten_reference(parse_reference(text, check=False))
+
+
+class TestBasicForms:
+    def test_name_and_variable_produce_no_atoms(self):
+        assert flat("mary").atoms == ()
+        assert flat("X").term == Var("X")
+
+    def test_scalar_path(self):
+        result = flat("mary.boss")
+        assert len(result.atoms) == 1
+        atom = result.atoms[0]
+        assert isinstance(atom, ScalarAtom)
+        assert atom.method == Name("boss")
+        assert atom.subject == Name("mary")
+        assert atom.result == result.term
+
+    def test_set_path(self):
+        result = flat("p1..assistants")
+        assert isinstance(result.atoms[0], SetMemberAtom)
+
+    def test_deep_path_chains_aux_vars(self):
+        result = flat("a.b.c.d")
+        assert len(result.atoms) == 3
+        # each atom's result feeds the next atom's subject
+        for first, second in zip(result.atoms, result.atoms[1:]):
+            assert first.result == second.subject
+
+    def test_isa(self):
+        result = flat("x : c")
+        assert result.atoms == (IsaAtom(Name("x"), Name("c")),)
+        assert result.term == Name("x")
+
+    def test_scalar_filter(self):
+        result = flat("mary[age -> 30]")
+        assert result.atoms == (ScalarAtom(Name("age"), Name("mary"), (),
+                                           Name(30)),)
+
+    def test_flagship_query_shape(self):
+        result = flat(
+            "X : employee..vehicles : automobile.color[Z]"
+        )
+        kinds = [type(a).__name__ for a in result.atoms]
+        assert kinds == ["IsaAtom", "SetMemberAtom", "IsaAtom",
+                         "ScalarAtom", "ScalarAtom"]
+
+    def test_selector_flattens_to_self(self):
+        result = flat("x.color[Z]")
+        last = result.atoms[-1]
+        assert isinstance(last, ScalarAtom)
+        assert last.method == Name("self")
+        assert last.result == Var("Z")
+
+    def test_path_args_flattened(self):
+        result = flat("p1.paidFor@(p1..vehicles)")
+        assert isinstance(result.atoms[0], SetMemberAtom)
+        assert isinstance(result.atoms[1], ScalarAtom)
+        assert result.atoms[1].args == (result.atoms[0].member,)
+
+
+class TestSupersetForms:
+    def test_set_filter_becomes_superset_atom(self):
+        result = flat("p2[friends ->> p1..assistants]")
+        atom = result.atoms[0]
+        assert isinstance(atom, SupersetAtom)
+        assert atom.source == parse_reference("p1..assistants")
+
+    def test_enum_with_simple_elements_desugars(self):
+        result = flat("p2[friends ->> {Y, p3}]")
+        assert all(isinstance(a, SetMemberAtom) for a in result.atoms)
+        assert {a.member for a in result.atoms} == {Var("Y"), Name("p3")}
+
+    def test_enum_with_complex_elements_keeps_superset(self):
+        result = flat("p2[friends ->> {Y, john.spouse}]")
+        kinds = {type(a).__name__ for a in result.atoms}
+        assert kinds == {"SetMemberAtom", "EnumSupersetAtom"}
+        enum = [a for a in result.atoms
+                if isinstance(a, EnumSupersetAtom)][0]
+        assert enum.elements == (parse_reference("john.spouse"),)
+
+    def test_source_variables(self):
+        result = flat("p2[friends ->> X..assistants]")
+        atom = result.atoms[0]
+        assert atom.source_variables() == (Var("X"),)
+
+
+class TestStrictMode:
+    def test_rejects_superset_filters(self):
+        with pytest.raises(FlattenUnsupported, match="superset"):
+            flatten_strict(parse_reference("p2[friends ->> p1..assistants]"))
+
+    def test_rejects_complex_enum_elements(self):
+        with pytest.raises(FlattenUnsupported, match="drop-if-undefined"):
+            flatten_strict(parse_reference("p2[friends ->> {john.spouse}]"))
+
+    def test_accepts_plain_queries(self):
+        result = flatten_strict(parse_reference(
+            "X : employee..vehicles : automobile.color[Z]"))
+        assert len(result.atoms) == 5
+
+    def test_accepts_simple_enum(self):
+        result = flatten_strict(parse_reference("p2[friends ->> {Y}]"))
+        assert isinstance(result.atoms[0], SetMemberAtom)
+
+
+class TestLiteralsAndConjunctions:
+    def test_comparison_literal(self):
+        fresh = FreshVariables()
+        atoms = flatten_literal(parse_literal("X.age >= 30"), fresh)
+        assert isinstance(atoms[0], ScalarAtom)
+        assert isinstance(atoms[1], ComparisonAtom)
+        assert atoms[1].op == ">="
+
+    def test_conjunction_shares_fresh_pool(self):
+        literals = parse_query("X.a[V], X.b[W]")
+        atoms = flatten_conjunction(literals)
+        names = [a.result.name for a in atoms
+                 if isinstance(a, ScalarAtom) and isinstance(a.result, Var)]
+        assert len(names) == len(set(names))
+
+    def test_aux_vars_avoid_user_vars(self):
+        result = flatten_reference(parse_reference("_V1.a.b"))
+        aux = {t.name for atom in result.atoms for t in atom.variables()}
+        assert "_V1" in aux  # the user's own variable is kept
+        assert len(aux) == 3  # _V1 plus two distinct fresh ones

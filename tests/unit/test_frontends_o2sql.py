@@ -1,0 +1,98 @@
+"""O2SQL frontend tests: compilation and evaluation."""
+
+import pytest
+
+from repro.core.ast import Comparison, Molecule, Var
+from repro.errors import PathLogSyntaxError
+from repro.frontends import compile_o2sql, run_o2sql
+from repro.oodb.database import Database
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.subclass("automobile", "vehicle")
+    db.add_object("car1", classes=["automobile"],
+                  scalars={"color": "red", "producedBy": "gm"})
+    db.add_object("bike1", classes=["vehicle"], scalars={"color": "green"})
+    db.add_object("p1", classes=["employee"],
+                  sets={"vehicles": ["car1", "bike1"]})
+    db.add_object("gm", scalars={"city": "detroit"})
+    return db
+
+
+class TestCompilation:
+    def test_from_class_becomes_isa(self):
+        compiled = compile_o2sql("SELECT X FROM X IN employee")
+        assert len(compiled.literals) == 1
+        assert isinstance(compiled.literals[0], Molecule)
+        assert compiled.select == (("X", Var("X")),)
+
+    def test_from_path_becomes_selector(self):
+        compiled = compile_o2sql(
+            "SELECT Y FROM X IN employee FROM Y IN X.vehicles")
+        assert len(compiled.literals) == 2
+
+    def test_where_in_is_isa(self):
+        compiled = compile_o2sql(
+            "SELECT Y FROM Y IN vehicle WHERE Y IN automobile")
+        assert len(compiled.literals) == 2
+
+    def test_where_equality_is_comparison(self):
+        compiled = compile_o2sql(
+            "SELECT X FROM X IN employee WHERE X.city = detroit")
+        assert isinstance(compiled.literals[-1], Comparison)
+
+    def test_select_path_gets_fresh_variable(self):
+        compiled = compile_o2sql("SELECT Y.color FROM Y IN automobile")
+        label, var = compiled.select[0]
+        assert label == "Y.color"
+        assert var.name.startswith("_S")
+
+    def test_keywords_case_insensitive(self):
+        compiled = compile_o2sql("select X from X in employee")
+        assert compiled.select == (("X", Var("X")),)
+
+    @pytest.mark.parametrize("text", [
+        "FROM X IN employee",                      # missing SELECT
+        "SELECT X FROM x IN employee",             # range var not capitalised
+        "SELECT X FROM X IN employee WHERE X ~ y", # bad condition
+        "SELECT X FROM X IN employee garbage",     # trailing tokens
+    ])
+    def test_errors(self, text):
+        with pytest.raises(PathLogSyntaxError):
+            compile_o2sql(text)
+
+
+class TestEvaluation:
+    def test_paper_1_1(self, db):
+        rows = run_o2sql(db, """
+            SELECT Y.color
+            FROM X IN employee
+            FROM Y IN X.vehicles
+            WHERE Y IN automobile
+        """)
+        assert {row.value("Y.color") for row in rows} == {"red"}
+
+    def test_multi_column_select(self, db):
+        rows = run_o2sql(db, """
+            SELECT Y, Y.color
+            FROM X IN employee
+            FROM Y IN X.vehicles
+        """)
+        got = {(row.value("Y"), row.value("Y.color")) for row in rows}
+        assert got == {("car1", "red"), ("bike1", "green")}
+
+    def test_where_equality_on_paths(self, db):
+        rows = run_o2sql(db, """
+            SELECT Y
+            FROM Y IN automobile
+            WHERE Y.producedBy.city = detroit
+        """)
+        assert [row.value("Y") for row in rows] == ["car1"]
+
+    def test_empty_result(self, db):
+        rows = run_o2sql(db, """
+            SELECT Y FROM Y IN automobile WHERE Y.color = purple
+        """)
+        assert rows == []

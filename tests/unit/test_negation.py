@@ -1,0 +1,147 @@
+"""Stratified negation (extension; see DESIGN.md and [NT89])."""
+
+import pytest
+
+from repro.core.ast import Negation, Var
+from repro.core.entailment import entails
+from repro.core.valuation import VariableValuation
+from repro.engine import Engine
+from repro.errors import EvaluationError, StratificationError
+from repro.lang.parser import parse_literal, parse_program, parse_rule
+from repro.oodb.database import Database
+from repro.oodb.oid import NamedOid
+from repro.query import Query
+
+
+def n(value):
+    return NamedOid(value)
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.add_object("car1", classes=["automobile"], scalars={"color": "red"})
+    db.add_object("car2", classes=["automobile"])
+    return db
+
+
+class TestSyntax:
+    def test_parse_negation(self):
+        literal = parse_literal("not X[color -> red]")
+        assert isinstance(literal, Negation)
+
+    def test_parse_negated_comparison(self):
+        literal = parse_literal("not X.age >= 30")
+        assert isinstance(literal, Negation)
+
+    def test_double_negation_rejected(self):
+        from repro.errors import PathLogSyntaxError
+
+        with pytest.raises(PathLogSyntaxError, match="double negation"):
+            parse_literal("not not X[a -> 1]")
+
+    def test_round_trip(self):
+        rule = parse_rule("X[a -> 1] <- X : c, not X[b -> 2].")
+        assert str(rule) == "X[a -> 1] <- X : c, not X[b -> 2]."
+        assert parse_rule(str(rule)) == rule
+
+    def test_not_is_reserved(self):
+        from repro.core.ast import Name
+        from repro.core.pretty import to_text
+        from repro.lang.parser import parse_reference
+
+        # A name spelled "not" must be quoted to survive.
+        assert to_text(Name("not")) == '"not"'
+        assert parse_reference('"not"') == Name("not")
+
+
+class TestEntailment:
+    def test_negation_complements(self, db):
+        nu = VariableValuation({Var("X"): n("car2")})
+        assert entails(db, parse_literal("not X[color -> red]"), nu)
+        nu2 = VariableValuation({Var("X"): n("car1")})
+        assert not entails(db, parse_literal("not X[color -> red]"), nu2)
+
+
+class TestQueries:
+    def test_negation_filters_answers(self, db):
+        rows = Query(db).all("X : automobile, not X[color -> C]")
+        assert [r.value("X") for r in rows] == ["car2"]
+
+    def test_negation_local_variables_are_existential(self, db):
+        # C occurs only inside the negation: "X has NO color at all".
+        assert Query(db).ask("car2 : automobile, not car2[color -> C]")
+        assert not Query(db).ask("car1 : automobile, not car1[color -> C]")
+
+    def test_standalone_negation_reads_as_closed_formula(self, db):
+        # X occurs nowhere else, so it is negation-local (existential):
+        # "no automobile is red" is false, "none is purple" is true.
+        assert not Query(db).ask("not X[color -> red]")
+        assert Query(db).ask("not X[color -> purple]")
+
+    def test_unsafe_negation_raises(self, db):
+        # X is shared between two negations: neither can bind it, and
+        # treating it as local in either would change meaning.
+        with pytest.raises(EvaluationError, match="unsafe negation"):
+            Query(db).all("not X[color -> red], not X[color -> blue]",
+                          variables=[])
+
+
+class TestEngine:
+    def test_negation_over_base_facts(self, db):
+        program = parse_program("""
+            X[colorless -> yes] <- X : automobile, not X[color -> C].
+        """)
+        out = Engine(db, program).run()
+        assert out.scalar_apply(n("colorless"), n("car2")) == n("yes")
+        assert out.scalar_apply(n("colorless"), n("car1")) is None
+
+    def test_negation_over_derived_facts_is_stratified(self):
+        engine = Engine(Database(), parse_program("""
+            p1[kids ->> {a}]. a[kids ->> {b}].
+            p1 : node. a : node. b : node.
+            X[desc ->> {Y}] <- X[kids ->> {Y}].
+            X[desc ->> {Y}] <- X..desc[kids ->> {Y}].
+            X[leaf -> yes] <- X : node, not X[kids ->> {Y}].
+        """))
+        out = engine.run()
+        assert engine.stats.strata == 2
+        assert out.scalar_apply(n("leaf"), n("b")) == n("yes")
+        assert out.scalar_apply(n("leaf"), n("p1")) is None
+
+    def test_negation_cycle_rejected(self):
+        with pytest.raises(StratificationError):
+            Engine(Database(), parse_program("""
+                o : c.
+                X[a -> yes] <- X : c, not X[b -> yes].
+                X[b -> yes] <- X : c, not X[a -> yes].
+            """)).run()
+
+    def test_negation_of_path_existence(self):
+        # The paper's bachelor: john has no spouse.
+        out = Engine(Database(), parse_program("""
+            john : person. mary : person. mary[spouse -> bob].
+            X[single -> yes] <- X : person, not X.spouse[].
+        """)).run()
+        assert out.scalar_apply(n("single"), n("john")) == n("yes")
+        assert out.scalar_apply(n("single"), n("mary")) is None
+
+    def test_negated_comparison(self):
+        out = Engine(Database(), parse_program("""
+            p1[age -> 30]. p2[age -> 70].
+            X[young -> yes] <- X[age -> A], not A >= 65.
+        """)).run()
+        assert out.scalar_apply(n("young"), n("p1")) == n("yes")
+        assert out.scalar_apply(n("young"), n("p2")) is None
+
+    def test_model_checked_against_definition5(self):
+        program = parse_program("""
+            car1 : automobile. car1[color -> red].
+            car2 : automobile.
+            X[colorless -> yes] <- X : automobile, not X[color -> red].
+        """)
+        out = Engine(Database(), program).run()
+        from repro.core.entailment import rule_holds
+
+        for rule in program:
+            assert rule_holds(out, rule)

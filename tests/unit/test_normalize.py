@@ -1,0 +1,146 @@
+"""Rule normalisation tests: hoisting, safety, predicate extraction."""
+
+import pytest
+
+from repro.core.ast import (
+    Molecule,
+    Name,
+    Paren,
+    Path,
+    ScalarFilter,
+    SetEnumFilter,
+    Var,
+)
+from repro.engine.normalize import (
+    COMPUTED,
+    ISA_PRED,
+    normalize_program,
+    normalize_rule,
+    pred_matches,
+)
+from repro.errors import HeadError
+from repro.flogic.atoms import (
+    ScalarAtom,
+    SetMemberAtom,
+    SupersetAtom,
+)
+from repro.lang.parser import parse_program, parse_rule
+
+
+def norm(text: str):
+    return normalize_rule(parse_rule(text))
+
+
+class TestHeadChecks:
+    def test_set_valued_head_rejected(self):
+        with pytest.raises(HeadError, match="set-valued"):
+            norm("X..assistants[a -> 1] <- X : person.")
+
+    def test_unsafe_head_variable_rejected(self):
+        with pytest.raises(HeadError, match="unsafe"):
+            norm("X[a -> Y] <- X : person.")
+
+    def test_superset_source_vars_count_as_bound(self):
+        # X is bound by enumerating the superset source.
+        rule = norm("X[ok -> yes] <- p2[friends ->> X..assistants].")
+        assert rule.body  # no HeadError raised
+
+    def test_fact_head_must_be_ground(self):
+        with pytest.raises(HeadError, match="unsafe"):
+            norm("X[a -> 1].")
+
+
+class TestHoisting:
+    def test_head_read_becomes_body_atom(self):
+        rule = norm("X.address[street -> X.street] <- X : person.")
+        street_atoms = [a for a in rule.body if isinstance(a, ScalarAtom)
+                        and a.method == Name("street")]
+        assert len(street_atoms) == 1
+        # and the head filter now holds the hoisted variable
+        molecule = rule.head
+        assert isinstance(molecule, Molecule)
+        assert molecule.filters[0].result == street_atoms[0].result
+
+    def test_head_superset_filter_becomes_enum(self):
+        rule = norm("p2[friends ->> p1..assistants] <- p1 : person.")
+        molecule = rule.head
+        assert isinstance(molecule.filters[0], SetEnumFilter)
+        members = [a for a in rule.body if isinstance(a, SetMemberAtom)]
+        assert len(members) == 1
+
+    def test_method_position_not_hoisted(self):
+        rule = norm("X[(M.tc) ->> {Y}] <- X[M ->> {Y}].")
+        filt = rule.head.filters[0]
+        assert isinstance(filt.method, Paren)
+        assert isinstance(filt.method.inner, Path)
+
+    def test_spine_path_kept(self):
+        rule = norm("X.boss[worksFor -> D] <- X : employee[worksFor -> D].")
+        assert isinstance(rule.head, Molecule)
+        assert isinstance(rule.head.base, Path)
+        assert rule.head.base.method == Name("boss")
+
+    def test_body_superset_stays_superset(self):
+        rule = norm("X[ok -> yes] <- X[friends ->> p1..assistants].")
+        assert any(isinstance(a, SupersetAtom) for a in rule.body)
+
+
+class TestPredicates:
+    def test_defines_from_spine_and_filters(self):
+        rule = norm("X.boss[worksFor -> D] : manager "
+                    "<- X : employee[worksFor -> D].")
+        assert ("scalar", "boss") in rule.defines
+        assert ("scalar", "worksFor") in rule.defines
+        assert ISA_PRED in rule.defines
+
+    def test_defines_computed_method(self):
+        rule = norm("X[(M.tc) ->> {Y}] <- X[M ->> {Y}].")
+        assert ("set", COMPUTED) in rule.defines
+        assert ("scalar", "tc") in rule.defines
+
+    def test_weak_reads(self):
+        rule = norm("X[a -> 1] <- X : person, X[b -> 2], X[c ->> {Y}].")
+        assert ("scalar", "b") in rule.weak_reads
+        assert ("set", "c") in rule.weak_reads
+        assert ISA_PRED in rule.weak_reads
+
+    def test_strong_reads_from_superset_source(self):
+        rule = norm("X[ok -> yes] <- X[friends ->> p1..assistants].")
+        assert ("set", "assistants") in rule.strong_reads
+        assert ("set", "friends") in rule.weak_reads
+
+    def test_self_is_invisible(self):
+        rule = norm("X[a -> 1] <- X.color[Z], Z = red.")
+        assert ("scalar", "self") not in rule.weak_reads
+
+    def test_variable_method_read_is_wildcard(self):
+        rule = norm("X[a -> 1] <- X[M ->> {Y}].")
+        assert ("set", None) in rule.weak_reads
+
+
+class TestPredMatches:
+    def test_names(self):
+        assert pred_matches(("set", "kids"), ("set", "kids"))
+        assert not pred_matches(("set", "kids"), ("set", "desc"))
+        assert not pred_matches(("set", "kids"), ("scalar", "kids"))
+
+    def test_variable_wildcard(self):
+        assert pred_matches(("set", None), ("set", "kids"))
+        assert pred_matches(("set", "kids"), ("set", None))
+
+    def test_computed_matches_computed_not_names(self):
+        assert pred_matches(("set", COMPUTED), ("set", COMPUTED))
+        assert not pred_matches(("set", COMPUTED), ("set", "kids"))
+        assert not pred_matches(("set", "kids"), ("set", COMPUTED))
+        assert pred_matches(("set", COMPUTED), ("set", None))
+
+
+class TestProgram:
+    def test_normalize_program_keeps_order(self):
+        program = parse_program("""
+            p1 : person.
+            X[a -> 1] <- X : person.
+        """)
+        rules = normalize_program(program)
+        assert rules[0].is_fact
+        assert not rules[1].is_fact

@@ -1,0 +1,204 @@
+"""Parser tests: every syntactic form of Definition 1 plus rules."""
+
+import pytest
+
+from repro.core.ast import (
+    SELF,
+    Comparison,
+    IsaFilter,
+    Molecule,
+    Name,
+    Paren,
+    Path,
+    ScalarFilter,
+    SetEnumFilter,
+    SetFilter,
+    Var,
+)
+from repro.errors import PathLogSyntaxError, WellFormednessError
+from repro.lang.parser import (
+    parse_literal,
+    parse_program,
+    parse_query,
+    parse_reference,
+    parse_rule,
+)
+
+
+class TestPrimaries:
+    def test_name_variable_integer(self):
+        assert parse_reference("mary") == Name("mary")
+        assert parse_reference("X") == Var("X")
+        assert parse_reference("1994") == Name(1994)
+
+    def test_quoted_name(self):
+        assert parse_reference('"New York"') == Name("New York")
+
+    def test_paren(self):
+        assert parse_reference("(mary)") == Paren(Name("mary"))
+
+
+class TestPaths:
+    def test_scalar_path(self):
+        assert parse_reference("mary.boss") == Path(Name("mary"),
+                                                    Name("boss"), ())
+
+    def test_set_path(self):
+        ref = parse_reference("p1..assistants")
+        assert ref == Path(Name("p1"), Name("assistants"), (),
+                           set_valued=True)
+
+    def test_path_with_params(self):
+        ref = parse_reference("john.salary@(1994)")
+        assert ref == Path(Name("john"), Name("salary"), (Name(1994),))
+
+    def test_path_with_empty_params(self):
+        assert parse_reference("mary.boss@()") == parse_reference("mary.boss")
+
+    def test_left_to_right_composition(self):
+        ref = parse_reference("a.b.c")
+        assert ref == Path(Path(Name("a"), Name("b"), ()), Name("c"), ())
+
+    def test_variable_method(self):
+        assert parse_reference("x.M") == Path(Name("x"), Var("M"), ())
+
+    def test_paren_method(self):
+        ref = parse_reference("x.(M.tc)")
+        assert ref == Path(Name("x"),
+                           Paren(Path(Var("M"), Name("tc"), ())), ())
+
+
+class TestMolecules:
+    def test_scalar_filter(self):
+        ref = parse_reference("mary[age -> 30]")
+        assert ref == Molecule(Name("mary"),
+                               (ScalarFilter(Name("age"), (), Name(30)),))
+
+    def test_filter_list_shares_base(self):
+        ref = parse_reference("mary[age -> 30; boss -> peter]")
+        assert isinstance(ref, Molecule)
+        assert len(ref.filters) == 2
+
+    def test_selector_desugars_to_self(self):
+        ref = parse_reference("x.color[Z]")
+        assert ref == Molecule(
+            Path(Name("x"), Name("color"), ()),
+            (ScalarFilter(SELF, (), Var("Z")),),
+        )
+
+    def test_explicit_self_equals_selector(self):
+        assert parse_reference("x[self -> Z]") == parse_reference("x[Z]")
+
+    def test_set_filter(self):
+        ref = parse_reference("p2[friends ->> p1..assistants]")
+        filt = ref.filters[0]
+        assert isinstance(filt, SetFilter)
+
+    def test_enum_filter(self):
+        ref = parse_reference("p2[friends ->> {p3, p4}]")
+        filt = ref.filters[0]
+        assert isinstance(filt, SetEnumFilter)
+        assert filt.elements == (Name("p3"), Name("p4"))
+
+    def test_empty_filters(self):
+        ref = parse_reference("john.spouse[]")
+        assert isinstance(ref, Molecule)
+        assert ref.filters == ()
+
+    def test_isa(self):
+        assert parse_reference("x : c") == Molecule(Name("x"),
+                                                    (IsaFilter(Name("c")),))
+
+    def test_isa_binds_simple_class_then_path(self):
+        # Paper: L : integer.list applies list to an integer L ...
+        chained = parse_reference("L : integer.list")
+        assert isinstance(chained, Path)
+        assert chained.base == Molecule(Var("L"), (IsaFilter(Name("integer")),))
+        # ... while L : (integer.list) is membership in the list class.
+        grouped = parse_reference("L : (integer.list)")
+        assert isinstance(grouped, Molecule)
+        assert grouped.filters[0].cls == Paren(
+            Path(Name("integer"), Name("list"), ())
+        )
+
+    def test_filter_with_params(self):
+        ref = parse_reference("s0[grade@(crs1) -> G]")
+        filt = ref.filters[0]
+        assert filt.args == (Name("crs1"),)
+
+    def test_nested_molecule_in_filter(self):
+        ref = parse_reference("mary.spouse[boss -> mary[age -> 25]]")
+        assert isinstance(ref.filters[0].result, Molecule)
+
+
+class TestPaperFlagship:
+    def test_example_2_1_structure(self):
+        ref = parse_reference(
+            "X : employee[age -> 30; city -> newYork]"
+            "..vehicles : automobile[cylinders -> 4].color[Z]"
+        )
+        # Outermost: the [Z] selector molecule over .color
+        assert isinstance(ref, Molecule)
+        color_path = ref.base
+        assert isinstance(color_path, Path)
+        assert color_path.method == Name("color")
+
+
+class TestRulesAndPrograms:
+    def test_fact(self):
+        rule = parse_rule("p1 : employee.")
+        assert rule.is_fact
+
+    def test_rule_with_body(self):
+        rule = parse_rule("X[power -> Y] <- X : automobile.engine[power -> Y].")
+        assert len(rule.body) == 1
+
+    def test_comparison_literal(self):
+        literal = parse_literal("X.age >= 30")
+        assert isinstance(literal, Comparison)
+        assert literal.op == ">="
+
+    def test_query_with_prefix_and_dot(self):
+        literals = parse_query("?- X : employee, X.age[A].")
+        assert len(literals) == 2
+
+    def test_program_parses_multiple_statements(self):
+        program = parse_program("""
+            % facts
+            p1 : employee.
+            p1[age -> 30].
+            X[a -> 1] <- X : employee.
+        """)
+        assert len(program) == 3
+        assert len(program.facts) == 2
+
+    def test_wellformedness_enforced_by_default(self):
+        with pytest.raises(WellFormednessError):
+            parse_reference("p2[boss -> p1..assistants]")
+        parse_reference("p2[boss -> p1..assistants]", check=False)
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text", [
+        "",                      # nothing
+        "x[",                    # unclosed bracket
+        "x[a ->]",               # missing result
+        "x : ",                  # missing class
+        "x.b@(",                 # unclosed params
+        "x..",                   # missing method -- '..' then EOF
+        "x[a.b -> c]",           # non-simple filter method
+        "x[Y@(p)]",              # selector with params
+    ])
+    def test_syntax_errors(self, text):
+        with pytest.raises(PathLogSyntaxError):
+            parse_reference(text)
+
+    def test_rule_needs_terminator(self):
+        with pytest.raises(PathLogSyntaxError):
+            parse_rule("p1 : employee")
+
+    def test_error_carries_location(self):
+        with pytest.raises(PathLogSyntaxError) as exc:
+            parse_reference("x[a ->]")
+        assert exc.value.line == 1
+        assert exc.value.column > 1

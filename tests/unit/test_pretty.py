@@ -1,0 +1,76 @@
+"""Pretty-printer tests: canonical text and parser inversion."""
+
+import pytest
+
+from repro.core.ast import Name, Rule, Var, isa, name
+from repro.core.pretty import name_to_text, program_to_text, rule_to_text, to_text
+from repro.lang.parser import parse_program, parse_reference, parse_rule
+
+
+@pytest.mark.parametrize("text", [
+    "mary",
+    "X",
+    "1994",
+    "mary.boss",
+    "p1..assistants",
+    "john.salary@(1994)",
+    "mary[age -> 30; boss -> peter]",
+    "p2[friends ->> {p3, p4}]",
+    "p2[friends ->> p1..assistants]",
+    "x : c",
+    "L : (integer.list)",
+    "X[(M.tc) ->> {Y}]",
+    "john.spouse[]",
+    "x.color[Z]",
+    "p1.paidFor@(p1..vehicles)",
+    "X : employee[age -> 30; city -> newYork]"
+    "..vehicles : automobile[cylinders -> 4].color[Z]",
+])
+def test_print_parse_is_identity_on_canonical_text(text):
+    ref = parse_reference(text, check=False)
+    assert to_text(ref) == text
+    assert parse_reference(to_text(ref), check=False) == ref
+
+
+class TestNameQuoting:
+    def test_bare_lowercase(self):
+        assert name_to_text("mary") == "mary"
+
+    def test_integer(self):
+        assert name_to_text(30) == "30"
+
+    def test_capitalised_needs_quotes(self):
+        assert name_to_text("Mary") == '"Mary"'
+        assert parse_reference('"Mary"') == Name("Mary")
+
+    def test_spaces_need_quotes(self):
+        assert name_to_text("New York") == '"New York"'
+
+    def test_quotes_and_backslashes_escaped(self):
+        rendered = name_to_text('a"b\\c')
+        assert parse_reference(rendered) == Name('a"b\\c')
+
+    def test_digit_leading_string_needs_quotes(self):
+        # "42" the string must not print as 42 the integer.
+        assert name_to_text("42") == '"42"'
+        assert parse_reference('"42"') == Name("42")
+
+
+class TestRules:
+    def test_fact_text(self):
+        assert rule_to_text(Rule(isa(name("p1"), "employee"))) == \
+            "p1 : employee."
+
+    def test_rule_text_round_trips(self):
+        text = "X[power -> Y] <- X : automobile.engine[power -> Y]."
+        assert rule_to_text(parse_rule(text)) == text
+
+    def test_comparison_in_rule(self):
+        text = "X[senior -> yes] <- X : employee, X.age >= 60."
+        assert rule_to_text(parse_rule(text)) == text
+
+    def test_program_round_trips(self):
+        text = "p1 : employee.\nX[a -> 1] <- X : employee."
+        program = parse_program(text)
+        assert program_to_text(program) == text
+        assert parse_program(program_to_text(program)) == program

@@ -1,0 +1,110 @@
+"""Query API tests: answers, projections, denotations."""
+
+import pytest
+
+from repro.core.ast import Var
+from repro.lang.parser import parse_query, parse_reference
+from repro.oodb.database import Database
+from repro.oodb.oid import NamedOid
+from repro.query import Answer, Query
+
+
+def n(value):
+    return NamedOid(value)
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.subclass("automobile", "vehicle")
+    db.add_object("car1", classes=["automobile"],
+                  scalars={"color": "red", "cylinders": 4})
+    db.add_object("car2", classes=["automobile"],
+                  scalars={"color": "blue", "cylinders": 6})
+    db.add_object("p1", classes=["employee"], scalars={"age": 30},
+                  sets={"vehicles": ["car1", "car2"]})
+    return db
+
+
+class TestAll:
+    def test_string_query(self, db):
+        rows = Query(db).all("X : employee..vehicles[color -> C]")
+        assert {(r.value("X"), r.value("C")) for r in rows} == {
+            ("p1", "red"), ("p1", "blue"),
+        }
+
+    def test_parsed_literals(self, db):
+        literals = parse_query("X : automobile[cylinders -> 4]")
+        rows = Query(db).all(literals)
+        assert [r.value("X") for r in rows] == ["car1"]
+
+    def test_single_reference_input(self, db):
+        ref = parse_reference("X : automobile")
+        assert Query(db).count(ref) == 2
+
+    def test_projection(self, db):
+        rows = Query(db).all("X : employee..vehicles[color -> C]",
+                             variables=["C"])
+        assert {r.value("C") for r in rows} == {"red", "blue"}
+        assert all(set(r) == {"C"} for r in rows)
+
+    def test_deduplication_after_projection(self, db):
+        db.add_object("p2", classes=["employee"],
+                      sets={"vehicles": ["car1"]})
+        rows = Query(db).all("X : employee..vehicles[color -> red]",
+                             variables=["X"])
+        assert len(rows) == 2
+        by_color = Query(db).all("X : employee..vehicles[color -> red]",
+                                 variables=[])
+        assert len(by_color) == 1  # one empty row: the query holds
+
+    def test_sorted_deterministic(self, db):
+        rows = Query(db).all("X : automobile[color -> C]")
+        assert rows == sorted(rows, key=lambda a: a.sort_key())
+
+    def test_aux_variables_hidden(self, db):
+        rows = Query(db).all("p1..vehicles.color[C]")
+        assert set(rows[0]) == {"C"}
+
+
+class TestAskCountObjects:
+    def test_ask(self, db):
+        q = Query(db)
+        assert q.ask("p1 : employee")
+        assert not q.ask("p1 : automobile")
+        assert q.ask("X : automobile[cylinders -> 6]")
+
+    def test_count(self, db):
+        assert Query(db).count("X : automobile") == 2
+
+    def test_objects_ground(self, db):
+        assert Query(db).objects("p1..vehicles[color -> red]") == {n("car1")}
+
+    def test_objects_with_variables(self, db):
+        got = Query(db).objects("X : automobile.color")
+        assert got == {n("red"), n("blue")}
+
+    def test_objects_of_name(self, db):
+        assert Query(db).objects("car1") == {n("car1")}
+
+
+class TestAnswer:
+    def test_mapping_protocol(self):
+        answer = Answer({"X": n("p1"), "Y": n(30)})
+        assert answer["X"] == n("p1")
+        assert len(answer) == 2
+        assert set(answer) == {"X", "Y"}
+        assert answer.values_dict() == {"X": "p1", "Y": 30}
+
+    def test_equality_and_hash(self):
+        a = Answer({"X": n(1)})
+        b = Answer({"X": n(1)})
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a == {"X": n(1)}
+
+    def test_virtual_value_renders_display(self):
+        from repro.oodb.oid import VirtualOid
+
+        answer = Answer({"B": VirtualOid(n("boss"), n("p1"))})
+        assert answer.value("B") == "p1.boss"

@@ -1,0 +1,78 @@
+"""Definition 2: scalar vs. set-valued references (paper Section 4.2)."""
+
+import pytest
+
+from repro.core.ast import Molecule, Name, Paren, Path, Var
+from repro.core.scalarity import is_scalar, is_set_valued
+from repro.lang.parser import parse_reference
+
+
+def ref(text: str):
+    return parse_reference(text, check=False)
+
+
+class TestSimpleReferences:
+    def test_names_and_variables_are_scalar(self):
+        assert is_scalar(Name("mary"))
+        assert is_scalar(Name(30))
+        assert is_scalar(Var("X"))
+
+    def test_paren_is_transparent(self):
+        assert is_scalar(Paren(Name("a")))
+        assert is_set_valued(Paren(ref("p1..assistants")))
+
+
+class TestPaths:
+    def test_scalar_method_on_scalar_base(self):
+        # Paper: p1.age
+        assert is_scalar(ref("p1.age"))
+
+    def test_set_valued_method(self):
+        # Paper (4.1): p1..assistants
+        assert is_set_valued(ref("p1..assistants"))
+
+    def test_scalar_method_on_set_base_is_set_valued(self):
+        # Paper: p1..assistants.salary denotes a SET of salaries.
+        assert is_set_valued(ref("p1..assistants.salary"))
+
+    def test_set_method_on_set_base(self):
+        # Paper: p1..assistants..projects
+        assert is_set_valued(ref("p1..assistants..projects"))
+
+    def test_set_valued_argument_makes_path_set_valued(self):
+        # Paper: p1.paidFor@(p1..vehicles) denotes a set of prices.
+        assert is_set_valued(ref("p1.paidFor@(p1..vehicles)"))
+
+    def test_scalar_args_keep_path_scalar(self):
+        assert is_scalar(ref("john.salary@(1994)"))
+
+    def test_set_valued_method_position(self):
+        # A parenthesised set-valued reference at method position.
+        assert is_set_valued(
+            Path(Name("a"), Paren(ref("p1..assistants")), ())
+        )
+
+
+class TestMolecules:
+    def test_filters_do_not_change_scalarity(self):
+        # Paper (4.4): p2[friends ->> p1..assistants] is SCALAR -- only
+        # the first sub-reference determines the molecule's scalarity.
+        assert is_scalar(ref("p2[friends ->> p1..assistants]"))
+
+    def test_molecule_on_set_base_is_set_valued(self):
+        # Paper (4.2): p1..assistants[salary -> 1000]
+        assert is_set_valued(ref("p1..assistants[salary -> 1000]"))
+
+    def test_isa_molecule_follows_base(self):
+        assert is_scalar(ref("x : c"))
+        assert is_set_valued(ref("p1..assistants : employee"))
+
+    def test_enum_filter_molecule_is_scalar(self):
+        # Paper (4.3): p2[friends ->> {p3, p4}]
+        assert is_scalar(ref("p2[friends ->> {p3, p4}]"))
+
+
+class TestErrors:
+    def test_non_reference_rejected(self):
+        with pytest.raises(TypeError):
+            is_set_valued("not a reference")  # type: ignore[arg-type]

@@ -1,0 +1,79 @@
+"""JSON serialisation tests: round-trips and malformed input."""
+
+import pytest
+
+from repro.oodb.database import Database
+from repro.oodb.oid import NamedOid, VirtualOid
+from repro.oodb.serialize import (
+    SerializationError,
+    decode_oid,
+    dumps,
+    encode_oid,
+    loads,
+)
+
+
+def n(value):
+    return NamedOid(value)
+
+
+class TestOidCodec:
+    def test_named_round_trip(self):
+        for value in ("mary", 30, "New York"):
+            assert decode_oid(encode_oid(n(value))) == n(value)
+
+    def test_virtual_round_trip(self):
+        nested = VirtualOid(VirtualOid(n("tc"), n("kids")), n("peter"),
+                            (n(1994),))
+        assert decode_oid(encode_oid(nested)) == nested
+
+    @pytest.mark.parametrize("bad", [
+        42, "x", {"z": 1}, {"v": []}, {"v": [1]}, {"n": True}, {"n": [1]},
+    ])
+    def test_malformed_oids_rejected(self, bad):
+        with pytest.raises(SerializationError):
+            decode_oid(bad)
+
+
+class TestDatabaseRoundTrip:
+    def build(self) -> Database:
+        db = Database()
+        db.subclass("automobile", "vehicle")
+        db.add_object("car1", classes=["automobile"],
+                      scalars={"color": "red", "cylinders": 4})
+        db.add_object("p1", classes=["employee"],
+                      sets={"vehicles": ["car1"]})
+        db.alias("auto1", "car1")
+        subject = db.lookup_name("john")
+        db.assert_scalar(n("salary"), subject, (n(1994),), n(1000))
+        boss = VirtualOid(n("boss"), n("p1"))
+        db.assert_scalar(n("boss"), n("p1"), (), boss)
+        return db
+
+    def test_round_trip_preserves_everything(self):
+        db = self.build()
+        restored = loads(dumps(db))
+        assert restored.universe() == db.universe()
+        assert set(restored.hierarchy.declared_edges()) == \
+            set(db.hierarchy.declared_edges())
+        assert dict(restored.scalars.items()) == dict(db.scalars.items())
+        assert dict(restored.sets.items()) == dict(db.sets.items())
+        assert restored.lookup_name("auto1") == n("car1")
+
+    def test_round_trip_is_stable(self):
+        db = self.build()
+        once = dumps(db)
+        assert dumps(loads(once)) == once
+
+    def test_reflexive_flag_preserved(self):
+        db = Database(reflexive_isa=True)
+        db.subclass("a", "b")
+        assert loads(dumps(db)).hierarchy.reflexive
+
+    def test_invalid_json(self):
+        with pytest.raises(SerializationError, match="invalid JSON"):
+            loads("{nope")
+
+    def test_wrong_version(self):
+        with pytest.raises(SerializationError, match="version"):
+            loads('{"format": 99}')

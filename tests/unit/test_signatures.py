@@ -1,0 +1,106 @@
+"""Signature and type-checking tests."""
+
+import pytest
+
+from repro.core.signatures import SignatureSet
+from repro.oodb.database import Database
+from repro.oodb.oid import NamedOid, VirtualOid
+
+
+def n(value):
+    return NamedOid(value)
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.subclass("manager", "employee")
+    db.subclass("automobile", "vehicle")
+    db.add_object("p1", classes=["employee"], scalars={"age": 30},
+                  sets={"vehicles": ["car1"]})
+    db.add_object("car1", classes=["automobile"])
+    return db
+
+
+@pytest.fixture
+def sigs():
+    sigs = SignatureSet()
+    sigs.declare_scalar("employee", "age", (), "integer")
+    sigs.declare_set("employee", "vehicles", (), "vehicle")
+    return sigs
+
+
+class TestChecking:
+    def test_well_typed_database(self, db, sigs):
+        assert sigs.check_database(db) == []
+
+    def test_scalar_result_violation(self, db, sigs):
+        db.add_object("p1", scalars={"height": 1})
+        db.assert_scalar(n("age"), n("p2"), (), n("thirty"))
+        db.assert_isa(n("p2"), n("employee"))
+        violations = sigs.check_database(db)
+        assert len(violations) == 1
+        assert "thirty" in str(violations[0])
+
+    def test_set_member_violation(self, db, sigs):
+        db.add_object("p1", sets={"vehicles": ["banana"]})
+        violations = sigs.check_database(db)
+        assert any("banana" in str(v) for v in violations)
+
+    def test_inherited_signatures_apply_to_subclasses(self, db, sigs):
+        db.add_object("boss1", classes=["manager"], scalars={"age": "old"})
+        violations = sigs.check_database(db)
+        assert any("old" in str(v) for v in violations)
+
+    def test_signatures_ignore_other_classes(self, db, sigs):
+        db.add_object("rock1", classes=["mineral"], scalars={"age": "old"})
+        assert sigs.check_database(db) == []
+
+    def test_strict_mode_requires_declarations(self, db, sigs):
+        db.add_object("p1", scalars={"nickname": "ace"})
+        relaxed = sigs.check_database(db)
+        strict = sigs.check_database(db, strict=True)
+        assert relaxed == []
+        assert any("no signature" in str(v) for v in strict)
+
+    def test_argument_classes_checked(self, db):
+        sigs = SignatureSet()
+        sigs.declare_scalar("employee", "salary", ("integer",), "integer")
+        db.assert_scalar(n("salary"), n("p1"), (n("notayear"),), n(100))
+        violations = sigs.check_database(db)
+        assert any("argument" in str(v) for v in violations)
+
+    def test_arity_mismatch_means_inapplicable(self, db):
+        sigs = SignatureSet()
+        sigs.declare_scalar("employee", "salary", ("integer",), "integer")
+        db.assert_scalar(n("salary"), n("p1"), (), n("lots"))
+        assert sigs.check_database(db) == []
+
+
+class TestVirtualTyping:
+    def test_type_virtual_objects(self, db):
+        sigs = SignatureSet()
+        sigs.declare_scalar("employee", "address", (), "addressObj")
+        virtual = VirtualOid(n("address"), n("p1"))
+        db.assert_scalar(n("address"), n("p1"), (), virtual)
+        added = sigs.type_virtual_objects(db)
+        assert added == 1
+        assert db.isa(virtual, n("addressObj"))
+        # idempotent
+        assert sigs.type_virtual_objects(db) == 0
+
+    def test_set_members_typed(self, db):
+        sigs = SignatureSet()
+        sigs.declare_set("employee", "vehicles", (), "vehicle")
+        db.add_object("p1", sets={"vehicles": ["mystery"]})
+        added = sigs.type_virtual_objects(db)
+        assert added == 1
+        assert db.isa(n("mystery"), n("vehicle"))
+
+
+class TestDeclarationApi:
+    def test_iteration_and_len(self, sigs):
+        assert len(sigs) == 2
+        rendered = [str(s) for s in sigs]
+        assert any("=>>" in r for r in rendered)
+        assert any("=> integer" in r for r in rendered)

@@ -1,0 +1,117 @@
+"""Conjunction solver tests: joins, ordering, existence."""
+
+import pytest
+
+from repro.core.ast import Name, Var
+from repro.engine.solve import atom_cost, exists, solve
+from repro.flogic.atoms import (
+    ComparisonAtom,
+    IsaAtom,
+    ScalarAtom,
+    SetMemberAtom,
+    SupersetAtom,
+)
+from repro.flogic.flatten import flatten_conjunction
+from repro.lang.parser import parse_query, parse_reference
+from repro.oodb.database import Database
+from repro.oodb.oid import NamedOid
+
+
+def n(value):
+    return NamedOid(value)
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.subclass("automobile", "vehicle")
+    for i, color in enumerate(["red", "blue", "red"]):
+        db.add_object(f"car{i}", classes=["automobile"],
+                      scalars={"color": color, "cylinders": 4 if i else 6})
+    db.add_object("p1", classes=["employee"], scalars={"age": 30},
+                  sets={"vehicles": ["car0", "car1"]})
+    db.add_object("p2", classes=["employee"], scalars={"age": 40},
+                  sets={"vehicles": ["car2"]})
+    return db
+
+
+def answers(db, text, *names):
+    atoms = flatten_conjunction(parse_query(text))
+    return {
+        tuple(b[Var(name)] for name in names)
+        for b in solve(db, atoms)
+    }
+
+
+class TestJoins:
+    def test_two_atom_join(self, db):
+        got = answers(db, "X : employee..vehicles[color -> red]", "X")
+        assert got == {(n("p1"),), (n("p2"),)}
+
+    def test_three_way_join_with_projection(self, db):
+        got = answers(db, "X : employee..vehicles[color -> C]", "X", "C")
+        assert got == {
+            (n("p1"), n("red")), (n("p1"), n("blue")), (n("p2"), n("red")),
+        }
+
+    def test_comparison_in_conjunction(self, db):
+        got = answers(db, "X : employee, X.age >= 35", "X")
+        assert got == {(n("p2"),)}
+
+    def test_no_solutions(self, db):
+        assert answers(db, "X : employee[age -> 99]", "X") == set()
+
+    def test_shared_variable_constrains(self, db):
+        # Employees whose vehicle color matches another employee's.
+        got = answers(
+            db,
+            "X : employee..vehicles[color -> C], "
+            "Y : employee..vehicles[color -> C], X != Y",
+            "X", "Y",
+        )
+        assert got == {(n("p1"), n("p2")), (n("p2"), n("p1"))}
+
+    def test_initial_binding_respected(self, db):
+        atoms = flatten_conjunction(parse_query("X : employee"))
+        out = list(solve(db, atoms, {Var("X"): n("p1")}))
+        assert out == [{Var("X"): n("p1")}]
+
+
+class TestExists:
+    def test_exists(self, db):
+        atoms = flatten_conjunction(parse_query("p1 : employee"))
+        assert exists(db, atoms)
+        atoms2 = flatten_conjunction(parse_query("p1 : automobile"))
+        assert not exists(db, atoms2)
+
+
+class TestOrderingHeuristic:
+    def test_ready_comparison_is_free(self, db):
+        ready = ComparisonAtom("<", Var("X"), Name(3))
+        assert atom_cost(db, ready, {Var("X"): n(1)}) < 0
+        assert atom_cost(db, ready, {}) > 1e8
+
+    def test_superset_atoms_deferred(self, db):
+        superset = SupersetAtom(Name("friends"), Var("W"), (),
+                                parse_reference("p1..vehicles"))
+        data = ScalarAtom(Name("color"), Var("V"), (), Var("C"))
+        assert atom_cost(db, superset, {}) > atom_cost(db, data, {})
+
+    def test_bound_method_cheaper_than_unbound(self, db):
+        bound = ScalarAtom(Name("color"), Var("V"), (), Var("C"))
+        unbound = ScalarAtom(Var("M"), Var("V"), (), Var("C"))
+        assert atom_cost(db, bound, {}) < atom_cost(db, unbound, {})
+
+    def test_isa_cost_depends_on_boundness(self, db):
+        atom = IsaAtom(Var("O"), Var("C"))
+        assert (atom_cost(db, atom, {Var("O"): n("car0")})
+                < atom_cost(db, atom, {}))
+
+    def test_order_independence_of_answers(self, db):
+        # The same conjunction written in different literal orders gives
+        # the same answer set.
+        forward = answers(
+            db, "X : employee..vehicles[color -> red], X.age[A]", "X", "A")
+        backward = answers(
+            db, "X.age[A], X : employee..vehicles[color -> red]", "X", "A")
+        assert forward == backward

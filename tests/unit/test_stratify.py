@@ -1,0 +1,110 @@
+"""Stratification tests: strata assignment and rejection."""
+
+import pytest
+
+from repro.engine.normalize import normalize_program
+from repro.engine.stratify import assign_strata, dependency_edges, stratify
+from repro.errors import StratificationError
+from repro.lang.parser import parse_program
+
+
+def strata_of(text: str):
+    rules = normalize_program(parse_program(text))
+    return assign_strata(rules)
+
+
+class TestAssignment:
+    def test_independent_rules_share_stratum_zero(self):
+        assert strata_of("""
+            X[a -> 1] <- X : person.
+            X[b -> 2] <- X : animal.
+        """) == [0, 0]
+
+    def test_recursion_is_one_stratum(self):
+        # The desc rules (6.4) are plain recursion: no superset needed.
+        assert strata_of("""
+            X[desc ->> {Y}] <- X[kids ->> {Y}].
+            X[desc ->> {Y}] <- X..desc[kids ->> {Y}].
+        """) == [0, 0]
+
+    def test_superset_reader_above_definer(self):
+        strata = strata_of("""
+            p1[assistants ->> {Y}] <- Y : helper.
+            p2[ok -> yes] <- p2[friends ->> p1..assistants].
+        """)
+        assert strata[1] == strata[0] + 1
+
+    def test_chain_of_supersets(self):
+        strata = strata_of("""
+            a[s1 ->> {X}] <- X : c0.
+            b[s2 ->> {X}] <- X[q ->> a..s1].
+            c[s3 ->> {X}] <- X[r ->> b..s2].
+        """)
+        assert strata == [0, 1, 2]
+
+    def test_facts_sit_with_their_predicate(self):
+        strata = strata_of("""
+            p1[assistants ->> {a1}].
+            p2[ok -> yes] <- p2[friends ->> p1..assistants].
+        """)
+        assert strata == [0, 1]
+
+    def test_computed_method_superset_does_not_conflict_with_named(self):
+        # The university pattern: a named set method defined from a
+        # superset over a computed closure method.
+        strata = strata_of("""
+            S[readyFor ->> {C}] <-
+                S : student, C : course, S[enrolled ->> C..(prereq.tc)].
+        """)
+        assert strata == [0]
+
+
+class TestRejection:
+    def test_self_strong_dependency(self):
+        with pytest.raises(StratificationError, match="itself"):
+            strata_of("""
+                X[friends ->> {Y}] <- X[ok ->> p1..friends], Y : person.
+            """)
+
+    def test_strong_cycle(self):
+        with pytest.raises(StratificationError, match="stratifiable"):
+            strata_of("""
+                X[a ->> {Y}] <- X[q ->> p1..b], Y : c.
+                X[b ->> {Y}] <- X[r ->> p1..a], Y : c.
+            """)
+
+    def test_generic_rules_with_named_superset_conflict(self):
+        # A variable-method head defines ANY set method, so a strong
+        # read of a named set in the same program cannot stratify below
+        # it when they are mutually dependent.
+        with pytest.raises(StratificationError):
+            strata_of("""
+                X[M ->> {Y}] <- X[seed ->> {M}], Y[t ->> p1..out].
+                p1[out ->> {Z}] <- Z[M2 ->> {w}].
+            """)
+
+
+class TestGrouping:
+    def test_stratify_groups_and_orders(self):
+        rules = normalize_program(parse_program("""
+            p1[assistants ->> {a1}].
+            p2[ok -> yes] <- p2[friends ->> p1..assistants].
+            p1[assistants ->> {a2}].
+        """))
+        groups = stratify(rules)
+        assert len(groups) == 2
+        assert [len(g) for g in groups] == [2, 1]
+        # program order preserved within a stratum
+        assert groups[0][0] is rules[0]
+        assert groups[0][1] is rules[2]
+
+    def test_empty_program(self):
+        assert stratify([]) == []
+
+    def test_edges_structure(self):
+        rules = normalize_program(parse_program("""
+            X[a ->> {Y}] <- X[kids ->> {Y}].
+            X[ok -> yes] <- X[q ->> p1..a].
+        """))
+        edges = dependency_edges(rules)
+        assert (1, 0, True) in edges

@@ -1,0 +1,72 @@
+"""Substitution tests: structural replacement and simplicity preservation."""
+
+from repro.core.ast import Name, Paren, Path, Var
+from repro.core.substitution import EMPTY, Substitution
+from repro.core.variables import FreshVariables, rename_apart, variables_of
+from repro.lang.parser import parse_reference, parse_rule
+
+
+def ref(text: str):
+    return parse_reference(text, check=False)
+
+
+class TestApply:
+    def test_variable_replaced(self):
+        subst = Substitution({Var("X"): Name("mary")})
+        assert subst.apply(Var("X")) == Name("mary")
+        assert subst.apply(Var("Y")) == Var("Y")
+
+    def test_unchanged_references_are_shared(self):
+        subst = Substitution({Var("X"): Name("mary")})
+        ground = ref("a.b[c -> d]")
+        assert subst.apply(ground) is ground
+
+    def test_deep_replacement(self):
+        subst = Substitution({Var("X"): Name("p1")})
+        result = subst.apply(ref("X : employee..vehicles[owner -> X]"))
+        assert result == ref("p1 : employee..vehicles[owner -> p1]")
+
+    def test_method_variable_replaced_by_name(self):
+        subst = Substitution({Var("M"): Name("kids")})
+        assert subst.apply(ref("x.M")) == ref("x.kids")
+
+    def test_method_variable_replaced_by_path_gets_parens(self):
+        # Substituting a path into a method position must keep the
+        # reference well-formed: a Paren is inserted.
+        subst = Substitution({Var("M"): Path(Name("kids"), Name("tc"), ())})
+        result = subst.apply(ref("x..M"))
+        assert result == ref("x..(kids.tc)")
+
+    def test_filter_method_and_class_substitution(self):
+        subst = Substitution({Var("M"): Name("age"), Var("C"): Name("emp")})
+        assert subst.apply(ref("x[M -> 30] : C")) == ref("x[age -> 30] : emp")
+
+    def test_apply_rule(self):
+        subst = Substitution({Var("X"): Name("p1")})
+        rule = parse_rule("X[a -> 1] <- X : employee, X.age >= 30.")
+        applied = subst.apply_rule(rule)
+        assert applied == parse_rule("p1[a -> 1] <- p1 : employee, p1.age >= 30.")
+
+    def test_extended_is_persistent(self):
+        base = EMPTY.extended(Var("X"), Name("a"))
+        assert Var("X") not in EMPTY
+        assert base[Var("X")] == Name("a")
+
+
+class TestFreshAndRename:
+    def test_fresh_avoids_collisions(self):
+        fresh = FreshVariables(avoid=[Var("_V1"), Var("_V3")])
+        produced = [fresh.fresh() for _ in range(3)]
+        assert Var("_V1") not in produced
+        assert len(set(produced)) == 3
+
+    def test_rename_apart_only_touches_clashes(self):
+        rule = parse_rule("X[a -> Y] <- X[b -> Y].")
+        renamed = rename_apart(rule, avoid=[Var("Y")])
+        head_vars = {v.name for v in variables_of(renamed)}
+        assert "X" in head_vars
+        assert "Y" not in head_vars
+
+    def test_rename_apart_no_clash_is_identity(self):
+        rule = parse_rule("X[a -> 1] <- X : c.")
+        assert rename_apart(rule, avoid=[Var("Z")]) is rule

@@ -1,0 +1,111 @@
+"""Definition 3: well-formedness of references."""
+
+import pytest
+
+from repro.core.ast import (
+    IsaFilter,
+    Molecule,
+    Name,
+    Paren,
+    Path,
+    ScalarFilter,
+    SetEnumFilter,
+    SetFilter,
+    Var,
+)
+from repro.core.wellformed import check_well_formed, is_simple, is_well_formed
+from repro.errors import WellFormednessError
+from repro.lang.parser import parse_reference
+
+
+def ref(text: str):
+    return parse_reference(text, check=False)
+
+
+class TestAccepted:
+    @pytest.mark.parametrize("text", [
+        "p1.age",
+        "p1..assistants",
+        "p1..assistants[salary -> 1000]",
+        "p2[friends ->> {p3, p4}]",
+        "p2[friends ->> p1..assistants]",
+        "p1..assistants.salary",
+        "p1..assistants..projects",
+        # Paths may use set-valued references even as arguments:
+        "p1.paidFor@(p1..vehicles)",
+        "mary.spouse[boss -> mary[age -> 25]].age",
+        "X : employee[age -> 30; city -> newYork]"
+        "..vehicles : automobile[cylinders -> 4].color[Z]",
+        "L : (integer.list)",
+        "X[(M.tc) ->> {Y}]",
+        "john.spouse[]",
+    ])
+    def test_paper_references_are_well_formed(self, text):
+        check_well_formed(ref(text))
+
+    def test_empty_enum_set(self):
+        check_well_formed(ref("p2[friends ->> {}]"))
+
+
+class TestRejected:
+    def test_paper_4_5_set_valued_result_of_scalar_filter(self):
+        # Paper (4.5): p2[boss -> p1..assistants] is "obviously incorrect".
+        with pytest.raises(WellFormednessError, match="scalar"):
+            check_well_formed(ref("p2[boss -> p1..assistants]"))
+
+    def test_scalar_result_of_set_filter(self):
+        # ->> needs a set-valued reference or an explicit set.
+        with pytest.raises(WellFormednessError, match="set-valued"):
+            check_well_formed(ref("p2[friends ->> p3]"))
+
+    def test_set_valued_enum_element(self):
+        bad = Molecule(Name("p2"), (
+            SetEnumFilter(Name("friends"), (),
+                          (Paren(ref("p1..assistants")),)),
+        ))
+        with pytest.raises(WellFormednessError, match="element"):
+            check_well_formed(bad)
+
+    def test_set_valued_class(self):
+        bad = Molecule(Name("x"), (IsaFilter(Paren(ref("p1..assistants"))),))
+        with pytest.raises(WellFormednessError, match="class"):
+            check_well_formed(bad)
+
+    def test_set_valued_method_in_filter(self):
+        bad = Molecule(Name("x"), (
+            ScalarFilter(Paren(ref("p1..assistants")), (), Name(1)),
+        ))
+        with pytest.raises(WellFormednessError, match="method"):
+            check_well_formed(bad)
+
+    def test_set_valued_filter_argument(self):
+        bad = Molecule(Name("x"), (
+            ScalarFilter(Name("m"), (Paren(ref("p1..assistants")),),
+                         Name(1)),
+        ))
+        with pytest.raises(WellFormednessError, match="argument"):
+            check_well_formed(bad)
+
+    def test_non_simple_method_in_path(self):
+        bad = Path(Name("a"), Path(Name("b"), Name("c"), ()), ())
+        with pytest.raises(WellFormednessError, match="simple"):
+            check_well_formed(bad)
+
+    def test_non_simple_method_in_filter(self):
+        bad = Molecule(Name("x"), (
+            ScalarFilter(Path(Name("b"), Name("c"), ()), (), Name(1)),
+        ))
+        with pytest.raises(WellFormednessError, match="simple"):
+            check_well_formed(bad)
+
+    def test_nested_violation_is_found(self):
+        bad = Path(ref("p2[boss -> p1..assistants]"), Name("m"), ())
+        assert not is_well_formed(bad)
+
+
+class TestIsSimple:
+    def test_simple_forms(self):
+        assert is_simple(Name("a"))
+        assert is_simple(Var("X"))
+        assert is_simple(Paren(ref("a.b.c")))
+        assert not is_simple(ref("a.b"))
