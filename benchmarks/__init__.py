@@ -1,1 +1,1 @@
-"""Benchmark harness package (one module per EXPERIMENTS.md entry)."""
+"""Benchmark harness package (one module per docs/performance.md row)."""

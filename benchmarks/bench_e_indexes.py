@@ -11,13 +11,13 @@ wash on the subject-first workload.
 
 import pytest
 
-from benchmarks.conftest import report
+from benchmarks.conftest import report, sizes
 from repro.datasets import CompanyConfig, build_company
 from repro.lang.parser import parse_query
 from repro.oodb.database import Database
 from repro.query import Query
 
-SIZES = (100, 400)
+SIZES = sizes((100, 400))
 
 QUERY = ("X : employee[city -> C]"
          "..vehicles : automobile[cylinders -> 4].color[Z]")

@@ -9,7 +9,7 @@ per-hop variable bookkeeping and stays slightly ahead.
 
 import pytest
 
-from benchmarks.conftest import report
+from benchmarks.conftest import report, sizes
 from repro.core.valuation import GROUND, valuate
 from repro.engine.solve import solve
 from repro.flogic.flatten import flatten_reference
@@ -17,7 +17,7 @@ from repro.lang.parser import parse_reference
 from repro.oodb.database import Database
 from repro.oodb.oid import NamedOid
 
-DEPTHS = (4, 16, 64)
+DEPTHS = sizes((4, 16, 64))
 CHAIN = 512
 
 

@@ -1,0 +1,241 @@
+"""B9: the cost-based planner vs. the fixed-penalty ordering heuristic.
+
+The planner (``engine/planner.py``) replaces the solver's hand-tuned
+penalty constants with cardinality estimates from the database's method
+tables and class hierarchy, and executes one *static* plan per
+conjunction instead of re-running the greedy choice at every node of
+the backtracking tree.  This bench measures both effects against the
+pre-planner behaviour (``solve(..., use_planner=False)``):
+
+- **inverse** (B8's inverse workload): subjects unbound, results bound.
+  The statistics rank the ``(method, result)`` buckets by real size and
+  the static plan drops the per-node re-planning overhead; expected
+  shape: planner wins by >= 1.5x at the largest size.
+- **unbound-subject** / **unbound-method**: navigation anchored at a
+  bound object the fixed penalties cannot see.  The planner starts from
+  the exact subject-index bucket (a handful of facts); the heuristic
+  enumerates a method extent first.  Expected shape: planner wins by a
+  size-growing factor.
+- **subject-first** (the flagship two-dimensional query): both orders
+  are reasonable; expected shape: planner no worse (in practice it wins
+  on the dropped re-planning overhead alone).
+
+Answers must be identical everywhere: plans change order, never
+semantics.  (One deliberate exception, outside these workloads: a
+*statically* unsafe negation is rejected at plan time even when the
+legacy order would have returned an empty result because its positive
+part matched nothing -- static safety is data-independent.)  The engine
+fixpoint is covered by a parity check (identical derived-fact counts)
+-- rule bodies here are small, so planning is a wash there by design.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report, sizes
+from repro.datasets import CompanyConfig, build_company
+from repro.engine.planner import PlanCache
+from repro.engine.solve import solve
+from repro.flogic.flatten import flatten_conjunction
+from repro.lang.parser import parse_query
+from repro.query import Query
+
+FULL_SIZES = (100, 400)
+SIZES = sizes(FULL_SIZES)
+#: The speed-up assertions only apply at the largest *full-sweep* size;
+#: a BENCH_SMOKE run checks the workloads execute, not the ratios.
+GATED_SIZE = max(FULL_SIZES)
+
+WORKLOADS = {
+    "inverse": ("Y[color -> red], Y[cylinders -> 8], "
+                "Y[producedBy -> P], P[city -> detroit]"),
+    "unbound-subject": ("Y[color -> red], X[vehicles ->> {Y}], "
+                        "X[city -> detroit]"),
+    "unbound-method": "p3[M ->> {V}], V[color -> red]",
+    "subject-first": ("X : employee[city -> C]"
+                      "..vehicles : automobile[cylinders -> 4].color[Z]"),
+}
+
+
+@pytest.fixture(scope="module", params=SIZES)
+def sized_db(request):
+    size = request.param
+    db = build_company(CompanyConfig(employees=size, seed=61))
+    return size, db
+
+
+def atoms_of(workload: str):
+    return flatten_conjunction(parse_query(WORKLOADS[workload]))
+
+
+def answer_set(db, atoms, **kwargs):
+    return {frozenset(b.items()) for b in solve(db, atoms, **kwargs)}
+
+
+def test_identical_answers_on_every_workload(sized_db):
+    size, db = sized_db
+    for name in WORKLOADS:
+        atoms = atoms_of(name)
+        planned = answer_set(db, atoms)
+        heuristic = answer_set(db, atoms, use_planner=False)
+        assert planned == heuristic
+        report("B9-agreement", employees=size, workload=name,
+               answers=len(planned))
+
+
+def _best_of(fn, reps=7):
+    best = float("inf")
+    for _ in range(reps):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_planner_beats_heuristic_on_inverse(sized_db):
+    """The acceptance gate: >= 1.5x on the inverse workload at max size."""
+    size, db = sized_db
+    atoms = atoms_of("inverse")
+    cache = PlanCache()
+    planned = _best_of(lambda: sum(1 for _ in solve(db, atoms, cache=cache)))
+    legacy = _best_of(
+        lambda: sum(1 for _ in solve(db, atoms, use_planner=False))
+    )
+    ratio = legacy / planned
+    report("B9-speedup", employees=size, workload="inverse",
+           planner_ms=round(planned * 1000, 3),
+           heuristic_ms=round(legacy * 1000, 3), ratio=round(ratio, 2))
+    if size == GATED_SIZE:
+        assert ratio >= 1.5
+
+
+def test_planner_beats_heuristic_on_unbound_subject(sized_db):
+    size, db = sized_db
+    atoms = atoms_of("unbound-subject")
+    cache = PlanCache()
+    planned = _best_of(lambda: sum(1 for _ in solve(db, atoms, cache=cache)))
+    legacy = _best_of(
+        lambda: sum(1 for _ in solve(db, atoms, use_planner=False))
+    )
+    ratio = legacy / planned
+    report("B9-speedup", employees=size, workload="unbound-subject",
+           planner_ms=round(planned * 1000, 3),
+           heuristic_ms=round(legacy * 1000, 3), ratio=round(ratio, 2))
+    if size == GATED_SIZE:
+        assert ratio >= 1.5
+
+
+def test_planner_is_no_worse_on_subject_first(sized_db):
+    size, db = sized_db
+    atoms = atoms_of("subject-first")
+    cache = PlanCache()
+    planned = _best_of(lambda: sum(1 for _ in solve(db, atoms, cache=cache)))
+    legacy = _best_of(
+        lambda: sum(1 for _ in solve(db, atoms, use_planner=False))
+    )
+    ratio = legacy / planned
+    report("B9-speedup", employees=size, workload="subject-first",
+           planner_ms=round(planned * 1000, 3),
+           heuristic_ms=round(legacy * 1000, 3), ratio=round(ratio, 2))
+    if size == GATED_SIZE:
+        # The wash requirement: allow generous noise margin either way.
+        assert ratio >= 0.8
+
+
+@pytest.mark.benchmark(group="B9-inverse")
+def test_bench_inverse_planner(benchmark, sized_db):
+    size, db = sized_db
+    atoms = atoms_of("inverse")
+    cache = PlanCache()
+    rows = benchmark(lambda: sum(1 for _ in solve(db, atoms, cache=cache)))
+    report("B9", planner="stats", workload="inverse", employees=size,
+           answers=rows)
+
+
+@pytest.mark.benchmark(group="B9-inverse")
+def test_bench_inverse_heuristic(benchmark, sized_db):
+    size, db = sized_db
+    atoms = atoms_of("inverse")
+    rows = benchmark(
+        lambda: sum(1 for _ in solve(db, atoms, use_planner=False))
+    )
+    report("B9", planner="fixed-penalty", workload="inverse", employees=size,
+           answers=rows)
+
+
+@pytest.mark.benchmark(group="B9-unbound-method")
+def test_bench_unbound_method_planner(benchmark, sized_db):
+    size, db = sized_db
+    atoms = atoms_of("unbound-method")
+    cache = PlanCache()
+    rows = benchmark(lambda: sum(1 for _ in solve(db, atoms, cache=cache)))
+    report("B9", planner="stats", workload="unbound-method", employees=size,
+           answers=rows)
+
+
+@pytest.mark.benchmark(group="B9-unbound-method")
+def test_bench_unbound_method_heuristic(benchmark, sized_db):
+    size, db = sized_db
+    atoms = atoms_of("unbound-method")
+    rows = benchmark(
+        lambda: sum(1 for _ in solve(db, atoms, use_planner=False))
+    )
+    report("B9", planner="fixed-penalty", workload="unbound-method",
+           employees=size, answers=rows)
+
+
+@pytest.mark.benchmark(group="B9-subject-first")
+def test_bench_subject_first_planner(benchmark, sized_db):
+    size, db = sized_db
+    atoms = atoms_of("subject-first")
+    cache = PlanCache()
+    rows = benchmark(lambda: sum(1 for _ in solve(db, atoms, cache=cache)))
+    report("B9", planner="stats", workload="subject-first", employees=size,
+           answers=rows)
+
+
+@pytest.mark.benchmark(group="B9-subject-first")
+def test_bench_subject_first_heuristic(benchmark, sized_db):
+    size, db = sized_db
+    atoms = atoms_of("subject-first")
+    rows = benchmark(
+        lambda: sum(1 for _ in solve(db, atoms, use_planner=False))
+    )
+    report("B9", planner="fixed-penalty", workload="subject-first",
+           employees=size, answers=rows)
+
+
+# ---------------------------------------------------------------------------
+# Engine parity: planning must not change fixpoint results.
+# ---------------------------------------------------------------------------
+
+def test_engine_parity_with_and_without_planner():
+    from repro.datasets import build_family, desc_rules
+    from repro.engine import Engine
+
+    db, _ = build_family(generations=5, branching=3, seed=41)
+    with_planner = Engine(db, desc_rules(), use_planner=True)
+    with_planner.run()
+    without = Engine(db, desc_rules(), use_planner=False)
+    without.run()
+    assert (with_planner.stats.derived_total
+            == without.stats.derived_total)
+    assert with_planner.stats.plan_cache_hits > 0
+    report("B9-engine-parity",
+           derived=with_planner.stats.derived_total,
+           plans=with_planner.stats.plans_built,
+           plan_hits=with_planner.stats.plan_cache_hits)
+
+
+def test_query_plan_cache_reuse(sized_db):
+    size, db = sized_db
+    q = Query(db)
+    text = WORKLOADS["inverse"]
+    q.all(text)
+    misses = q.plan_cache.misses
+    q.all(text)
+    assert q.plan_cache.misses == misses  # second run reused the plan
+    assert q.plan_cache.hits >= 1
+    report("B9-plan-cache", employees=size, hits=q.plan_cache.hits,
+           misses=q.plan_cache.misses)

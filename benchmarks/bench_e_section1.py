@@ -8,14 +8,14 @@ size-independent compilation overhead on top of native evaluation.
 
 import pytest
 
-from benchmarks.conftest import report
+from benchmarks.conftest import report, sizes
 from repro.datasets import CompanyConfig, build_company
 from repro.frontends import compile_o2sql, compile_xsql, run_o2sql, run_xsql
 from repro.frontends.xsql import _schema_set_methods
 from repro.lang.parser import parse_query
 from repro.query import Query
 
-SIZES = (50, 200, 800)
+SIZES = sizes((50, 200, 800))
 
 O2SQL = """
     SELECT Y.color

@@ -10,12 +10,12 @@ shape: two strata always; cost dominated by the inclusion checks
 
 import pytest
 
-from benchmarks.conftest import report
+from benchmarks.conftest import report, sizes
 from repro.engine import Engine
 from repro.lang.parser import parse_program
 from repro.oodb.database import Database
 
-SIZES = (50, 200)
+SIZES = sizes((50, 200))
 
 
 def crew_db(size: int) -> Database:

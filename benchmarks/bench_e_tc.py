@@ -13,13 +13,13 @@ indirection, not an asymptotic penalty.
 
 import pytest
 
-from benchmarks.conftest import report
+from benchmarks.conftest import report, sizes
 from repro.datasets import build_family
 from repro.datasets.genealogy import chain_family, desc_rules, generic_tc_rules
 from repro.engine import Engine
 from repro.oodb.oid import NamedOid, VirtualOid
 
-CHAINS = (16, 48)
+CHAINS = sizes((16, 48))
 
 
 @pytest.fixture(scope="module", params=CHAINS)

@@ -11,12 +11,12 @@ syntax, not evaluation.
 
 import pytest
 
-from benchmarks.conftest import report
+from benchmarks.conftest import report, sizes
 from repro.datasets import CompanyConfig, build_company
 from repro.lang.parser import parse_query
 from repro.query import Query
 
-SIZES = (50, 200, 800)
+SIZES = sizes((50, 200, 800))
 
 TWO_DIM = ("X : employee[age -> A; city -> C]"
            "..vehicles : automobile[cylinders -> 4].color[Z]")

@@ -9,14 +9,14 @@ the fixpoint check (the views are non-recursive).
 
 import pytest
 
-from benchmarks.conftest import report
+from benchmarks.conftest import report, sizes
 from repro.datasets import CompanyConfig, build_company
 from repro.engine import Engine
 from repro.frontends import compile_xsql_view
 from repro.lang.parser import parse_program
 from repro.oodb.database import Database
 
-SIZES = (100, 400, 1600)
+SIZES = sizes((100, 400, 1600))
 
 ADDRESS_RULE = parse_program("""
     X.address[street -> X.street; city -> X.city] <- X : person.

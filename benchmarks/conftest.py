@@ -2,12 +2,26 @@
 
 Every bench prints the *shape* of its result (answer counts, winners,
 derived-fact counts) alongside pytest-benchmark's timing table, so a run
-regenerates the rows recorded in EXPERIMENTS.md.  Run with::
+regenerates the rows recorded in docs/performance.md.  Bench modules do
+not match pytest's default file pattern, so name them explicitly::
 
-    pytest benchmarks/ --benchmark-only
+    pytest benchmarks/bench_e_*.py --benchmark-only
+
+Setting ``BENCH_SMOKE=1`` trims every size sweep to its smallest entry
+-- the CI smoke pass that checks the benches still *run* without paying
+for the full sweep.
 """
 
 from __future__ import annotations
+
+import os
+
+
+def sizes(full: tuple) -> tuple:
+    """The size sweep for one bench; only the smallest under BENCH_SMOKE."""
+    if os.environ.get("BENCH_SMOKE"):
+        return full[:1]
+    return full
 
 
 def report(experiment: str, **fields) -> None:

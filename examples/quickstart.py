@@ -69,6 +69,10 @@ def main() -> None:
         print(f"  {row.value('X')}")
     print(f"engine stats: {engine.stats.as_row()}")
 
+    # Ask the planner why a query runs the way it does.
+    print("== EXPLAIN ==")
+    print(query.explain("X : employee..vehicles[color -> red]"))
+
 
 if __name__ == "__main__":
     main()

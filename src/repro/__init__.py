@@ -3,9 +3,10 @@
 A full reproduction of Frohn, Lausen, Uphoff (1994): the PathLog
 language (two-dimensional path expressions over an object-oriented data
 model), its direct semantics, and a deductive engine with virtual
-objects, generic methods, and stratified set reasoning -- plus the
-substrates the paper presumes (an in-memory OODB, an F-logic atom layer,
-and mini O2SQL/XSQL comparator frontends).
+objects, generic methods, stratified set reasoning, and a cost-based
+query planner with an EXPLAIN surface -- plus the substrates the paper
+presumes (an in-memory OODB, an F-logic atom layer, and mini O2SQL/XSQL
+comparator frontends).
 
 Quickstart::
 

@@ -1,15 +1,22 @@
-"""Command-line interface: evaluate programs and run queries.
+"""Command-line interface: evaluate programs, run queries, explain plans.
 
 Usage::
 
     python -m repro program.plog --query "X : employee.age[A]"
     python -m repro program.plog --dump out.json --stats
     python -m repro --db snapshot.json --query "X : employee"
+    python -m repro program.plog --explain
+    python -m repro explain "X : employee.city[C]" --db snapshot.json
 
-A program file contains PathLog facts and rules (see README syntax
-table).  ``--query`` may be given multiple times; answers print one row
+A program file contains PathLog facts and rules (see docs/language.md
+for the syntax).  ``--query`` may be given multiple times; answers print one row
 per line as ``Var=value`` pairs.  ``--dump`` writes the materialised
-database as JSON (reloadable with ``--db``).
+database as JSON (reloadable with ``--db``).  ``--explain`` prints the
+per-rule join plans the engine used.  The ``explain`` subcommand prints
+the plan of one query -- ordered atoms, estimated (and, unless
+``--no-analyze`` is given, actual) rows, and the access path per atom.
+The subcommand is recognised by its first-argument position; a program
+file literally named ``explain`` must be written as ``./explain``.
 """
 
 from __future__ import annotations
@@ -48,12 +55,35 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-iterations", type=int, default=10_000)
     parser.add_argument("--stats", action="store_true",
                         help="print engine statistics after evaluation")
+    parser.add_argument("--explain", action="store_true",
+                        help="print the engine's per-rule join plans")
+    return parser
+
+
+def build_explain_parser() -> argparse.ArgumentParser:
+    """The argparse definition of the ``explain`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro explain",
+        description="Print the join plan of one PathLog query: atom "
+                    "order, estimated vs. actual rows, access paths.",
+    )
+    parser.add_argument("query", help="conjunctive query to explain")
+    parser.add_argument("--db", type=Path, metavar="JSON",
+                        help="database snapshot to plan against")
+    parser.add_argument("--program", type=Path, metavar="PLOG",
+                        help="evaluate this program first, then explain "
+                             "against the materialised database")
+    parser.add_argument("--no-analyze", action="store_true",
+                        help="plan only; do not execute to count rows")
     return parser
 
 
 def run(argv: Sequence[str] | None = None, *, out=None) -> int:
     """Entry point; returns the process exit code."""
     out = out or sys.stdout
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "explain":
+        return _run_explain(argv[1:], out)
     args = build_parser().parse_args(argv)
     if args.program is None and args.db is None:
         print("error: need a program file and/or --db snapshot",
@@ -65,11 +95,32 @@ def run(argv: Sequence[str] | None = None, *, out=None) -> int:
         if engine is not None and args.stats:
             for key, value in engine.stats.as_row().items():
                 print(f"stats {key}: {value}", file=out)
+        if engine is not None and args.explain:
+            print(engine.explain(), file=out)
         for text in args.query:
             _run_query(db, text, out)
         if args.dump is not None:
             args.dump.write_text(serialize.dumps(db, indent=2))
             print(f"dumped database to {args.dump}", file=out)
+    except PathLogError as error:
+        print(f"error: {error}", file=out)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=out)
+        return 1
+    return 0
+
+
+def _run_explain(argv: Sequence[str], out) -> int:
+    args = build_explain_parser().parse_args([str(a) for a in argv])
+    try:
+        db = _load_database(args)
+        if args.program is not None:
+            program = parse_program(args.program.read_text())
+            db = Engine(db, program).run()
+        report = Query(db).explain(args.query,
+                                   analyze=not args.no_analyze)
+        print(report.render(), file=out)
     except PathLogError as error:
         print(f"error: {error}", file=out)
         return 1

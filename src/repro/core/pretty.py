@@ -122,6 +122,32 @@ def program_to_text(program: Program) -> str:
     return "\n".join(rule_to_text(rule) for rule in program.rules)
 
 
+def render_table(headers: "list[str]", rows: "list[list[str]]",
+                 aligns: str | None = None) -> str:
+    """Render an aligned plain-text table (EXPLAIN plans, bench rows).
+
+    ``aligns`` is one character per column, ``l`` or ``r``; it defaults
+    to left for every column.
+    """
+    columns = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    aligns = (aligns or "l" * columns).ljust(columns, "l")
+
+    def fit(cell: str, index: int) -> str:
+        if aligns[index] == "r":
+            return cell.rjust(widths[index])
+        return cell.ljust(widths[index])
+
+    lines = ["  ".join(fit(h, i) for i, h in enumerate(headers)).rstrip()]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(fit(c, i) for i, c in enumerate(row)).rstrip())
+    return "\n".join(lines)
+
+
 def _args_to_text(args: tuple[Reference, ...]) -> str:
     if not args:
         return ""

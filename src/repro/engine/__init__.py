@@ -5,8 +5,12 @@ applied"; this package supplies them:
 
 - :mod:`repro.engine.matching` -- solving one primitive atom against a
   database under a partial binding (with index selection);
-- :mod:`repro.engine.solve` -- backtracking conjunction solver with a
-  greedy, dynamically re-planned atom order;
+- :mod:`repro.engine.planner` -- cost-based join planning: static atom
+  orders from cardinality statistics, with a keyed plan cache;
+- :mod:`repro.engine.solve` -- backtracking conjunction solver executing
+  planned orders (with the fixed-penalty dynamic order as a baseline);
+- :mod:`repro.engine.explain` -- the EXPLAIN surface: structured plan
+  reports with estimated vs. actual rows and access paths;
 - :mod:`repro.engine.normalize` -- rule normalisation: head scalarity
   and range-restriction checks, hoisting of head read-expressions into
   the body, body flattening;
@@ -15,11 +19,14 @@ applied"; this package supplies them:
 - :mod:`repro.engine.stratify` -- NT89-style stratification driven by
   the *strong* dependencies of superset filters;
 - :mod:`repro.engine.fixpoint` -- the :class:`Engine` driver with naive
-  and semi-naive iteration, resource limits, and profiling.
+  and semi-naive iteration, resource limits, plan capture, and
+  profiling.
 """
 
+from repro.engine.explain import PlanReport, StepView, explain_conjunction
 from repro.engine.fixpoint import Engine, EngineLimits
 from repro.engine.normalize import NormalizedRule, normalize_program, normalize_rule
+from repro.engine.planner import Plan, PlanCache, PlanStep, build_plan
 from repro.engine.profiler import EngineStats
 from repro.engine.solve import solve
 from repro.engine.stratify import stratify
@@ -29,6 +36,13 @@ __all__ = [
     "EngineLimits",
     "EngineStats",
     "NormalizedRule",
+    "Plan",
+    "PlanCache",
+    "PlanReport",
+    "PlanStep",
+    "StepView",
+    "build_plan",
+    "explain_conjunction",
     "normalize_program",
     "normalize_rule",
     "solve",

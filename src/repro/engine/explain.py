@@ -1,0 +1,128 @@
+"""The EXPLAIN surface: structured, renderable views of query plans.
+
+A :class:`PlanReport` is the user-facing form of a planner
+:class:`~repro.engine.planner.Plan`: ordered atoms with their estimated
+rows and access path (index vs. scan), optionally augmented with the
+*actual* per-step row counts observed while executing the plan
+(``analyze``).  Reports render as aligned text tables via
+:func:`repro.core.pretty.render_table`; they back
+``Query.explain()``, ``Engine.explain()``, and the ``explain`` CLI
+subcommand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.pretty import render_table
+from repro.engine.matching import UNRESTRICTED, Binding, MatchPolicy
+from repro.engine.planner import Plan, PlanCache, build_plan, relevant_bound
+from repro.engine.solve import execute_plan
+from repro.flogic.atoms import Atom
+from repro.oodb.database import Database
+
+
+@dataclass(frozen=True, slots=True)
+class StepView:
+    """One plan step, ready for rendering."""
+
+    position: int
+    atom: str
+    access: str
+    est_rows: float
+    actual_rows: int | None  #: None when the plan was not executed
+
+
+@dataclass(frozen=True, slots=True)
+class PlanReport:
+    """A structured plan: ordered atoms, estimates, observed rows."""
+
+    title: str
+    steps: tuple[StepView, ...]
+    est_rows: float
+    #: Solver bindings yielded when analyzed, else None.  This counts
+    #: raw bindings *before* any projection/deduplication, so it can
+    #: exceed ``len(Query.all(...))`` when distinct bindings project
+    #: onto the same answer row.
+    bindings: int | None
+
+    @property
+    def analyzed(self) -> bool:
+        """Whether the plan was executed to collect actual rows."""
+        return self.bindings is not None
+
+    def render(self) -> str:
+        """The aligned text table (what the CLI prints)."""
+        headers = ["#", "atom", "access path", "est.rows"]
+        aligns = "rllr"
+        if self.analyzed:
+            headers.append("rows")
+            aligns += "r"
+        rows = []
+        for step in self.steps:
+            row = [str(step.position), step.atom, step.access,
+                   _fmt(step.est_rows)]
+            if self.analyzed:
+                row.append(str(step.actual_rows))
+            rows.append(row)
+        lines = [f"plan: {self.title}" if self.title else "plan:"]
+        lines.append(render_table(headers, rows, aligns))
+        tail = f"estimated {_fmt(self.est_rows)} rows"
+        if self.analyzed:
+            tail += f"; {self.bindings} bindings"
+        lines.append(tail)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(value: float) -> str:
+    if value >= 1e15:
+        return f"{value:.1e}"
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.1f}"
+
+
+def report_for_plan(plan: Plan, *, title: str = "",
+                    counters: list[int] | None = None,
+                    bindings: int | None = None) -> PlanReport:
+    """Wrap a planner plan (and optional observed counts) as a report."""
+    steps = tuple(
+        StepView(
+            position=index + 1,
+            atom=str(step.atom),
+            access=step.access,
+            est_rows=step.rows,
+            actual_rows=counters[index] if counters is not None else None,
+        )
+        for index, step in enumerate(plan.steps)
+    )
+    return PlanReport(title=title, steps=steps, est_rows=plan.est_rows,
+                      bindings=bindings)
+
+
+def explain_conjunction(db: Database, atoms: Iterable[Atom],
+                        binding: Binding | None = None,
+                        policy: MatchPolicy = UNRESTRICTED,
+                        *, cache: PlanCache | None = None,
+                        analyze: bool = True,
+                        title: str = "") -> PlanReport:
+    """Plan a conjunction and (by default) execute it to observe rows."""
+    atoms_t = tuple(atoms)
+    initial = dict(binding or {})
+    bound = relevant_bound(atoms_t, initial)
+    if cache is not None:
+        plan = cache.get(db, atoms_t, bound)
+    else:
+        plan = build_plan(db, atoms_t, bound)
+    if not analyze:
+        return report_for_plan(plan, title=title)
+    counters = [0] * len(plan.steps)
+    bindings = sum(
+        1 for _ in execute_plan(db, plan, initial, policy, counters)
+    )
+    return report_for_plan(plan, title=title, counters=counters,
+                           bindings=bindings)

@@ -17,6 +17,14 @@ fixpoint, either
 Body solutions are materialised before head realisation so the solver
 never iterates over indexes the realizer is mutating.
 
+Rule bodies are evaluated through the cost-based planner
+(:mod:`repro.engine.planner`): the engine owns a per-run
+:class:`~repro.engine.planner.PlanCache` keyed on each rule body and its
+initially-bound variable set, so the greedy join-order search runs once
+per rule (and once per delta position), not once per binding or per
+fixpoint iteration.  The plans chosen for full evaluations are captured
+with their observed row counts; :meth:`Engine.explain` renders them.
+
 Safeguards (the paper is silent on termination, so the engine is not):
 ``max_iterations`` per stratum, ``max_universe`` size, and
 ``max_virtual_depth`` for head-created objects, all raising
@@ -30,11 +38,13 @@ from dataclasses import dataclass
 from typing import Iterable, Union
 
 from repro.core.ast import Program, Rule
+from repro.engine.explain import PlanReport, report_for_plan
 from repro.engine.heads import Derived, HeadRealizer
 from repro.engine.matching import Binding, MatchPolicy, match_atom_delta
 from repro.engine.normalize import NormalizedRule, normalize_program
+from repro.engine.planner import Plan, PlanCache, relevant_bound
 from repro.engine.profiler import EngineStats
-from repro.engine.solve import solve
+from repro.engine.solve import execute_plan, solve
 from repro.engine.stratify import stratify
 from repro.errors import ResourceLimitError
 from repro.flogic.atoms import (
@@ -63,6 +73,19 @@ class EngineLimits:
     max_method_depth: int | None = 1
 
 
+class _RulePlanRecord:
+    """Captured plan and observed rows for one rule's full evaluations."""
+
+    __slots__ = ("rule", "plan", "counters", "bindings", "firings")
+
+    def __init__(self, rule: NormalizedRule, plan: Plan) -> None:
+        self.rule = rule
+        self.plan = plan
+        self.counters = [0] * len(plan.steps)
+        self.bindings = 0
+        self.firings = 0
+
+
 class Engine:
     """Evaluates a PathLog program bottom-up over a database.
 
@@ -74,12 +97,19 @@ class Engine:
     def __init__(self, db: Database,
                  program: Union[Program, Iterable[Rule]],
                  *, seminaive: bool = True,
-                 limits: EngineLimits | None = None) -> None:
+                 limits: EngineLimits | None = None,
+                 use_planner: bool = True) -> None:
         self._db = db
         self._rules = normalize_program(program)
         self._seminaive = seminaive
         self._limits = limits or EngineLimits()
         self._policy = MatchPolicy(self._limits.max_method_depth)
+        self._use_planner = use_planner
+        self._plan_cache = PlanCache(track_version=False)
+        self._plan_records: dict[int, _RulePlanRecord] = {}
+        # Delta-position plans, keyed (rule identity, atom position) so
+        # the hot per-iteration path avoids re-hashing rule bodies.
+        self._delta_plans: dict[tuple[int, int], Plan] = {}
         self.stats = EngineStats(seminaive=seminaive)
 
     def run(self) -> Database:
@@ -88,6 +118,11 @@ class Engine:
         strata = stratify(self._rules)
         self.stats = EngineStats(seminaive=self._seminaive,
                                  strata=len(strata))
+        # One plan per (rule body, bound set) for the whole run: the
+        # engine owns its snapshot, so version tracking is unnecessary.
+        self._plan_cache = PlanCache(track_version=False)
+        self._plan_records = {}
+        self._delta_plans = {}
         realizer = HeadRealizer(
             work, max_virtual_depth=self._limits.max_virtual_depth
         )
@@ -96,7 +131,36 @@ class Engine:
             self._eval_stratum(work, group, realizer)
         self.stats.elapsed_s = time.perf_counter() - started
         self.stats.virtuals_created = realizer.virtuals_created
+        self.stats.plans_built = self._plan_cache.misses
+        self.stats.plan_cache_hits = self._plan_cache.hits
         return work
+
+    # ------------------------------------------------------------------
+    # EXPLAIN surface
+    # ------------------------------------------------------------------
+
+    def plan_reports(self) -> list[PlanReport]:
+        """Structured plans of the last run, one per evaluated rule.
+
+        Each report carries the join order chosen for the rule's *full*
+        body evaluations, per-step estimated rows and access paths, and
+        the actual rows observed across the run (delta-seeded firings
+        re-plan per seed position and are not folded in).
+        """
+        return [
+            report_for_plan(record.plan, title=str(record.rule),
+                            counters=record.counters,
+                            bindings=record.bindings)
+            for record in self._plan_records.values()
+            if record.plan.steps  # facts have no join order to explain
+        ]
+
+    def explain(self) -> str:
+        """Render the per-rule plans of the last run as text."""
+        reports = self.plan_reports()
+        if not reports:
+            return "no rule plans captured (run the engine first)"
+        return "\n\n".join(report.render() for report in reports)
 
     # ------------------------------------------------------------------
 
@@ -139,7 +203,24 @@ class Engine:
 
     def _fire_full(self, db: Database, rule: NormalizedRule,
                    realizer: HeadRealizer) -> None:
-        solutions = list(solve(db, rule.body, {}, self._policy))
+        if not self._use_planner:
+            solutions = list(solve(db, rule.body, {}, self._policy,
+                                   use_planner=False))
+            self._realize_all(rule, solutions, realizer)
+            return
+        record = self._plan_records.get(id(rule))
+        if record is None:
+            plan = self._plan_cache.get(db, rule.body, frozenset())
+            record = _RulePlanRecord(rule, plan)
+            self._plan_records[id(rule)] = record
+        else:
+            plan = record.plan
+            self._plan_cache.hits += 1
+        solutions = list(
+            execute_plan(db, plan, {}, self._policy, record.counters)
+        )
+        record.bindings += len(solutions)
+        record.firings += 1
         self._realize_all(rule, solutions, realizer)
 
     def _fire_delta(self, db: Database, rule: NormalizedRule,
@@ -148,9 +229,27 @@ class Engine:
         for position, atom in enumerate(rule.body):
             if not isinstance(atom, (ScalarAtom, SetMemberAtom)):
                 continue
-            rest = list(rule.body[:position]) + list(rule.body[position + 1:])
+            rest = rule.body[:position] + rule.body[position + 1:]
+            plan = None
+            if self._use_planner:
+                # All of the delta atom's variables are bound in every
+                # seed, so one plan covers every seed of this position.
+                key = (id(rule), position)
+                plan = self._delta_plans.get(key)
+                if plan is None:
+                    bound = relevant_bound(rest, atom.variables())
+                    plan = self._plan_cache.get(db, rest, bound)
+                    self._delta_plans[key] = plan
+                else:
+                    self._plan_cache.hits += 1
             for seed in match_atom_delta(db, atom, {}, delta, self._policy):
-                solutions.extend(solve(db, rest, seed, self._policy))
+                if plan is not None:
+                    solutions.extend(
+                        execute_plan(db, plan, seed, self._policy)
+                    )
+                else:
+                    solutions.extend(solve(db, list(rest), seed, self._policy,
+                                           use_planner=False))
         self._realize_all(rule, solutions, realizer)
 
     def _realize_all(self, rule: NormalizedRule, solutions: list[Binding],

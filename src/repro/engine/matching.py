@@ -397,14 +397,19 @@ def _match_negation(db: Database, atom: NegationAtom, binding: Binding,
 
     The conjunction solver defers negations until the variables shared
     with the positive body part are bound, so the inner solve here only
-    existentially enumerates negation-local variables.
+    existentially enumerates negation-local variables.  The inner
+    existence check runs on the constant-cost heuristic order: it is
+    re-entered once per candidate binding, and building a statistics
+    plan each time would cost more than the (typically tiny) inner
+    conjunction itself.
     """
-    from repro.engine.solve import exists
+    from repro.engine.solve import solve
 
     scoped = {var: obj for var, obj in binding.items()
               if var in atom.inner_variables()}
-    if not exists(db, atom.inner, scoped, policy):
-        yield binding
+    for _ in solve(db, atom.inner, scoped, policy, use_planner=False):
+        return
+    yield binding
 
 
 # ---------------------------------------------------------------------------

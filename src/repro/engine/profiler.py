@@ -25,6 +25,10 @@ class EngineStats:
     elapsed_s: float = 0.0
     #: Whether semi-naive iteration was used.
     seminaive: bool = True
+    #: Join plans built by the cost-based planner (plan-cache misses).
+    plans_built: int = 0
+    #: Body evaluations that reused a cached plan.
+    plan_cache_hits: int = 0
 
     @property
     def derived_total(self) -> int:
@@ -50,5 +54,7 @@ class EngineStats:
             "firings": self.firings,
             "derived": self.derived_total,
             "virtuals": self.virtuals_created,
+            "plans": self.plans_built,
+            "plan-hits": self.plan_cache_hits,
             "seconds": round(self.elapsed_s, 4),
         }

@@ -1,12 +1,19 @@
-"""Backtracking conjunction solver with greedy dynamic atom ordering.
+"""Backtracking conjunction solver over statically planned atom orders.
 
 Given a conjunction of atoms, :func:`solve` yields every binding of
-their variables that satisfies all of them.  At each step it picks the
-cheapest remaining atom under the current binding -- bound-position
-counting for data atoms, with superset and comparison atoms deferred
-until their inputs are bound -- so join order adapts as variables become
-bound.  This is the evaluator behind both rule bodies and the public
-query API.
+their variables that satisfies all of them.  The atom order comes from
+the cost-based planner (:mod:`repro.engine.planner`): one static
+:class:`~repro.engine.planner.Plan` is built per ``(conjunction,
+initially-bound variables)`` pair from cardinality statistics, then
+executed without per-node re-planning.  This is correct because an
+atom's boundness pattern -- the only planning input -- evolves
+identically along every branch of the search: a matched data atom binds
+all of its variables.
+
+The pre-planner behaviour (dynamic greedy ordering with fixed penalty
+constants) is kept as :func:`solve`'s ``use_planner=False`` mode; the
+planner benchmark (B9) uses it as its baseline.  This is the evaluator
+behind both rule bodies and the public query API.
 """
 
 from __future__ import annotations
@@ -20,6 +27,14 @@ from repro.engine.matching import (
     match_atom,
     resolve,
 )
+from repro.engine.planner import (
+    MUST_WAIT,
+    Plan,
+    PlanCache,
+    build_plan,
+    estimate_atom,
+    relevant_bound,
+)
 from repro.flogic.atoms import (
     Atom,
     ComparisonAtom,
@@ -32,13 +47,88 @@ from repro.flogic.atoms import (
 )
 from repro.oodb.database import Database
 
+
+def atom_cost(db: Database, atom: Atom, binding: Binding) -> float:
+    """Statistics-based cost of solving ``atom`` next under ``binding``.
+
+    Delegates to the planner's cardinality estimator; kept as a function
+    of a concrete binding (only *which* variables are bound matters).
+    The selection loop itself lives in
+    :func:`repro.engine.planner.build_plan`.
+    """
+    return estimate_atom(db, db.catalog(), atom, set(binding)).cost
+
+
+# ---------------------------------------------------------------------------
+# Planned execution
+# ---------------------------------------------------------------------------
+
+def solve(db: Database, atoms: Iterable[Atom],
+          binding: Binding | None = None,
+          policy: MatchPolicy = UNRESTRICTED,
+          *, cache: PlanCache | None = None,
+          plan: Plan | None = None,
+          use_planner: bool = True) -> Iterator[Binding]:
+    """Yield every binding satisfying all ``atoms`` (extends ``binding``).
+
+    ``cache`` memoises plans across calls (the engine and the query API
+    each own one); ``plan`` short-circuits planning entirely; and
+    ``use_planner=False`` falls back to the legacy dynamic greedy order
+    with fixed penalty constants (benchmark baseline).
+    """
+    initial = dict(binding or {})
+    if not use_planner:
+        yield from _solve_dynamic(db, list(atoms), initial, policy)
+        return
+    if plan is None:
+        atoms_t = tuple(atoms)
+        bound = relevant_bound(atoms_t, initial)
+        if cache is not None:
+            plan = cache.get(db, atoms_t, bound)
+        else:
+            plan = build_plan(db, atoms_t, bound)
+    yield from execute_plan(db, plan, initial, policy)
+
+
+def execute_plan(db: Database, plan: Plan,
+                 binding: Binding | None = None,
+                 policy: MatchPolicy = UNRESTRICTED,
+                 counters: list[int] | None = None) -> Iterator[Binding]:
+    """Run a static plan; ``counters[i]`` accumulates step i's actual rows."""
+    steps = plan.steps
+
+    def descend(index: int, current: Binding) -> Iterator[Binding]:
+        if index == len(steps):
+            yield current
+            return
+        for extended in match_atom(db, steps[index].atom, current, policy):
+            if counters is not None:
+                counters[index] += 1
+            yield from descend(index + 1, extended)
+
+    yield from descend(0, dict(binding or {}))
+
+
+def exists(db: Database, atoms: Iterable[Atom],
+           binding: Binding | None = None,
+           policy: MatchPolicy = UNRESTRICTED) -> bool:
+    """True iff the conjunction has at least one solution."""
+    for _ in solve(db, atoms, binding, policy):
+        return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Legacy dynamic ordering (fixed penalty constants, benchmark baseline)
+# ---------------------------------------------------------------------------
+
 #: Cost added per unbound position; bound methods/subjects are the most
 #: selective, hence their larger discounts.
 _UNBOUND_PENALTY = 10.0
 
 
-def atom_cost(db: Database, atom: Atom, binding: Binding) -> float:
-    """Heuristic cost of solving ``atom`` next under ``binding``."""
+def heuristic_atom_cost(db: Database, atom: Atom, binding: Binding) -> float:
+    """The pre-planner cost heuristic: boundness counting, no statistics."""
     if isinstance(atom, ComparisonAtom):
         unbound = sum(1 for v in atom.variables() if v not in binding)
         # A ready comparison is a free filter; an unready one must wait.
@@ -51,8 +141,6 @@ def atom_cost(db: Database, atom: Atom, binding: Binding) -> float:
         # universe enumeration, so weigh them heavily.
         return 100.0 + _UNBOUND_PENALTY * free_terms + 1000.0 * free_source
     if isinstance(atom, NegationAtom):
-        # Context-free estimate; pick_next overrides this with the
-        # floundering-aware cost when choosing among several atoms.
         free_inner = sum(1 for v in atom.inner_variables()
                          if v not in binding)
         return 500.0 + 100.0 * free_inner
@@ -78,35 +166,23 @@ def atom_cost(db: Database, atom: Atom, binding: Binding) -> float:
     raise TypeError(f"unknown atom kind: {atom!r}")  # pragma: no cover
 
 
-#: Cost marking an atom that must not run yet (floundering guard).
-_MUST_WAIT = 1e12
-
-
-def pick_next(db: Database, atoms: Sequence[Atom],
-              binding: Binding) -> tuple[int, float]:
-    """Cheapest atom to solve next as ``(index, cost)``.
-
-    A negation whose unbound variables also occur in *other* remaining
-    atoms is marked :data:`_MUST_WAIT`: running it early would quantify
-    those shared variables existentially inside the negation and flip
-    answers.  Variables local to the negation stay existential and are
-    fine.
-    """
+def _heuristic_pick_next(db: Database, atoms: Sequence[Atom],
+                         binding: Binding) -> tuple[int, float]:
     best_index = 0
     best_cost = float("inf")
     for index, atom in enumerate(atoms):
         if isinstance(atom, NegationAtom):
-            cost = _negation_cost(atoms, index, atom, binding)
+            cost = _heuristic_negation_cost(atoms, index, atom, binding)
         else:
-            cost = atom_cost(db, atom, binding)
+            cost = heuristic_atom_cost(db, atom, binding)
         if cost < best_cost:
             best_cost = cost
             best_index = index
     return best_index, best_cost
 
 
-def _negation_cost(atoms: Sequence[Atom], index: int, atom: NegationAtom,
-                   binding: Binding) -> float:
+def _heuristic_negation_cost(atoms: Sequence[Atom], index: int,
+                             atom: NegationAtom, binding: Binding) -> float:
     unbound = [v for v in atom.inner_variables() if v not in binding]
     if not unbound:
         return 500.0
@@ -120,26 +196,18 @@ def _negation_cost(atoms: Sequence[Atom], index: int, atom: NegationAtom,
         if isinstance(other, NegationAtom):
             elsewhere.update(other.inner_variables())
     if any(v in elsewhere for v in unbound):
-        return _MUST_WAIT
+        return MUST_WAIT
     # Purely negation-local variables: existential, safe to run.
     return 600.0
 
 
-def solve(db: Database, atoms: Iterable[Atom],
-          binding: Binding | None = None,
-          policy: MatchPolicy = UNRESTRICTED) -> Iterator[Binding]:
-    """Yield every binding satisfying all ``atoms`` (extends ``binding``)."""
-    remaining = list(atoms)
-    yield from _solve(db, remaining, dict(binding or {}), policy)
-
-
-def _solve(db: Database, atoms: list[Atom], binding: Binding,
-           policy: MatchPolicy) -> Iterator[Binding]:
+def _solve_dynamic(db: Database, atoms: list[Atom], binding: Binding,
+                   policy: MatchPolicy) -> Iterator[Binding]:
     if not atoms:
         yield binding
         return
-    index, cost = pick_next(db, atoms, binding)
-    if cost >= _MUST_WAIT:
+    index, cost = _heuristic_pick_next(db, atoms, binding)
+    if cost >= MUST_WAIT:
         from repro.errors import EvaluationError
 
         raise EvaluationError(
@@ -149,13 +217,4 @@ def _solve(db: Database, atoms: list[Atom], binding: Binding,
     atom = atoms[index]
     rest = atoms[:index] + atoms[index + 1:]
     for extended in match_atom(db, atom, binding, policy):
-        yield from _solve(db, rest, extended, policy)
-
-
-def exists(db: Database, atoms: Iterable[Atom],
-           binding: Binding | None = None,
-           policy: MatchPolicy = UNRESTRICTED) -> bool:
-    """True iff the conjunction has at least one solution."""
-    for _ in solve(db, atoms, binding, policy):
-        return True
-    return False
+        yield from _solve_dynamic(db, rest, extended, policy)

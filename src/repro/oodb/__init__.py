@@ -14,7 +14,8 @@ scratch:
 - :mod:`repro.oodb.database` -- the :class:`Database` facade that
   implements the semantic-structure protocol used by the valuation;
 - :mod:`repro.oodb.serialize` -- JSON round-tripping;
-- :mod:`repro.oodb.statistics` -- size/shape reports used by benches.
+- :mod:`repro.oodb.statistics` -- size/shape reports plus the
+  cardinality catalog that feeds the cost-based query planner.
 """
 
 from repro.oodb.database import Database

@@ -37,6 +37,8 @@ class Database:
         self.scalars = ScalarMethodTable(indexed=indexed)
         self.sets = SetMethodTable(indexed=indexed)
         self._indexed = indexed
+        self._catalog = None
+        self._catalog_version = -1
 
     # ------------------------------------------------------------------
     # Names and universe
@@ -138,6 +140,32 @@ class Database:
                   args: tuple[Oid, ...] = ()) -> frozenset[Oid]:
         """``I_->>(method)(subject, args)``; empty where undefined."""
         return self.sets.get(method, subject, args)
+
+    # ------------------------------------------------------------------
+    # Planner support: data version and cardinality catalog
+    # ------------------------------------------------------------------
+
+    def data_version(self) -> int:
+        """A counter that changes whenever stored facts change.
+
+        Sums the mutation counters of the two method tables and the
+        class hierarchy.  Registering names in the universe does *not*
+        bump it (queries do that constantly); plan caches and the
+        cardinality catalog key on this value.
+        """
+        return (self.scalars.version + self.sets.version
+                + self.hierarchy.version)
+
+    def catalog(self):
+        """The :class:`~repro.oodb.statistics.CardinalityCatalog` of this
+        database, rebuilt lazily when :meth:`data_version` changes."""
+        from repro.oodb.statistics import CardinalityCatalog
+
+        version = self.data_version()
+        if self._catalog is None or self._catalog_version != version:
+            self._catalog = CardinalityCatalog.build(self)
+            self._catalog_version = version
+        return self._catalog
 
     # ------------------------------------------------------------------
     # High-level loading API

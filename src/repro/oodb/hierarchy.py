@@ -46,6 +46,8 @@ class ClassHierarchy:
         self._reflexive = reflexive
         self._ancestors_memo: dict[Oid, frozenset[Oid]] = {}
         self._descendants_memo: dict[Oid, frozenset[Oid]] = {}
+        #: Bumped on every successful mutation (planner cache key).
+        self.version = 0
 
     # -- mutation -----------------------------------------------------------
 
@@ -80,6 +82,7 @@ class ClassHierarchy:
         return True
 
     def _invalidate(self) -> None:
+        self.version += 1
         self._ancestors_memo.clear()
         self._descendants_memo.clear()
 

@@ -16,6 +16,10 @@ evaluator needs:
 
 Indexes can be disabled (``indexed=False``) to support the index
 ablation benchmark; all lookups then scan the primary dict.
+
+Both tables keep a monotone :attr:`version` counter, bumped on every
+successful mutation.  The query planner's cardinality catalog and plan
+caches key on it to notice (and only then recompute after) data changes.
 """
 
 from __future__ import annotations
@@ -38,6 +42,13 @@ class ScalarMethodTable:
         self._by_method: dict[Oid, dict[AppKey, Oid]] = {}
         self._by_method_result: dict[tuple[Oid, Oid], set[AppKey]] = {}
         self._by_subject: dict[Oid, dict[AppKey, Oid]] = {}
+        #: Bumped on every successful mutation (planner cache key).
+        self.version = 0
+
+    @property
+    def indexed(self) -> bool:
+        """Whether secondary indexes are maintained."""
+        return self._indexed
 
     # -- mutation -----------------------------------------------------------
 
@@ -56,6 +67,7 @@ class ScalarMethodTable:
                 return False
             raise ScalarConflictError(method, subject, args, existing, result)
         self._facts[key] = result
+        self.version += 1
         if self._indexed:
             self._by_method.setdefault(method, {})[key] = result
             self._by_method_result.setdefault((method, result), set()).add(key)
@@ -68,6 +80,7 @@ class ScalarMethodTable:
         result = self._facts.pop(key, None)
         if result is None:
             return False
+        self.version += 1
         if self._indexed:
             self._by_method[method].pop(key, None)
             self._by_method_result[(method, result)].discard(key)
@@ -134,6 +147,26 @@ class ScalarMethodTable:
             return frozenset(m for m, bucket in self._by_method.items() if bucket)
         return frozenset(key[0] for key in self._facts)
 
+    # -- exact index cardinalities (planner estimates) -----------------------
+
+    def count_method(self, method: Oid) -> int | None:
+        """Stored facts of ``method``; None when no index is available."""
+        if not self._indexed:
+            return None
+        return len(self._by_method.get(method, ()))
+
+    def count_method_result(self, method: Oid, result: Oid) -> int | None:
+        """Facts with this method *and* result; None when unindexed."""
+        if not self._indexed:
+            return None
+        return len(self._by_method_result.get((method, result), ()))
+
+    def count_subject(self, subject: Oid) -> int | None:
+        """Facts stored on ``subject``; None when unindexed."""
+        if not self._indexed:
+            return None
+        return len(self._by_subject.get(subject, ()))
+
     def mentioned_oids(self) -> Iterator[Oid]:
         """Every OID occurring in any stored fact."""
         for (method, subject, args), result in self._facts.items():
@@ -159,6 +192,13 @@ class SetMethodTable:
         self._by_method: dict[Oid, dict[AppKey, set[Oid]]] = {}
         self._by_method_member: dict[tuple[Oid, Oid], set[AppKey]] = {}
         self._by_subject: dict[Oid, dict[AppKey, set[Oid]]] = {}
+        #: Bumped on every successful mutation (planner cache key).
+        self.version = 0
+
+    @property
+    def indexed(self) -> bool:
+        """Whether secondary indexes are maintained."""
+        return self._indexed
 
     # -- mutation -----------------------------------------------------------
 
@@ -176,6 +216,7 @@ class SetMethodTable:
         if member in bucket:
             return False
         bucket.add(member)
+        self.version += 1
         if self._indexed:
             self._by_method_member.setdefault((method, member), set()).add(key)
         return True
@@ -188,6 +229,7 @@ class SetMethodTable:
         if bucket is None or member not in bucket:
             return False
         bucket.discard(member)
+        self.version += 1
         if self._indexed:
             self._by_method_member[(method, member)].discard(key)
         return True
@@ -261,6 +303,26 @@ class SetMethodTable:
         if self._indexed:
             return frozenset(m for m, bucket in self._by_method.items() if bucket)
         return frozenset(key[0] for key in self._facts)
+
+    # -- exact index cardinalities (planner estimates) -----------------------
+
+    def count_method_apps(self, method: Oid) -> int | None:
+        """Applications of ``method``; None when unindexed."""
+        if not self._indexed:
+            return None
+        return len(self._by_method.get(method, ()))
+
+    def count_method_member(self, method: Oid, member: Oid) -> int | None:
+        """Memberships of ``member`` under ``method``; None when unindexed."""
+        if not self._indexed:
+            return None
+        return len(self._by_method_member.get((method, member), ()))
+
+    def count_subject_apps(self, subject: Oid) -> int | None:
+        """Applications stored on ``subject``; None when unindexed."""
+        if not self._indexed:
+            return None
+        return len(self._by_subject.get(subject, ()))
 
     def mentioned_oids(self) -> Iterator[Oid]:
         """Every OID occurring in any stored membership."""

@@ -1,11 +1,24 @@
-"""Shape and size statistics of a database (used by benches and docs)."""
+"""Shape and size statistics of a database.
+
+Two layers live here:
+
+- :class:`DatabaseStats` / :func:`collect` -- a one-line size snapshot
+  (one row in the bench reports);
+- :class:`CardinalityCatalog` -- the per-method cardinality statistics
+  (fact counts, distinct subjects, distinct results, isa fan-out) that
+  drive the cost-based query planner in :mod:`repro.engine.planner`.
+
+The catalog is an O(|facts|) scan; :meth:`repro.oodb.database.Database.catalog`
+caches it keyed on the database's data version, so repeated planning is
+free until facts change.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
 from repro.oodb.database import Database
-from repro.oodb.oid import VirtualOid
+from repro.oodb.oid import Oid, VirtualOid
 
 
 @dataclass(frozen=True, slots=True)
@@ -31,6 +44,128 @@ class DatabaseStats:
             "set": self.set_memberships,
             "set-apps": self.set_applications,
         }
+
+
+@dataclass(frozen=True, slots=True)
+class MethodCard:
+    """Cardinalities of one method's stored graph.
+
+    ``facts`` counts scalar facts or set *memberships*; ``apps`` counts
+    distinct ``(method, subject, args)`` applications (equal to ``facts``
+    for scalar methods); ``subjects`` and ``results`` count distinct
+    values at those positions.
+    """
+
+    facts: int
+    apps: int
+    subjects: int
+    results: int
+
+    @property
+    def per_subject(self) -> float:
+        """Average facts yielded once the subject is fixed."""
+        return self.facts / max(1, self.subjects)
+
+    @property
+    def per_result(self) -> float:
+        """Average facts yielded once the result is fixed."""
+        return self.facts / max(1, self.results)
+
+
+class CardinalityCatalog:
+    """Per-method and isa cardinalities of one database snapshot.
+
+    Built by one scan over the stored facts; the planner combines these
+    statistics with exact index bucket sizes (when a method *and* a
+    name-constant result are known) to estimate how many rows each atom
+    of a conjunction will yield.
+    """
+
+    __slots__ = (
+        "universe", "scalar", "sets", "scalar_total", "set_total",
+        "set_apps_total", "scalar_subjects", "set_subjects",
+        "isa_edges", "isa_members", "isa_classes",
+    )
+
+    def __init__(self) -> None:
+        self.universe = 0
+        self.scalar: dict[Oid, MethodCard] = {}
+        self.sets: dict[Oid, MethodCard] = {}
+        self.scalar_total = 0
+        self.set_total = 0
+        self.set_apps_total = 0
+        self.scalar_subjects = 0
+        self.set_subjects = 0
+        self.isa_edges = 0
+        self.isa_members = 0
+        self.isa_classes = 0
+
+    @classmethod
+    def build(cls, db: Database) -> "CardinalityCatalog":
+        """Scan ``db`` once and compute every statistic."""
+        catalog = cls()
+        catalog.universe = len(db)
+
+        per_method: dict[Oid, list] = {}
+        all_subjects: set[Oid] = set()
+        for (method, subject, _args), result in db.scalars.items():
+            entry = per_method.setdefault(method, [0, set(), set()])
+            entry[0] += 1
+            entry[1].add(subject)
+            entry[2].add(result)
+            all_subjects.add(subject)
+        for method, (facts, subjects, results) in per_method.items():
+            catalog.scalar[method] = MethodCard(
+                facts=facts, apps=facts,
+                subjects=len(subjects), results=len(results),
+            )
+            catalog.scalar_total += facts
+        catalog.scalar_subjects = len(all_subjects)
+
+        per_method.clear()
+        all_subjects = set()
+        for (method, subject, _args), members in db.sets.items():
+            entry = per_method.setdefault(method, [0, 0, set(), set()])
+            entry[0] += len(members)
+            entry[1] += 1
+            entry[2].add(subject)
+            entry[3].update(members)
+            all_subjects.add(subject)
+        for method, (facts, apps, subjects, members) in per_method.items():
+            catalog.sets[method] = MethodCard(
+                facts=facts, apps=apps,
+                subjects=len(subjects), results=len(members),
+            )
+            catalog.set_total += facts
+            catalog.set_apps_total += apps
+        catalog.set_subjects = len(all_subjects)
+
+        members_seen: set[Oid] = set()
+        classes_seen: set[Oid] = set()
+        for member, cls_oid in db.hierarchy.declared_edges():
+            catalog.isa_edges += 1
+            members_seen.add(member)
+            classes_seen.add(cls_oid)
+        catalog.isa_members = len(members_seen)
+        catalog.isa_classes = len(classes_seen)
+        return catalog
+
+    # -- derived averages ---------------------------------------------------
+
+    @property
+    def avg_classes_per_object(self) -> float:
+        """Mean declared classes of an object that has any."""
+        return self.isa_edges / max(1, self.isa_members)
+
+    @property
+    def avg_scalar_facts_per_subject(self) -> float:
+        """Mean scalar facts stored on a subject, over all methods."""
+        return self.scalar_total / max(1, self.scalar_subjects)
+
+    @property
+    def avg_set_facts_per_subject(self) -> float:
+        """Mean set memberships stored on a subject, over all methods."""
+        return self.set_total / max(1, self.set_subjects)
 
 
 def collect(db: Database) -> DatabaseStats:

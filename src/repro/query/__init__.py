@@ -4,8 +4,10 @@
 
 - conjunctive queries (strings, literals, or literal tuples) with
   variable bindings,
-- truth queries (``ask``), and
-- denotation queries (``objects``: the set a reference denotes).
+- truth queries (``ask``),
+- denotation queries (``objects``: the set a reference denotes), and
+- plan introspection (``explain``: the join order, estimated vs.
+  actual rows, and access path per atom).
 """
 
 from repro.query.bindings import Answer

@@ -6,12 +6,19 @@ or as tuples of literals.  Answers are projections of the solutions onto
 the *user* variables (auxiliary flattening variables are hidden),
 deduplicated, in deterministic order.
 
+Conjunctions are join-ordered by the cost-based planner; each Query
+instance memoises plans in a :class:`~repro.engine.planner.PlanCache`
+that invalidates itself when the database's facts change.
+:meth:`Query.explain` exposes the chosen plan -- ordered atoms,
+estimated vs. actual rows, index vs. scan access paths.
+
 Examples::
 
     q = Query(db)
     q.ask("p1 : employee")                        # truth
     q.all("X : employee[age -> 30].city[C]")      # bindings
     q.objects("p1..assistants[salary -> 1000]")   # denotation
+    print(q.explain("X : employee.city[C]"))      # the join plan
 """
 
 from __future__ import annotations
@@ -19,8 +26,11 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Sequence, Union
 
 from repro.core.ast import Comparison, Literal, Negation, Reference, Var
+from repro.core.pretty import literal_to_text
 from repro.core.valuation import VariableValuation, valuate
 from repro.core.variables import variables_of
+from repro.engine.explain import PlanReport, explain_conjunction
+from repro.engine.planner import PlanCache
 from repro.engine.solve import solve
 from repro.flogic.flatten import flatten_conjunction
 from repro.lang.parser import parse_query, parse_reference
@@ -37,6 +47,12 @@ class Query:
 
     def __init__(self, db: Database) -> None:
         self._db = db
+        self._plans = PlanCache()
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The plan cache (hits/misses/invalidations are inspectable)."""
+        return self._plans
 
     # ------------------------------------------------------------------
 
@@ -51,7 +67,7 @@ class Query:
         wanted = self._wanted_variables(literals, variables)
         atoms = flatten_conjunction(literals)
         seen: set[tuple] = set()
-        for binding in solve(self._db, atoms, {}):
+        for binding in solve(self._db, atoms, {}, cache=self._plans):
             row = {name: binding[Var(name)] for name in wanted}
             key = tuple(row[name] for name in wanted)
             if key in seen:
@@ -72,7 +88,7 @@ class Query:
         """True iff the query has at least one solution."""
         literals = self._as_literals(query)
         atoms = flatten_conjunction(literals)
-        for _ in solve(self._db, atoms, {}):
+        for _ in solve(self._db, atoms, {}, cache=self._plans):
             return True
         return False
 
@@ -93,7 +109,8 @@ class Query:
             reference, FreshVariables(avoid=variables_of(reference))
         )
         found: set[Oid] = set()
-        for binding in solve(self._db, flattened.atoms, {}):
+        for binding in solve(self._db, flattened.atoms, {},
+                             cache=self._plans):
             if isinstance(flattened.term, Var):
                 found.add(binding[flattened.term])
             else:
@@ -104,6 +121,24 @@ class Query:
               variables: Iterable[str] | None = None) -> int:
         """Number of distinct answers."""
         return sum(1 for _ in self.solutions(query, variables))
+
+    def explain(self, query: QueryInput, *,
+                analyze: bool = True) -> PlanReport:
+        """The join plan the solver uses for ``query``.
+
+        The report lists the scheduled atoms in execution order with
+        their estimated rows and access path; with ``analyze=True`` (the
+        default) the plan is also executed and each step's *actual* row
+        count recorded.  The plan comes from the same cache the other
+        query methods use, so what you see is what runs.  The report's
+        ``bindings`` counts raw solver bindings; :meth:`all` may return
+        fewer rows after projection and deduplication.
+        """
+        literals = self._as_literals(query)
+        atoms = flatten_conjunction(literals)
+        title = ", ".join(literal_to_text(lit) for lit in literals)
+        return explain_conjunction(self._db, atoms, {}, cache=self._plans,
+                                   analyze=analyze, title=title)
 
     # ------------------------------------------------------------------
 

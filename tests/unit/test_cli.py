@@ -1,4 +1,4 @@
-"""CLI tests: programs, queries, snapshots, errors."""
+"""CLI tests: programs, queries, snapshots, EXPLAIN, errors."""
 
 import io
 
@@ -68,6 +68,75 @@ class TestSnapshots:
                               "--query", "X[senior -> yes]")
         assert code == 0
         assert "X=p2" in output
+
+
+EXPLAIN_PROGRAM = """
+    car1 : automobile. car1[color -> red]. car1[cylinders -> 4].
+    car2 : automobile. car2[color -> blue]. car2[cylinders -> 6].
+    p1 : employee. p1[vehicles ->> {car1}]. p1[vehicles ->> {car2}].
+    p2 : employee. p2[vehicles ->> {car2}].
+"""
+
+#: The exact plan for the snapshot program: the planner starts from the
+#: one-entry (color, red) index bucket, walks the member index back to
+#: the owner, then checks the class.  Pinned as a rendering snapshot.
+EXPLAIN_SNAPSHOT = """\
+plan: X : employee..vehicles[color -> red]
+#  atom                   access path          est.rows  rows
+-  ---------------------  -------------------  --------  ----
+1  _V1[color -> red]      method+result index         1     1
+2  X[vehicles ->> {_V1}]  method+member index       1.5     1
+3  X : employee           isa check                 0.5     1
+estimated 0.8 rows; 1 bindings
+"""
+
+
+class TestExplain:
+    @pytest.fixture
+    def explain_program(self, tmp_path):
+        path = tmp_path / "explain.plog"
+        path.write_text(EXPLAIN_PROGRAM)
+        return path
+
+    def test_explain_snapshot(self, explain_program):
+        code, output = invoke("explain",
+                              "X : employee..vehicles[color -> red]",
+                              "--program", explain_program)
+        assert code == 0
+        assert output == EXPLAIN_SNAPSHOT
+
+    def test_explain_without_analyze(self, explain_program):
+        code, output = invoke("explain",
+                              "X : employee..vehicles[color -> red]",
+                              "--program", explain_program, "--no-analyze")
+        assert code == 0
+        assert "est.rows" in output
+        assert "bindings" not in output
+
+    def test_explain_against_snapshot_db(self, explain_program, tmp_path):
+        snapshot = tmp_path / "db.json"
+        code, _ = invoke(explain_program, "--dump", snapshot)
+        assert code == 0
+        code, output = invoke("explain", "X : employee", "--db", snapshot)
+        assert code == 0
+        assert "class extent" in output
+        assert "2 bindings" in output
+
+    def test_explain_without_database(self):
+        code, output = invoke("explain", "X : employee")
+        assert code == 0
+        assert "0 bindings" in output
+
+    def test_explain_bad_query(self, explain_program):
+        code, output = invoke("explain", "p1[", "--program", explain_program)
+        assert code == 1
+        assert "error:" in output
+
+    def test_engine_explain_flag(self, program_file):
+        code, output = invoke(program_file, "--explain")
+        assert code == 0
+        assert "plan:" in output
+        assert "access path" in output
 
 
 class TestErrors:
