@@ -1,0 +1,243 @@
+"""B10: compiled plan execution vs. the interpreted planner path.
+
+The plan compiler (``engine/compile.py``) lowers each static plan into
+slot-based registers and per-step kernels specialized at compile time,
+removing the interpreted executor's per-tuple ``isinstance`` dispatch,
+term re-resolution, and dict-binding copies.  This bench measures that
+against the PR 1 interpreted-planner path (``compiled=False``) -- both
+sides execute the *same* static plans, so the delta is pure executor
+overhead:
+
+- **inverse** (B9's acceptance workload): index-probe heavy; every
+  tuple saved is a dict copy avoided.  Expected shape: compiled wins by
+  a large factor (measured ~7-8x).
+- **transitive closure** (B3's chain workload, semi-naive engine):
+  full *and* delta rule firing run compiled kernels; the delta position
+  compiles to a log-scan seed kernel writing registers directly.
+  Head realisation cost is shared by both sides, so the ratio is
+  smaller (measured ~2-2.5x).
+- **subject-first** (the flagship two-dimensional query): mixed
+  isa/set/scalar kernels (measured ~3.5-4x).
+
+The acceptance gates require >= 1.5x at the largest sweep size on the
+inverse and transitive-closure workloads.  Answers must be identical
+everywhere: compilation changes the executor, never the plan or its
+semantics.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report, sizes
+from repro.datasets import CompanyConfig, build_company
+from repro.datasets.genealogy import chain_family, desc_rules
+from repro.engine import Engine
+from repro.engine.planner import PlanCache
+from repro.engine.solve import solve
+from repro.flogic.flatten import flatten_conjunction
+from repro.lang.parser import parse_query
+
+FULL_SIZES = (100, 400)
+SIZES = sizes(FULL_SIZES)
+GATED_SIZE = max(FULL_SIZES)
+
+CHAIN_SIZES = (32, 96)
+CHAINS = sizes(CHAIN_SIZES)
+GATED_CHAIN = max(CHAIN_SIZES)
+
+WORKLOADS = {
+    "inverse": ("Y[color -> red], Y[cylinders -> 8], "
+                "Y[producedBy -> P], P[city -> detroit]"),
+    "subject-first": ("X : employee[city -> C]"
+                      "..vehicles : automobile[cylinders -> 4].color[Z]"),
+}
+
+
+@pytest.fixture(scope="module", params=SIZES)
+def sized_db(request):
+    size = request.param
+    db = build_company(CompanyConfig(employees=size, seed=61))
+    return size, db
+
+
+@pytest.fixture(scope="module", params=CHAINS)
+def chain_db(request):
+    db, graph = chain_family(request.param)
+    return request.param, db
+
+
+def atoms_of(workload: str):
+    return flatten_conjunction(parse_query(WORKLOADS[workload]))
+
+
+def answer_set(db, atoms, **kwargs):
+    return {frozenset(b.items()) for b in solve(db, atoms, **kwargs)}
+
+
+def _best_of(fn, reps=7):
+    best = float("inf")
+    for _ in range(reps):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _materialised_facts(db):
+    return (set(db.scalars.items()),
+            {(key, frozenset(bucket)) for key, bucket in db.sets.items()},
+            set(db.hierarchy.declared_edges()))
+
+
+# ---------------------------------------------------------------------------
+# Agreement: compilation never changes answers.
+# ---------------------------------------------------------------------------
+
+def test_identical_answers_on_every_workload(sized_db):
+    size, db = sized_db
+    for name in WORKLOADS:
+        atoms = atoms_of(name)
+        compiled = answer_set(db, atoms)
+        interpreted = answer_set(db, atoms, compiled=False)
+        assert compiled == interpreted
+        report("B10-agreement", employees=size, workload=name,
+               answers=len(compiled))
+
+
+def test_identical_fixpoints_on_transitive_closure(chain_db):
+    length, db = chain_db
+    compiled = Engine(db, desc_rules(), compiled=True)
+    via_compiled = compiled.run()
+    interpreted = Engine(db, desc_rules(), compiled=False)
+    via_interpreted = interpreted.run()
+    assert (_materialised_facts(via_compiled)
+            == _materialised_facts(via_interpreted))
+    assert compiled.stats.derived_total == interpreted.stats.derived_total
+    assert compiled.stats.plans_compiled > 0
+    assert interpreted.stats.plans_compiled == 0
+    report("B10-agreement", chain=length,
+           derived=compiled.stats.derived_total,
+           kernels=compiled.stats.plans_compiled,
+           tuples=compiled.stats.tuples)
+
+
+# ---------------------------------------------------------------------------
+# The acceptance gates: >= 1.5x at the largest sweep sizes.
+# ---------------------------------------------------------------------------
+
+def test_compiled_beats_interpreter_on_inverse(sized_db):
+    size, db = sized_db
+    atoms = atoms_of("inverse")
+    cache = PlanCache()
+    compiled = _best_of(
+        lambda: sum(1 for _ in solve(db, atoms, cache=cache))
+    )
+    cache_i = PlanCache()
+    interpreted = _best_of(
+        lambda: sum(1 for _ in solve(db, atoms, cache=cache_i,
+                                     compiled=False))
+    )
+    ratio = interpreted / compiled
+    report("B10-speedup", employees=size, workload="inverse",
+           compiled_ms=round(compiled * 1000, 3),
+           interpreted_ms=round(interpreted * 1000, 3),
+           ratio=round(ratio, 2))
+    if size == GATED_SIZE:
+        assert ratio >= 1.5
+
+
+def test_compiled_beats_interpreter_on_transitive_closure(chain_db):
+    length, db = chain_db
+    compiled = _best_of(
+        lambda: Engine(db, desc_rules(), compiled=True).run(), reps=5
+    )
+    interpreted = _best_of(
+        lambda: Engine(db, desc_rules(), compiled=False).run(), reps=5
+    )
+    ratio = interpreted / compiled
+    report("B10-speedup", chain=length, workload="transitive-closure",
+           compiled_ms=round(compiled * 1000, 3),
+           interpreted_ms=round(interpreted * 1000, 3),
+           ratio=round(ratio, 2))
+    if length == GATED_CHAIN:
+        assert ratio >= 1.5
+
+
+def test_compiled_no_worse_on_subject_first(sized_db):
+    size, db = sized_db
+    atoms = atoms_of("subject-first")
+    cache = PlanCache()
+    compiled = _best_of(
+        lambda: sum(1 for _ in solve(db, atoms, cache=cache))
+    )
+    cache_i = PlanCache()
+    interpreted = _best_of(
+        lambda: sum(1 for _ in solve(db, atoms, cache=cache_i,
+                                     compiled=False))
+    )
+    ratio = interpreted / compiled
+    report("B10-speedup", employees=size, workload="subject-first",
+           compiled_ms=round(compiled * 1000, 3),
+           interpreted_ms=round(interpreted * 1000, 3),
+           ratio=round(ratio, 2))
+    if size == GATED_SIZE:
+        assert ratio >= 0.8
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN: the kernel column names every step's compiled form.
+# ---------------------------------------------------------------------------
+
+def test_explain_names_a_kernel_for_every_step(sized_db):
+    from repro.query import Query
+
+    size, db = sized_db
+    for name in WORKLOADS:
+        plan_report = Query(db).explain(WORKLOADS[name])
+        assert plan_report.compiled
+        assert all(step.kernel for step in plan_report.steps)
+    report("B10-explain", employees=size, workloads=len(WORKLOADS))
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark timing groups
+# ---------------------------------------------------------------------------
+
+@pytest.mark.benchmark(group="B10-inverse")
+def test_bench_inverse_compiled(benchmark, sized_db):
+    size, db = sized_db
+    atoms = atoms_of("inverse")
+    cache = PlanCache()
+    rows = benchmark(lambda: sum(1 for _ in solve(db, atoms, cache=cache)))
+    report("B10", executor="compiled", workload="inverse", employees=size,
+           answers=rows)
+
+
+@pytest.mark.benchmark(group="B10-inverse")
+def test_bench_inverse_interpreted(benchmark, sized_db):
+    size, db = sized_db
+    atoms = atoms_of("inverse")
+    cache = PlanCache()
+    rows = benchmark(
+        lambda: sum(1 for _ in solve(db, atoms, cache=cache,
+                                     compiled=False))
+    )
+    report("B10", executor="interpreted", workload="inverse", employees=size,
+           answers=rows)
+
+
+@pytest.mark.benchmark(group="B10-tc")
+def test_bench_tc_compiled(benchmark, chain_db):
+    length, db = chain_db
+    benchmark(lambda: Engine(db, desc_rules(), compiled=True).run())
+    report("B10", executor="compiled", workload="transitive-closure",
+           chain=length)
+
+
+@pytest.mark.benchmark(group="B10-tc")
+def test_bench_tc_interpreted(benchmark, chain_db):
+    length, db = chain_db
+    benchmark(lambda: Engine(db, desc_rules(), compiled=False).run())
+    report("B10", executor="interpreted", workload="transitive-closure",
+           chain=length)

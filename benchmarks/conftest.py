@@ -10,11 +10,25 @@ not match pytest's default file pattern, so name them explicitly::
 Setting ``BENCH_SMOKE=1`` trims every size sweep to its smallest entry
 -- the CI smoke pass that checks the benches still *run* without paying
 for the full sweep.
+
+Every :func:`report` row is also collected in memory; when a session
+produced any, a machine-readable ``BENCH_RESULTS.json`` (path
+overridable via the ``BENCH_RESULTS`` environment variable) is written
+at session end with all per-bench timings and speedup ratios, so the
+performance trajectory can be tracked across runs -- CI uploads it as
+an artifact.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
+from pathlib import Path
+
+#: Rows collected by :func:`report` during this pytest session.
+_RESULTS: list[dict] = []
 
 
 def sizes(full: tuple) -> tuple:
@@ -25,6 +39,31 @@ def sizes(full: tuple) -> tuple:
 
 
 def report(experiment: str, **fields) -> None:
-    """Print one labelled result row (captured by pytest -s or on failure)."""
+    """Print one labelled result row (captured by pytest -s or on failure).
+
+    The row is also recorded for the session's ``BENCH_RESULTS.json``.
+    """
     rendered = "  ".join(f"{key}={value}" for key, value in fields.items())
     print(f"[{experiment}] {rendered}")
+    _RESULTS.append({"experiment": experiment, **fields})
+
+
+def results_path() -> Path:
+    """Where the session's machine-readable results are written."""
+    return Path(os.environ.get("BENCH_RESULTS", "BENCH_RESULTS.json"))
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """Write BENCH_RESULTS.json when this session ran any benches."""
+    if not _RESULTS:
+        return
+    payload = {
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "smoke": bool(os.environ.get("BENCH_SMOKE")),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "exit_status": int(exitstatus),
+        "rows": _RESULTS,
+    }
+    results_path().write_text(json.dumps(payload, indent=2, default=str)
+                              + "\n")

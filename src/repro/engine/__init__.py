@@ -9,6 +9,8 @@ applied"; this package supplies them:
   orders from cardinality statistics, with a keyed plan cache;
 - :mod:`repro.engine.solve` -- backtracking conjunction solver executing
   planned orders (with the fixed-penalty dynamic order as a baseline);
+- :mod:`repro.engine.compile` -- compiled plan execution: slot-based
+  bindings and per-step kernels specialized at plan-build time;
 - :mod:`repro.engine.explain` -- the EXPLAIN surface: structured plan
   reports with estimated vs. actual rows and access paths;
 - :mod:`repro.engine.normalize` -- rule normalisation: head scalarity
@@ -23,6 +25,12 @@ applied"; this package supplies them:
   profiling.
 """
 
+from repro.engine.compile import (
+    CompiledDeltaPlan,
+    CompiledPlan,
+    compile_delta_plan,
+    compile_plan,
+)
 from repro.engine.explain import PlanReport, StepView, explain_conjunction
 from repro.engine.fixpoint import Engine, EngineLimits
 from repro.engine.normalize import NormalizedRule, normalize_program, normalize_rule
@@ -32,6 +40,8 @@ from repro.engine.solve import solve
 from repro.engine.stratify import stratify
 
 __all__ = [
+    "CompiledDeltaPlan",
+    "CompiledPlan",
     "Engine",
     "EngineLimits",
     "EngineStats",
@@ -42,6 +52,8 @@ __all__ = [
     "PlanStep",
     "StepView",
     "build_plan",
+    "compile_delta_plan",
+    "compile_plan",
     "explain_conjunction",
     "normalize_program",
     "normalize_rule",

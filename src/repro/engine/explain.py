@@ -32,6 +32,9 @@ class StepView:
     access: str
     est_rows: float
     actual_rows: int | None  #: None when the plan was not executed
+    #: Compiled kernel chosen for this step; None when the plan ran (or
+    #: would run) through the interpreted executor.
+    kernel: str | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -52,17 +55,28 @@ class PlanReport:
         """Whether the plan was executed to collect actual rows."""
         return self.bindings is not None
 
+    @property
+    def compiled(self) -> bool:
+        """Whether the steps carry compiled kernel names."""
+        return any(step.kernel is not None for step in self.steps)
+
     def render(self) -> str:
         """The aligned text table (what the CLI prints)."""
         headers = ["#", "atom", "access path", "est.rows"]
         aligns = "rllr"
+        compiled = self.compiled
+        if compiled:
+            headers.insert(3, "kernel")
+            aligns = "rlllr"
         if self.analyzed:
             headers.append("rows")
             aligns += "r"
         rows = []
         for step in self.steps:
-            row = [str(step.position), step.atom, step.access,
-                   _fmt(step.est_rows)]
+            row = [str(step.position), step.atom, step.access]
+            if compiled:
+                row.append(step.kernel or "-")
+            row.append(_fmt(step.est_rows))
             if self.analyzed:
                 row.append(str(step.actual_rows))
             rows.append(row)
@@ -88,8 +102,10 @@ def _fmt(value: float) -> str:
 
 def report_for_plan(plan: Plan, *, title: str = "",
                     counters: list[int] | None = None,
-                    bindings: int | None = None) -> PlanReport:
+                    bindings: int | None = None,
+                    kernels: Iterable[str] | None = None) -> PlanReport:
     """Wrap a planner plan (and optional observed counts) as a report."""
+    names = tuple(kernels) if kernels is not None else None
     steps = tuple(
         StepView(
             position=index + 1,
@@ -97,6 +113,7 @@ def report_for_plan(plan: Plan, *, title: str = "",
             access=step.access,
             est_rows=step.rows,
             actual_rows=counters[index] if counters is not None else None,
+            kernel=names[index] if names is not None else None,
         )
         for index, step in enumerate(plan.steps)
     )
@@ -109,8 +126,15 @@ def explain_conjunction(db: Database, atoms: Iterable[Atom],
                         policy: MatchPolicy = UNRESTRICTED,
                         *, cache: PlanCache | None = None,
                         analyze: bool = True,
+                        compiled: bool = True,
                         title: str = "") -> PlanReport:
-    """Plan a conjunction and (by default) execute it to observe rows."""
+    """Plan a conjunction and (by default) execute it to observe rows.
+
+    With ``compiled=True`` (the solver's default mode) the report names
+    the kernel the compiled executor selected for every step, and the
+    ``analyze`` run executes the compiled form -- what you see is what
+    runs.
+    """
     atoms_t = tuple(atoms)
     initial = dict(binding or {})
     bound = relevant_bound(atoms_t, initial)
@@ -118,11 +142,17 @@ def explain_conjunction(db: Database, atoms: Iterable[Atom],
         plan = cache.get(db, atoms_t, bound)
     else:
         plan = build_plan(db, atoms_t, bound)
+    kernels = None
+    if compiled:
+        from repro.engine.compile import compile_plan
+
+        kernels = compile_plan(db, plan, policy).kernel_names
     if not analyze:
-        return report_for_plan(plan, title=title)
+        return report_for_plan(plan, title=title, kernels=kernels)
     counters = [0] * len(plan.steps)
     bindings = sum(
-        1 for _ in execute_plan(db, plan, initial, policy, counters)
+        1 for _ in execute_plan(db, plan, initial, policy, counters,
+                                compiled=compiled)
     )
     return report_for_plan(plan, title=title, counters=counters,
-                           bindings=bindings)
+                           bindings=bindings, kernels=kernels)

@@ -22,8 +22,13 @@ Rule bodies are evaluated through the cost-based planner
 :class:`~repro.engine.planner.PlanCache` keyed on each rule body and its
 initially-bound variable set, so the greedy join-order search runs once
 per rule (and once per delta position), not once per binding or per
-fixpoint iteration.  The plans chosen for full evaluations are captured
-with their observed row counts; :meth:`Engine.explain` renders them.
+fixpoint iteration.  With ``compiled=True`` (the default) each plan is
+additionally lowered once to its slot/kernel form
+(:mod:`repro.engine.compile`) -- full firings run the compiled plan
+projected onto the head variables, and each delta position gets its own
+compiled seed kernel scanning the realizer log directly into registers.
+The plans chosen for full evaluations are captured with their observed
+row counts and kernel names; :meth:`Engine.explain` renders them.
 
 Safeguards (the paper is silent on termination, so the engine is not):
 ``max_iterations`` per stratum, ``max_universe`` size, and
@@ -38,6 +43,8 @@ from dataclasses import dataclass
 from typing import Iterable, Union
 
 from repro.core.ast import Program, Rule
+from repro.core.variables import variables_of
+from repro.engine.compile import compile_delta_plan, compile_plan
 from repro.engine.explain import PlanReport, report_for_plan
 from repro.engine.heads import Derived, HeadRealizer
 from repro.engine.matching import Binding, MatchPolicy, match_atom_delta
@@ -74,9 +81,15 @@ class EngineLimits:
 
 
 class _RulePlanRecord:
-    """Captured plan and observed rows for one rule's full evaluations."""
+    """Captured plan and observed rows for one rule's full evaluations.
 
-    __slots__ = ("rule", "plan", "counters", "bindings", "firings")
+    In compiled mode the record also owns the rule's execution entry
+    point (slot registers projected onto the head variables) and the
+    kernel names for EXPLAIN.
+    """
+
+    __slots__ = ("rule", "plan", "counters", "bindings", "firings",
+                 "execute", "kernels")
 
     def __init__(self, rule: NormalizedRule, plan: Plan) -> None:
         self.rule = rule
@@ -84,6 +97,30 @@ class _RulePlanRecord:
         self.counters = [0] * len(plan.steps)
         self.bindings = 0
         self.firings = 0
+        self.execute = None
+        self.kernels: tuple[str, ...] | None = None
+
+
+class _DeltaPlanRecord:
+    """One rule's delta position: its rest-of-body plan and counters.
+
+    ``counters`` is seed + per-step rows, filled by the compiled chain;
+    the interpreted executor cannot share it (its counters exclude the
+    seed position), so interpreted runs fill ``counters[0]`` plus the
+    separate ``rest_counters`` -- exactly one of the two stays zero.
+    """
+
+    __slots__ = ("plan", "counters", "rest_counters", "execute")
+
+    def __init__(self, plan: Plan) -> None:
+        self.plan = plan
+        self.counters = [0] * (len(plan.steps) + 1)
+        self.rest_counters = [0] * len(plan.steps)
+        self.execute = None
+
+    def tuples(self) -> int:
+        """All per-step extensions observed through this position."""
+        return sum(self.counters) + sum(self.rest_counters)
 
 
 class Engine:
@@ -98,18 +135,22 @@ class Engine:
                  program: Union[Program, Iterable[Rule]],
                  *, seminaive: bool = True,
                  limits: EngineLimits | None = None,
-                 use_planner: bool = True) -> None:
+                 use_planner: bool = True,
+                 compiled: bool = True) -> None:
         self._db = db
         self._rules = normalize_program(program)
         self._seminaive = seminaive
         self._limits = limits or EngineLimits()
         self._policy = MatchPolicy(self._limits.max_method_depth)
         self._use_planner = use_planner
+        # Compiled execution rides on the planner's static plans; the
+        # pre-planner dynamic order has nothing to compile.
+        self._compiled = compiled and use_planner
         self._plan_cache = PlanCache(track_version=False)
         self._plan_records: dict[int, _RulePlanRecord] = {}
-        # Delta-position plans, keyed (rule identity, atom position) so
+        # Delta-position records, keyed (rule identity, atom position) so
         # the hot per-iteration path avoids re-hashing rule bodies.
-        self._delta_plans: dict[tuple[int, int], Plan] = {}
+        self._delta_records: dict[tuple[int, int], _DeltaPlanRecord] = {}
         self.stats = EngineStats(seminaive=seminaive)
 
     def run(self) -> Database:
@@ -122,7 +163,7 @@ class Engine:
         # engine owns its snapshot, so version tracking is unnecessary.
         self._plan_cache = PlanCache(track_version=False)
         self._plan_records = {}
-        self._delta_plans = {}
+        self._delta_records = {}
         realizer = HeadRealizer(
             work, max_virtual_depth=self._limits.max_virtual_depth
         )
@@ -133,6 +174,10 @@ class Engine:
         self.stats.virtuals_created = realizer.virtuals_created
         self.stats.plans_built = self._plan_cache.misses
         self.stats.plan_cache_hits = self._plan_cache.hits
+        self.stats.tuples = (
+            sum(sum(r.counters) for r in self._plan_records.values())
+            + sum(r.tuples() for r in self._delta_records.values())
+        )
         return work
 
     # ------------------------------------------------------------------
@@ -150,7 +195,8 @@ class Engine:
         return [
             report_for_plan(record.plan, title=str(record.rule),
                             counters=record.counters,
-                            bindings=record.bindings)
+                            bindings=record.bindings,
+                            kernels=record.kernels)
             for record in self._plan_records.values()
             if record.plan.steps  # facts have no join order to explain
         ]
@@ -212,13 +258,25 @@ class Engine:
         if record is None:
             plan = self._plan_cache.get(db, rule.body, frozenset())
             record = _RulePlanRecord(rule, plan)
+            # Facts (empty bodies) have nothing to compile: the
+            # interpreted walk yields the empty binding once.
+            if self._compiled and plan.steps:
+                compiled = compile_plan(db, plan, self._policy)
+                record.kernels = compiled.kernel_names
+                record.execute = compiled.executor(
+                    record.counters, project=variables_of(rule.head))
+                self.stats.plans_compiled += 1
             self._plan_records[id(rule)] = record
         else:
             plan = record.plan
             self._plan_cache.hits += 1
-        solutions = list(
-            execute_plan(db, plan, {}, self._policy, record.counters)
-        )
+        if record.execute is not None:
+            solutions = list(record.execute({}))
+        else:
+            solutions = list(
+                execute_plan(db, plan, {}, self._policy, record.counters,
+                             compiled=False)
+            )
         record.bindings += len(solutions)
         record.firings += 1
         self._realize_all(rule, solutions, realizer)
@@ -230,24 +288,41 @@ class Engine:
             if not isinstance(atom, (ScalarAtom, SetMemberAtom)):
                 continue
             rest = rule.body[:position] + rule.body[position + 1:]
-            plan = None
+            record = None
             if self._use_planner:
                 # All of the delta atom's variables are bound in every
                 # seed, so one plan covers every seed of this position.
                 key = (id(rule), position)
-                plan = self._delta_plans.get(key)
-                if plan is None:
+                record = self._delta_records.get(key)
+                if record is None:
                     bound = relevant_bound(rest, atom.variables())
                     plan = self._plan_cache.get(db, rest, bound)
-                    self._delta_plans[key] = plan
+                    record = _DeltaPlanRecord(plan)
+                    if self._compiled:
+                        compiled = compile_delta_plan(db, atom, plan,
+                                                      self._policy)
+                        record.execute = compiled.executor(
+                            record.counters,
+                            project=variables_of(rule.head))
+                        self.stats.plans_compiled += 1
+                    self._delta_records[key] = record
                 else:
                     self._plan_cache.hits += 1
-            for seed in match_atom_delta(db, atom, {}, delta, self._policy):
-                if plan is not None:
+            if record is not None and record.execute is not None:
+                solutions.extend(record.execute(delta))
+            elif record is not None:
+                counters = record.counters
+                rest_counters = record.rest_counters
+                for seed in match_atom_delta(db, atom, {}, delta,
+                                             self._policy):
+                    counters[0] += 1
                     solutions.extend(
-                        execute_plan(db, plan, seed, self._policy)
+                        execute_plan(db, record.plan, seed, self._policy,
+                                     rest_counters, compiled=False)
                     )
-                else:
+            else:
+                for seed in match_atom_delta(db, atom, {}, delta,
+                                             self._policy):
                     solutions.extend(solve(db, list(rest), seed, self._policy,
                                            use_planner=False))
         self._realize_all(rule, solutions, realizer)

@@ -31,7 +31,7 @@ version changes (or never, for an engine run that owns its snapshot).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.core import builtins as _builtins
@@ -86,6 +86,11 @@ class Plan:
 
     steps: tuple[PlanStep, ...]
     bound_in: frozenset[Var]
+    #: Memoised :class:`~repro.engine.compile.CompiledPlan` forms, keyed
+    #: per (database, match policy) by :func:`~repro.engine.compile.compile_plan`.
+    #: Excluded from equality; a plan is its steps, not its lowerings.
+    compiled_cache: dict = field(default_factory=dict, compare=False,
+                                 repr=False)
 
     @property
     def est_rows(self) -> float:

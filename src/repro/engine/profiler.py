@@ -29,6 +29,11 @@ class EngineStats:
     plans_built: int = 0
     #: Body evaluations that reused a cached plan.
     plan_cache_hits: int = 0
+    #: Plans lowered to slot/kernel form (full bodies + delta positions).
+    plans_compiled: int = 0
+    #: Per-step extensions (tuples) observed while executing rule plans;
+    #: the per-kernel row counters summed over the run.
+    tuples: int = 0
 
     @property
     def derived_total(self) -> int:
@@ -56,5 +61,7 @@ class EngineStats:
             "virtuals": self.virtuals_created,
             "plans": self.plans_built,
             "plan-hits": self.plan_cache_hits,
+            "kernels": self.plans_compiled,
+            "tuples": self.tuples,
             "seconds": round(self.elapsed_s, 4),
         }

@@ -10,9 +10,13 @@ atom's boundness pattern -- the only planning input -- evolves
 identically along every branch of the search: a matched data atom binds
 all of its variables.
 
-The pre-planner behaviour (dynamic greedy ordering with fixed penalty
-constants) is kept as :func:`solve`'s ``use_planner=False`` mode; the
-planner benchmark (B9) uses it as its baseline.  This is the evaluator
+Plans execute in their **compiled** form by default: variables become
+integer slots, bindings a fixed-size register list, and each step a
+kernel closure specialized at compile time (see
+:mod:`repro.engine.compile`).  ``compiled=False`` keeps the interpreted
+dict-binding walk (B10's baseline); the pre-planner behaviour (dynamic
+greedy ordering with fixed penalty constants) is kept as :func:`solve`'s
+``use_planner=False`` mode (B9's baseline).  This is the evaluator
 behind both rule bodies and the public query API.
 """
 
@@ -68,13 +72,16 @@ def solve(db: Database, atoms: Iterable[Atom],
           policy: MatchPolicy = UNRESTRICTED,
           *, cache: PlanCache | None = None,
           plan: Plan | None = None,
-          use_planner: bool = True) -> Iterator[Binding]:
+          use_planner: bool = True,
+          compiled: bool = True) -> Iterator[Binding]:
     """Yield every binding satisfying all ``atoms`` (extends ``binding``).
 
     ``cache`` memoises plans across calls (the engine and the query API
-    each own one); ``plan`` short-circuits planning entirely; and
-    ``use_planner=False`` falls back to the legacy dynamic greedy order
-    with fixed penalty constants (benchmark baseline).
+    each own one); ``plan`` short-circuits planning entirely;
+    ``compiled=False`` runs the plan through the interpreted dict-binding
+    executor instead of its compiled slot/kernel form (B10's baseline);
+    and ``use_planner=False`` falls back to the legacy dynamic greedy
+    order with fixed penalty constants (B9's baseline).
     """
     initial = dict(binding or {})
     if not use_planner:
@@ -87,24 +94,48 @@ def solve(db: Database, atoms: Iterable[Atom],
             plan = cache.get(db, atoms_t, bound)
         else:
             plan = build_plan(db, atoms_t, bound)
-    yield from execute_plan(db, plan, initial, policy)
+    yield from execute_plan(db, plan, initial, policy, compiled=compiled)
 
 
 def execute_plan(db: Database, plan: Plan,
                  binding: Binding | None = None,
                  policy: MatchPolicy = UNRESTRICTED,
-                 counters: list[int] | None = None) -> Iterator[Binding]:
-    """Run a static plan; ``counters[i]`` accumulates step i's actual rows."""
-    steps = plan.steps
+                 counters: list[int] | None = None,
+                 *, compiled: bool = True) -> Iterator[Binding]:
+    """Run a static plan; ``counters[i]`` accumulates step i's actual rows.
 
-    def descend(index: int, current: Binding) -> Iterator[Binding]:
-        if index == len(steps):
-            yield current
-            return
-        for extended in match_atom(db, steps[index].atom, current, policy):
-            if counters is not None:
+    With ``compiled=True`` (the default) the plan is lowered once to its
+    slot/kernel form (:func:`repro.engine.compile.compile_plan`, memoised
+    on the plan) and executed without per-tuple dispatch or dict copies.
+    ``compiled=False`` keeps the interpreted dict-binding walk.
+    """
+    if compiled:
+        from repro.engine.compile import compile_plan
+
+        yield from compile_plan(db, plan, policy).execute(binding, counters)
+        return
+    steps = plan.steps
+    last = len(steps)
+
+    # The counting and plain walks are separate closures so the hot
+    # per-tuple path carries no ``counters is not None`` branch.
+    if counters is None:
+        def descend(index: int, current: Binding) -> Iterator[Binding]:
+            if index == last:
+                yield current
+                return
+            atom = steps[index].atom
+            for extended in match_atom(db, atom, current, policy):
+                yield from descend(index + 1, extended)
+    else:
+        def descend(index: int, current: Binding) -> Iterator[Binding]:
+            if index == last:
+                yield current
+                return
+            atom = steps[index].atom
+            for extended in match_atom(db, atom, current, policy):
                 counters[index] += 1
-            yield from descend(index + 1, extended)
+                yield from descend(index + 1, extended)
 
     yield from descend(0, dict(binding or {}))
 

@@ -39,6 +39,7 @@ class Database:
         self._indexed = indexed
         self._catalog = None
         self._catalog_version = -1
+        self._alias_version = 0
 
     # ------------------------------------------------------------------
     # Names and universe
@@ -61,6 +62,10 @@ class Database:
         oid = target if isinstance(target, Oid) else self.lookup_name(target)
         self._aliases[value] = oid
         self._universe.add(oid)
+        # Aliasing changes what every Name constant denotes, so plans
+        # (and their compiled forms, which resolve names at compile
+        # time) must be invalidated exactly like a fact change.
+        self._alias_version += 1
 
     def register(self, oid: Oid) -> Oid:
         """Add an OID to the universe (idempotent); returns it."""
@@ -148,13 +153,15 @@ class Database:
     def data_version(self) -> int:
         """A counter that changes whenever stored facts change.
 
-        Sums the mutation counters of the two method tables and the
-        class hierarchy.  Registering names in the universe does *not*
-        bump it (queries do that constantly); plan caches and the
-        cardinality catalog key on this value.
+        Sums the mutation counters of the two method tables, the class
+        hierarchy, and the alias map (an alias changes what a name
+        denotes -- semantically a data change for every plan mentioning
+        it).  Registering names in the universe does *not* bump it
+        (queries do that constantly); plan caches and the cardinality
+        catalog key on this value.
         """
         return (self.scalars.version + self.sets.version
-                + self.hierarchy.version)
+                + self.hierarchy.version + self._alias_version)
 
     def catalog(self):
         """The :class:`~repro.oodb.statistics.CardinalityCatalog` of this
@@ -215,6 +222,7 @@ class Database:
         copy = Database(indexed=self._indexed,
                         reflexive_isa=self.hierarchy.reflexive)
         copy._aliases = dict(self._aliases)
+        copy._alias_version = self._alias_version
         copy._universe = set(self._universe)
         copy.hierarchy = self.hierarchy.clone()
         copy.scalars = self.scalars.clone()

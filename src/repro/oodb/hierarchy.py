@@ -165,8 +165,15 @@ class ClassHierarchy:
         return seen
 
     def clone(self) -> "ClassHierarchy":
-        """An independent copy with the same declared edges."""
+        """An independent copy: same declared edges, same version.
+
+        Carrying the version over keeps a clone's contribution to
+        ``Database.data_version()`` aligned with its source, so caches
+        keyed on that value cannot collide with entries computed for a
+        different set of edges.
+        """
         copy = ClassHierarchy(reflexive=self._reflexive)
         copy._up = {k: set(v) for k, v in self._up.items()}
         copy._down = {k: set(v) for k, v in self._down.items()}
+        copy.version = self.version
         return copy

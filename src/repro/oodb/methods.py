@@ -167,6 +167,31 @@ class ScalarMethodTable:
             return None
         return len(self._by_subject.get(subject, ()))
 
+    # -- raw views (compiled plan kernels) -----------------------------------
+    #
+    # The compiled executor probes the primary dict and the index dicts
+    # directly, skipping the generator dispatch of :meth:`match`.  The
+    # views are the *live* internal dicts -- callers must treat them as
+    # read-only.  The outer dicts are stable for the table's lifetime
+    # (mutations update them in place), so a compiled kernel may capture
+    # a view once and look buckets up per execution.
+
+    def primary_view(self) -> dict[AppKey, Oid]:
+        """The live ``(method, subject, args) -> result`` dict."""
+        return self._facts
+
+    def by_method_view(self) -> dict[Oid, dict[AppKey, Oid]]:
+        """The live method index (empty when ``indexed=False``)."""
+        return self._by_method
+
+    def by_method_result_view(self) -> dict[tuple[Oid, Oid], set[AppKey]]:
+        """The live (method, result) index (empty when unindexed)."""
+        return self._by_method_result
+
+    def by_subject_view(self) -> dict[Oid, dict[AppKey, Oid]]:
+        """The live subject index (empty when unindexed)."""
+        return self._by_subject
+
     def mentioned_oids(self) -> Iterator[Oid]:
         """Every OID occurring in any stored fact."""
         for (method, subject, args), result in self._facts.items():
@@ -176,10 +201,17 @@ class ScalarMethodTable:
             yield result
 
     def clone(self) -> "ScalarMethodTable":
-        """An independent copy (same indexing mode)."""
+        """An independent copy (same indexing mode and version).
+
+        The version counter is carried over: a clone holds the same
+        facts as its source, so a ``data_version`` computed from it must
+        not collide with a version the source had when its facts were
+        different (plan caches and catalogs key on that value).
+        """
         copy = ScalarMethodTable(indexed=self._indexed)
         for (method, subject, args), result in self._facts.items():
             copy.put(method, subject, args, result)
+        copy.version = self.version
         return copy
 
 
@@ -324,6 +356,24 @@ class SetMethodTable:
             return None
         return len(self._by_subject.get(subject, ()))
 
+    # -- raw views (compiled plan kernels) -----------------------------------
+
+    def primary_view(self) -> dict[AppKey, set[Oid]]:
+        """The live ``(method, subject, args) -> members`` dict."""
+        return self._facts
+
+    def by_method_view(self) -> dict[Oid, dict[AppKey, set[Oid]]]:
+        """The live method index (empty when ``indexed=False``)."""
+        return self._by_method
+
+    def by_method_member_view(self) -> dict[tuple[Oid, Oid], set[AppKey]]:
+        """The live (method, member) index (empty when unindexed)."""
+        return self._by_method_member
+
+    def by_subject_view(self) -> dict[Oid, dict[AppKey, set[Oid]]]:
+        """The live subject index (empty when unindexed)."""
+        return self._by_subject
+
     def mentioned_oids(self) -> Iterator[Oid]:
         """Every OID occurring in any stored membership."""
         for (method, subject, args), bucket in self._facts.items():
@@ -333,9 +383,15 @@ class SetMethodTable:
             yield from bucket
 
     def clone(self) -> "SetMethodTable":
-        """An independent copy (same indexing mode)."""
+        """An independent copy (same indexing mode and version).
+
+        As for :meth:`ScalarMethodTable.clone`, the version counter is
+        carried over so a clone's ``data_version`` stays comparable with
+        its source's history.
+        """
         copy = SetMethodTable(indexed=self._indexed)
         for (method, subject, args), bucket in self._facts.items():
             for member in bucket:
                 copy.add(method, subject, args, member)
+        copy.version = self.version
         return copy

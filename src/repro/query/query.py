@@ -43,11 +43,18 @@ QueryInput = Union[str, Reference, Comparison, Sequence[Literal]]
 
 
 class Query:
-    """Evaluates conjunctive PathLog queries over one database."""
+    """Evaluates conjunctive PathLog queries over one database.
 
-    def __init__(self, db: Database) -> None:
+    ``compiled=True`` (the default) executes each cached plan through
+    its compiled slot/kernel form (:mod:`repro.engine.compile`);
+    ``compiled=False`` keeps the interpreted dict-binding executor (the
+    B10 baseline).
+    """
+
+    def __init__(self, db: Database, *, compiled: bool = True) -> None:
         self._db = db
         self._plans = PlanCache()
+        self._compiled = compiled
 
     @property
     def plan_cache(self) -> PlanCache:
@@ -67,7 +74,8 @@ class Query:
         wanted = self._wanted_variables(literals, variables)
         atoms = flatten_conjunction(literals)
         seen: set[tuple] = set()
-        for binding in solve(self._db, atoms, {}, cache=self._plans):
+        for binding in solve(self._db, atoms, {}, cache=self._plans,
+                             compiled=self._compiled):
             row = {name: binding[Var(name)] for name in wanted}
             key = tuple(row[name] for name in wanted)
             if key in seen:
@@ -88,7 +96,8 @@ class Query:
         """True iff the query has at least one solution."""
         literals = self._as_literals(query)
         atoms = flatten_conjunction(literals)
-        for _ in solve(self._db, atoms, {}, cache=self._plans):
+        for _ in solve(self._db, atoms, {}, cache=self._plans,
+                       compiled=self._compiled):
             return True
         return False
 
@@ -110,7 +119,7 @@ class Query:
         )
         found: set[Oid] = set()
         for binding in solve(self._db, flattened.atoms, {},
-                             cache=self._plans):
+                             cache=self._plans, compiled=self._compiled):
             if isinstance(flattened.term, Var):
                 found.add(binding[flattened.term])
             else:
@@ -138,7 +147,8 @@ class Query:
         atoms = flatten_conjunction(literals)
         title = ", ".join(literal_to_text(lit) for lit in literals)
         return explain_conjunction(self._db, atoms, {}, cache=self._plans,
-                                   analyze=analyze, title=title)
+                                   analyze=analyze, title=title,
+                                   compiled=self._compiled)
 
     # ------------------------------------------------------------------
 

@@ -79,14 +79,15 @@ EXPLAIN_PROGRAM = """
 
 #: The exact plan for the snapshot program: the planner starts from the
 #: one-entry (color, red) index bucket, walks the member index back to
-#: the owner, then checks the class.  Pinned as a rendering snapshot.
+#: the owner, then checks the class; the kernel column names the
+#: compiled form of each step.  Pinned as a rendering snapshot.
 EXPLAIN_SNAPSHOT = """\
 plan: X : employee..vehicles[color -> red]
-#  atom                   access path          est.rows  rows
--  ---------------------  -------------------  --------  ----
-1  _V1[color -> red]      method+result index         1     1
-2  X[vehicles ->> {_V1}]  method+member index       1.5     1
-3  X : employee           isa check                 0.5     1
+#  atom                   access path          kernel           est.rows  rows
+-  ---------------------  -------------------  ---------------  --------  ----
+1  _V1[color -> red]      method+result index  scalar mr-probe         1     1
+2  X[vehicles ->> {_V1}]  method+member index  set mm-probe          1.5     1
+3  X : employee           isa check            isa check             0.5     1
 estimated 0.8 rows; 1 bindings
 """
 

@@ -1,0 +1,319 @@
+"""Plan-compiler tests: kernel selection, slot execution, delta seeds."""
+
+import pytest
+
+from repro.core.ast import Name, Var
+from repro.engine.compile import (
+    CompiledPlan,
+    compile_delta_plan,
+    compile_plan,
+)
+from repro.engine.matching import UNRESTRICTED, MatchPolicy, match_atom_delta
+from repro.engine.planner import build_plan, relevant_bound
+from repro.engine.solve import execute_plan, solve
+from repro.errors import EvaluationError
+from repro.flogic.atoms import ScalarAtom, SetMemberAtom
+from repro.flogic.flatten import flatten_conjunction
+from repro.lang.parser import parse_query
+from repro.oodb.database import Database
+from repro.oodb.oid import NamedOid
+
+
+def n(value):
+    return NamedOid(value)
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.subclass("automobile", "vehicle")
+    for i, color in enumerate(["red", "blue", "red"]):
+        db.add_object(f"car{i}", classes=["automobile"],
+                      scalars={"color": color, "cylinders": 4 if i else 6})
+    db.add_object("p1", classes=["employee"], scalars={"age": 30},
+                  sets={"vehicles": ["car0", "car1"]})
+    db.add_object("p2", classes=["employee"], scalars={"age": 40},
+                  sets={"vehicles": ["car2"]})
+    return db
+
+
+def atoms_for(text):
+    return flatten_conjunction(parse_query(text))
+
+
+def compiled_answers(db, text, bound=()):
+    atoms = atoms_for(text)
+    plan = build_plan(db, atoms, bound)
+    return compile_plan(db, plan), atoms
+
+
+def answer_set(bindings):
+    return {frozenset(b.items()) for b in bindings}
+
+
+class TestKernelSelection:
+    def test_bound_probe_kernels(self, db):
+        compiled, _ = compiled_answers(db, "Y[color -> blue]")
+        assert compiled.kernel_names == ("scalar mr-probe",)
+        compiled, _ = compiled_answers(
+            db, "Y[color -> blue], X[vehicles ->> {Y}]")
+        assert compiled.kernel_names == ("scalar mr-probe", "set mm-probe")
+
+    def test_subject_navigation_kernels(self, db):
+        atoms = atoms_for("X[vehicles ->> {V}], V[color -> C]")
+        plan = build_plan(db, atoms, {Var("X")})
+        compiled = compile_plan(db, plan)
+        assert compiled.kernel_names == ("set iter", "scalar get")
+
+    def test_unbound_method_uses_subject_probe(self, db):
+        compiled, _ = compiled_answers(db, "p1[M ->> {V}]")
+        assert compiled.kernel_names == ("set s-probe",)
+
+    def test_unindexed_store_compiles_scans(self):
+        db = Database(indexed=False)
+        db.add_object("car0", scalars={"color": "red"})
+        compiled, _ = compiled_answers(db, "Y[color -> red]")
+        assert compiled.kernel_names == ("scalar filtered-scan",)
+
+    def test_superset_and_negation_bridge(self, db):
+        compiled, _ = compiled_answers(
+            db, "X[vehicles ->> p2..vehicles], not X[age -> 30]")
+        assert "superset (interp)" in compiled.kernel_names
+        assert "negation (interp)" in compiled.kernel_names
+
+    def test_builtin_self_kernels(self, db):
+        compiled, _ = compiled_answers(db, "p1.self[Y]")
+        assert compiled.kernel_names[0] == "self fwd"
+
+
+class TestExecutionParity:
+    QUERIES = [
+        "X : employee..vehicles[color -> red]",
+        "X : employee..vehicles[color -> C]",
+        "X : employee, X.age >= 35",
+        "X[color -> X]",                     # repeated var: scan, not probe
+        "X : X",                             # repeated var in isa
+        "X.self[Y]",                         # builtin over the universe
+        "p3[M ->> {V}], V[color -> red]",    # empty subject bucket
+        "X[vehicles ->> p2..vehicles]",      # superset bridge
+        "X : employee, not X[age -> 30]",    # negation bridge
+    ]
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_matches_dynamic_solver(self, db, text):
+        atoms = atoms_for(text)
+        plan = build_plan(db, atoms)
+        got = answer_set(compile_plan(db, plan).execute())
+        want = answer_set(solve(db, atoms, use_planner=False))
+        assert got == want
+
+    def test_seed_binding_is_respected(self, db):
+        atoms = atoms_for("X : employee")
+        bound = relevant_bound(atoms, {Var("X")})
+        plan = build_plan(db, atoms, bound)
+        compiled = compile_plan(db, plan)
+        out = list(compiled.execute({Var("X"): n("p1")}))
+        assert out == [{Var("X"): n("p1")}]
+
+    def test_mismatched_seed_binding_raises(self, db):
+        atoms = atoms_for("X : employee, X[age -> A]")
+        plan = build_plan(db, atoms)  # compiled for nothing bound
+        compiled = compile_plan(db, plan)
+        with pytest.raises(EvaluationError, match="bound-variable|binds"):
+            list(compiled.execute({Var("A"): n(30)}))
+
+    def test_missing_seed_binding_raises(self, db):
+        # A plan compiled with X bound must refuse a seed that does not
+        # bind X (silently probing with an empty register would return
+        # wrong answers).
+        atoms = atoms_for("X[age -> A]")
+        plan = build_plan(db, atoms, {Var("X")})
+        compiled = compile_plan(db, plan)
+        with pytest.raises(EvaluationError, match="does not bind|no seed"):
+            list(compiled.execute())
+        with pytest.raises(EvaluationError, match="does not bind"):
+            list(compiled.execute({Var("A"): n(30), Var("Q"): n(1)}))
+
+    def test_extra_foreign_seed_variables_flow_through(self, db):
+        # Variables without slots ride along in every solution, exactly
+        # like the interpreted executor's dict extension.
+        atoms = atoms_for("X : employee")
+        plan = build_plan(db, atoms)
+        compiled = compile_plan(db, plan)
+        out = list(compiled.execute({Var("Z"): n("foreign")}))
+        assert all(b[Var("Z")] == n("foreign") for b in out)
+        assert {b[Var("X")] for b in out} == {n("p1"), n("p2")}
+
+    def test_unready_comparison_raises_at_run_time(self, db):
+        from repro.engine.planner import Plan, PlanStep
+        from repro.flogic.atoms import ComparisonAtom
+
+        atom = ComparisonAtom("<", Var("A"), Var("B"))
+        plan = Plan((PlanStep(atom, 0.0, 1.0, "unready comparison"),),
+                    frozenset())
+        compiled = compile_plan(db, plan)
+        assert compiled.kernel_names == ("compare unready",)
+        with pytest.raises(EvaluationError, match="both sides bound"):
+            list(compiled.execute())
+
+    def test_counters_match_interpreted_executor(self, db):
+        atoms = atoms_for("X : employee..vehicles[color -> C]")
+        plan = build_plan(db, atoms)
+        compiled_counts = [0] * len(plan.steps)
+        interp_counts = [0] * len(plan.steps)
+        got = answer_set(execute_plan(db, plan, counters=compiled_counts))
+        want = answer_set(execute_plan(db, plan, counters=interp_counts,
+                                       compiled=False))
+        assert got == want
+        assert compiled_counts == interp_counts
+
+    def test_projection_restricts_output(self, db):
+        atoms = atoms_for("X : employee..vehicles[color -> C]")
+        plan = build_plan(db, atoms)
+        execute = compile_plan(db, plan).executor(project=(Var("X"),))
+        rows = list(execute({}))
+        assert rows and all(set(b) == {Var("X")} for b in rows)
+
+
+class TestCompilationCache:
+    def test_memoised_per_database_and_policy(self, db):
+        atoms = atoms_for("X : employee")
+        plan = build_plan(db, atoms)
+        first = compile_plan(db, plan)
+        assert compile_plan(db, plan) is first
+        deep = compile_plan(db, plan, MatchPolicy(2))
+        assert deep is not first
+        other = Database()
+        assert compile_plan(other, plan) is not first
+
+    def test_alias_invalidates_compiled_plans(self, db):
+        # Regression: compiled plans resolve Name constants at compile
+        # time, so aliasing must bump data_version (invalidating the
+        # version-tracked plan cache) or a cached compiled plan would
+        # keep probing the stale OID.
+        from repro.query import Query
+
+        db.add_object("car9", scalars={"color": "crimson"})
+        q = Query(db)
+        assert q.all("X[color -> crimson]")  # warm the compiled plan
+        assert len(q.all("X[color -> red]")) == 2  # car0 and car2
+        db.alias("red", "crimson")
+        # "red" now denotes the crimson object, so only car9 matches --
+        # and the compiled plan must re-resolve, not reuse the old OID.
+        after = {str(a.value("X")) for a in q.all("X[color -> red]")}
+        assert after == {"car9"}
+        assert q.plan_cache.invalidations >= 1
+
+    def test_compiled_form_sees_new_facts(self, db):
+        # Kernels capture the live index dicts, so facts added after
+        # compilation are visible (the engine relies on this within a
+        # fixpoint run).
+        atoms = atoms_for("Y[color -> red]")
+        plan = build_plan(db, atoms)
+        compiled = compile_plan(db, plan)
+        before = len(list(compiled.execute()))
+        db.add_object("car9", scalars={"color": "red"})
+        assert len(list(compiled.execute())) == before + 1
+
+
+class TestDeltaPlans:
+    def test_delta_seed_matches_interpreted_seeding(self, db):
+        atom = SetMemberAtom(Name("vehicles"), Var("X"), (), Var("V"))
+        rest = atoms_for("V[color -> C]")
+        bound = relevant_bound(rest, atom.variables())
+        plan = build_plan(db, rest, bound)
+        compiled = compile_delta_plan(db, atom, plan)
+        delta = [
+            ("set", n("vehicles"), n("p1"), (), n("car2")),
+            ("set", n("other"), n("p1"), (), n("car0")),
+            ("scalar", n("vehicles"), n("p1"), (), n("car0")),
+            ("isa", n("p1"), n("employee")),
+        ]
+        got = answer_set(compiled.execute(delta))
+        want = set()
+        for seed in match_atom_delta(db, atom, {}, delta, UNRESTRICTED):
+            want |= answer_set(execute_plan(db, plan, seed, compiled=False))
+        assert got == want
+        assert compiled.kernel_names[0] == "delta-set seed"
+
+    def test_delta_seed_respects_method_depth_policy(self, db):
+        from repro.oodb.oid import VirtualOid
+
+        deep = VirtualOid(n("tc"), VirtualOid(n("tc"), n("kids")))
+        atom = ScalarAtom(Var("M"), Var("X"), (), Var("Y"))
+        plan = build_plan(db, (), ())
+        shallow = compile_delta_plan(db, atom, plan, MatchPolicy(1))
+        delta = [("scalar", deep, n("p1"), (), n("p2")),
+                 ("scalar", n("age"), n("p1"), (), n(50))]
+        got = answer_set(shallow.execute(delta))
+        want = answer_set(
+            match_atom_delta(db, atom, {}, delta, MatchPolicy(1)))
+        assert got == want
+        assert len(got) == 1  # the deep virtual method is filtered out
+
+    def test_concurrent_delta_executions_are_independent(self, db):
+        # The delta log travels in a per-call register, so two live
+        # generators from one compiled delta plan must not interfere.
+        atom = SetMemberAtom(Name("vehicles"), Var("X"), (), Var("V"))
+        rest = atoms_for("V[color -> C]")
+        bound = relevant_bound(rest, atom.variables())
+        plan = build_plan(db, rest, bound)
+        compiled = compile_delta_plan(db, atom, plan)
+        delta1 = [("set", n("vehicles"), n("p1"), (), n("car0"))]
+        delta2 = [("set", n("vehicles"), n("p2"), (), n("car2"))]
+        gen1 = compiled.execute(delta1)
+        gen2 = compiled.execute(delta2)
+        first = next(gen1)  # must still seed from delta1
+        assert first[Var("X")] == n("p1")
+        assert next(gen2)[Var("X")] == n("p2")
+
+    def test_delta_counters_count_seeds_and_steps(self, db):
+        atom = SetMemberAtom(Name("vehicles"), Var("X"), (), Var("V"))
+        rest = atoms_for("V[color -> C]")
+        bound = relevant_bound(rest, atom.variables())
+        plan = build_plan(db, rest, bound)
+        compiled = compile_delta_plan(db, atom, plan)
+        counters = [0] * (len(plan.steps) + 1)
+        delta = [("set", n("vehicles"), n("p1"), (), n("car0"))]
+        list(compiled.executor(counters)(delta))
+        assert counters[0] == 1  # one seed matched
+        assert counters[1] == 1  # car0 has a color
+
+
+class TestEngineIntegration:
+    def test_engine_compiled_and_interpreted_agree(self):
+        from repro.engine import Engine
+        from repro.lang.parser import parse_program
+
+        db = Database()
+        for i in range(6):
+            db.add_object(f"n{i}", scalars={"next": f"n{i + 1}"})
+        program = parse_program("""
+            X[reach ->> {Y}] <- X[next -> Y].
+            X[reach ->> {Z}] <- X[reach ->> {Y}], Y[next -> Z].
+        """)
+        compiled = Engine(db, program, compiled=True)
+        via_compiled = compiled.run()
+        interpreted = Engine(db, program, compiled=False)
+        via_interpreted = interpreted.run()
+        assert ({(k, frozenset(v)) for k, v in via_compiled.sets.items()}
+                == {(k, frozenset(v)) for k, v in via_interpreted.sets.items()})
+        assert compiled.stats.plans_compiled > 0
+        assert compiled.stats.tuples > 0
+        # Both executors count seed and per-step rows, so the tuple
+        # stat is comparable across modes.
+        assert compiled.stats.tuples == interpreted.stats.tuples
+
+    def test_engine_explain_names_kernels(self, db):
+        from repro.engine import Engine
+        from repro.lang.parser import parse_program
+
+        program = parse_program("""
+            X[flagged -> yes] <- X : employee..vehicles[color -> red].
+        """)
+        engine = Engine(db, program)
+        engine.run()
+        report = engine.plan_reports()[0]
+        assert report.compiled
+        assert all(step.kernel for step in report.steps)
+        assert "kernel" in engine.explain()

@@ -100,6 +100,40 @@ class TestClone:
         copy = db.clone()
         assert copy.lookup_name("maria") == n("mary")
 
+    def test_clone_carries_data_version(self):
+        # Regression: cloned method tables and hierarchy used to restart
+        # their version counters, so a clone's data_version could equal
+        # a version the source had when its facts were *different* --
+        # and a plan/catalog cache keyed on that value would serve a
+        # stale entry for the clone's data.
+        db = Database()
+        db.add_object("p1", classes=["employee"], scalars={"age": 30},
+                      sets={"vehicles": ["car1", "car2"]})
+        db.scalars.remove(n("age"), n("p1"), ())
+        assert db.clone().data_version() == db.data_version()
+
+    def test_clone_version_does_not_collide_with_source_history(self):
+        from repro.engine.planner import PlanCache
+        from repro.flogic.atoms import ScalarAtom
+        from repro.core.ast import Name, Var
+
+        db = Database()
+        db.add_object("car1", scalars={"color": "red"})
+        seen = db.data_version()
+        db.add_object("car2", scalars={"color": "red"})
+        clone = db.clone()
+        clone.scalars.remove(n("color"), n("car2"), ())
+        # The clone now holds different facts than the source did at any
+        # earlier version; its version must not replay one of those.
+        assert clone.data_version() != seen
+        # And a version-tracking plan cache warmed on the source must
+        # re-plan (not hit) when pointed at the mutated clone.
+        cache = PlanCache()
+        atoms = (ScalarAtom(Name("color"), Var("Y"), (), Name("red")),)
+        cache.get(db, atoms, frozenset())
+        cache.get(clone, atoms, frozenset())
+        assert cache.misses == 2
+
     def test_virtual_count(self):
         from repro.oodb.oid import VirtualOid
 
