@@ -1,0 +1,247 @@
+"""B11: demand-driven (magic-set) evaluation vs. materialise-then-query.
+
+The flagship speedup of the demand rewrite (``engine/magic.py``):
+a selective query over a rule program should cost proportional to what
+it *touches*, not to the universe.  ``Query(db, program=..., magic=True)``
+rewrites the program per query (adornments, magic seeds, guarded rule
+variants) and evaluates only the demanded facts; ``magic=False`` is the
+baseline the paper-era pipeline used -- materialise the full fixpoint,
+then filter.  Both sides run the same semi-naive, planner-driven,
+compiled machinery; the delta is pure demand.
+
+Workloads (all recursive closures, where full evaluation is
+quadratic-ish in the dataset while demand stays near-linear in the
+answer):
+
+- **genealogy**: ``desc`` over a ``kids`` chain; "descendants of one
+  near-leaf person" (bf adornment) and "ancestors of one near-root
+  person" (fb adornment -- demand climbs the chain upward).
+- **company**: transitive chain of command over a ``mentor`` edge added
+  to the company dataset; "one employee's full command chain joined
+  with cities" (bf + join) and "does p<n-1> report, transitively, to
+  p0" (bb -- a point membership check).
+
+The acceptance gates require >= 5x at the largest sweep size on every
+gated workload, with identical answers everywhere.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report, sizes
+from repro.datasets import CompanyConfig, build_company
+from repro.datasets.genealogy import chain_family, desc_rules
+from repro.lang.parser import parse_program
+from repro.query import Query
+
+CHAIN_SIZES = (64, 256)
+CHAINS = sizes(CHAIN_SIZES)
+GATED_CHAIN = max(CHAIN_SIZES)
+
+COMPANY_SIZES = (100, 400)
+COMPANIES = sizes(COMPANY_SIZES)
+GATED_COMPANY = max(COMPANY_SIZES)
+
+#: The point a speedup must reach at the largest size to pass the gate.
+GATE = 5.0
+
+COMMAND_RULES = """
+    X[commandChain ->> {Y}] <- X[mentor -> Y].
+    X[commandChain ->> {Z}] <- X[commandChain ->> {Y}], Y[mentor -> Z].
+"""
+
+
+@pytest.fixture(scope="module", params=CHAINS)
+def chain_db(request):
+    length = request.param
+    db, _ = chain_family(length)
+    return length, db, desc_rules()
+
+
+@pytest.fixture(scope="module", params=COMPANIES)
+def company_db(request):
+    size = request.param
+    db = build_company(CompanyConfig(employees=size, seed=61))
+    # A deep chain of command: every employee mentors the next one, so
+    # the transitive closure is as large as the genealogy chain's.
+    for index in range(1, size):
+        db.add_object(f"p{index}", scalars={"mentor": f"p{index - 1}"})
+    return size, db, parse_program(COMMAND_RULES)
+
+
+def chain_queries(length):
+    return {
+        "descendants-of-one": f"c{length - 6}[desc ->> {{Y}}]",
+        "ancestors-of-one": "X[desc ->> {c5}]",
+    }
+
+
+def company_queries(size):
+    return {
+        "command-chain-with-cities":
+            "p5[commandChain ->> {Y}], Y[city -> C]",
+        "reports-to-check": f"p{size - 1}[commandChain ->> {{p0}}]",
+    }
+
+
+def answer_keys(db, program, text, *, magic):
+    query = Query(db, program=program, magic=magic)
+    return [answer.sort_key() for answer in query.all(text)]
+
+
+def _best_of(fn, reps=3):
+    best = float("inf")
+    for _ in range(reps):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Agreement: demand-driven answers are identical on every workload.
+# ---------------------------------------------------------------------------
+
+def test_identical_answers_on_genealogy(chain_db):
+    length, db, program = chain_db
+    for name, text in chain_queries(length).items():
+        magic = answer_keys(db, program, text, magic=True)
+        full = answer_keys(db, program, text, magic=False)
+        assert magic == full
+        report("B11-agreement", chain=length, workload=name,
+               answers=len(magic))
+
+
+def test_identical_answers_on_company(company_db):
+    size, db, program = company_db
+    for name, text in company_queries(size).items():
+        magic = answer_keys(db, program, text, magic=True)
+        full = answer_keys(db, program, text, magic=False)
+        assert magic == full
+        report("B11-agreement", employees=size, workload=name,
+               answers=len(magic))
+
+
+def test_demand_derives_a_fraction_of_the_fixpoint(chain_db):
+    from repro.engine import Engine
+    from repro.engine.magic import DemandEngine
+
+    length, db, program = chain_db
+    text = chain_queries(length)["descendants-of-one"]
+    demand = DemandEngine(db, program, text)
+    demand.run()
+    full = Engine(db, program)
+    full.run()
+    assert demand.stats.derived_total < full.stats.derived_total / 4
+    assert demand.stats.rules_rewritten == 2
+    assert demand.stats.magic_seeds == 1
+    report("B11-derived", chain=length,
+           demand=demand.stats.derived_total,
+           full=full.stats.derived_total)
+
+
+# ---------------------------------------------------------------------------
+# The acceptance gates: >= 5x at the largest sweep sizes.
+# ---------------------------------------------------------------------------
+
+def _gate(db, program, text, *, tag, gated, **fields):
+    magic_s = _best_of(
+        lambda: answer_keys(db, program, text, magic=True))
+    full_s = _best_of(
+        lambda: answer_keys(db, program, text, magic=False))
+    ratio = full_s / magic_s
+    report("B11-speedup", workload=tag,
+           magic_ms=round(magic_s * 1000, 3),
+           full_ms=round(full_s * 1000, 3),
+           ratio=round(ratio, 2), **fields)
+    if gated:
+        assert ratio >= GATE
+    return ratio
+
+
+def test_magic_beats_full_on_chain_descendants(chain_db):
+    length, db, program = chain_db
+    _gate(db, program, chain_queries(length)["descendants-of-one"],
+          tag="descendants-of-one", gated=length == GATED_CHAIN,
+          chain=length)
+
+
+def test_magic_beats_full_on_chain_ancestors(chain_db):
+    length, db, program = chain_db
+    _gate(db, program, chain_queries(length)["ancestors-of-one"],
+          tag="ancestors-of-one", gated=length == GATED_CHAIN,
+          chain=length)
+
+
+def test_magic_beats_full_on_company_command_chain(company_db):
+    size, db, program = company_db
+    _gate(db, program, company_queries(size)["command-chain-with-cities"],
+          tag="command-chain-with-cities", gated=size == GATED_COMPANY,
+          employees=size)
+
+
+def test_magic_beats_full_on_company_reports_check(company_db):
+    size, db, program = company_db
+    _gate(db, program, company_queries(size)["reports-to-check"],
+          tag="reports-to-check", gated=size == GATED_COMPANY,
+          employees=size)
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN: the demand section names rewritten rules and adornments.
+# ---------------------------------------------------------------------------
+
+def test_explain_demand_section(chain_db):
+    length, db, program = chain_db
+    query = Query(db, program=program)
+    rendered = query.explain(
+        chain_queries(length)["descendants-of-one"]).render()
+    assert "demand:" in rendered
+    assert "rewritten (2)" in rendered
+    assert "^bf" in rendered
+    report("B11-explain", chain=length, ok=True)
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark timing groups
+# ---------------------------------------------------------------------------
+
+@pytest.mark.benchmark(group="B11-chain")
+def test_bench_chain_magic(benchmark, chain_db):
+    length, db, program = chain_db
+    text = chain_queries(length)["descendants-of-one"]
+    rows = benchmark(lambda: len(answer_keys(db, program, text,
+                                             magic=True)))
+    report("B11", mode="magic", workload="descendants-of-one",
+           chain=length, answers=rows)
+
+
+@pytest.mark.benchmark(group="B11-chain")
+def test_bench_chain_full(benchmark, chain_db):
+    length, db, program = chain_db
+    text = chain_queries(length)["descendants-of-one"]
+    rows = benchmark(lambda: len(answer_keys(db, program, text,
+                                             magic=False)))
+    report("B11", mode="full", workload="descendants-of-one",
+           chain=length, answers=rows)
+
+
+@pytest.mark.benchmark(group="B11-company")
+def test_bench_company_magic(benchmark, company_db):
+    size, db, program = company_db
+    text = company_queries(size)["command-chain-with-cities"]
+    rows = benchmark(lambda: len(answer_keys(db, program, text,
+                                             magic=True)))
+    report("B11", mode="magic", workload="command-chain-with-cities",
+           employees=size, answers=rows)
+
+
+@pytest.mark.benchmark(group="B11-company")
+def test_bench_company_full(benchmark, company_db):
+    size, db, program = company_db
+    text = company_queries(size)["command-chain-with-cities"]
+    rows = benchmark(lambda: len(answer_keys(db, program, text,
+                                             magic=False)))
+    report("B11", mode="full", workload="command-chain-with-cities",
+           employees=size, answers=rows)

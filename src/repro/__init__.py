@@ -55,7 +55,7 @@ from repro.errors import (
     WellFormednessError,
 )
 from repro.core.signatures import Signature, SignatureSet, TypeViolation
-from repro.engine import Engine, EngineLimits, EngineStats
+from repro.engine import DemandEngine, Engine, EngineLimits, EngineStats
 from repro.lang import (
     parse_literal,
     parse_program,
@@ -72,6 +72,7 @@ __all__ = [
     "Answer",
     "Comparison",
     "Database",
+    "DemandEngine",
     "Engine",
     "EngineLimits",
     "EngineStats",

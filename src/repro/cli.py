@@ -6,17 +6,24 @@ Usage::
     python -m repro program.plog --dump out.json --stats
     python -m repro --db snapshot.json --query "X : employee"
     python -m repro program.plog --explain
+    python -m repro program.plog --magic --query "p1..desc[self -> Y]"
     python -m repro explain "X : employee.city[C]" --db snapshot.json
+    python -m repro explain "p1[desc ->> {Y}]" --program p.plog --magic
 
 A program file contains PathLog facts and rules (see docs/language.md
 for the syntax).  ``--query`` may be given multiple times; answers print one row
 per line as ``Var=value`` pairs.  ``--dump`` writes the materialised
 database as JSON (reloadable with ``--db``).  ``--explain`` prints the
-per-rule join plans the engine used.  The ``explain`` subcommand prints
-the plan of one query -- ordered atoms, estimated (and, unless
-``--no-analyze`` is given, actual) rows, and the access path per atom.
-The subcommand is recognised by its first-argument position; a program
-file literally named ``explain`` must be written as ``./explain``.
+per-rule join plans the engine used.  ``--magic`` answers each query
+demand-driven: the program is magic-set rewritten per query so only the
+facts the query needs are derived (``--stats`` and ``--explain`` then
+describe the demand run, including the rewritten-vs-fallback rules).
+The ``explain`` subcommand prints the plan of one query -- ordered
+atoms, estimated (and, unless ``--no-analyze`` is given, actual) rows,
+and the access path per atom; with ``--magic`` it also prints the
+demand section.  The subcommand is recognised by its first-argument
+position; a program file literally named ``explain`` must be written as
+``./explain``.
 """
 
 from __future__ import annotations
@@ -57,6 +64,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print engine statistics after evaluation")
     parser.add_argument("--explain", action="store_true",
                         help="print the engine's per-rule join plans")
+    parser.add_argument("--magic", action="store_true",
+                        help="answer each --query demand-driven (magic-set "
+                             "rewriting) instead of materialising the full "
+                             "fixpoint first")
     return parser
 
 
@@ -75,6 +86,10 @@ def build_explain_parser() -> argparse.ArgumentParser:
                              "against the materialised database")
     parser.add_argument("--no-analyze", action="store_true",
                         help="plan only; do not execute to count rows")
+    parser.add_argument("--magic", action="store_true",
+                        help="demand-driven: magic-set rewrite --program for "
+                             "this query and explain over the demanded "
+                             "result (prints the demand section)")
     return parser
 
 
@@ -89,7 +104,18 @@ def run(argv: Sequence[str] | None = None, *, out=None) -> int:
         print("error: need a program file and/or --db snapshot",
               file=out)
         return 2
+    if args.magic:
+        if args.program is None or not args.query:
+            print("error: --magic needs a program file and at least one "
+                  "--query (demand comes from the query)", file=out)
+            return 2
+        if args.dump is not None:
+            print("error: --magic derives only what the queries demand; "
+                  "--dump needs the full fixpoint (drop --magic)", file=out)
+            return 2
     try:
+        if args.magic:
+            return _run_magic(args, out)
         db = _load_database(args)
         db, engine = _evaluate(args, db)
         if engine is not None and args.stats:
@@ -98,7 +124,7 @@ def run(argv: Sequence[str] | None = None, *, out=None) -> int:
         if engine is not None and args.explain:
             print(engine.explain(), file=out)
         for text in args.query:
-            _run_query(db, text, out)
+            _print_rows(Query(db).all(text), text, out)
         if args.dump is not None:
             args.dump.write_text(serialize.dumps(db, indent=2))
             print(f"dumped database to {args.dump}", file=out)
@@ -111,15 +137,41 @@ def run(argv: Sequence[str] | None = None, *, out=None) -> int:
     return 0
 
 
+def _run_magic(args, out) -> int:
+    """Demand-driven query answering (``--magic``)."""
+    db = _load_database(args)
+    program = parse_program(args.program.read_text())
+    limits = EngineLimits(max_iterations=args.max_iterations)
+    query = Query(db, program=program, magic=True,
+                  seminaive=not args.naive, limits=limits)
+    for text in args.query:
+        _print_rows(query.all(text), text, out)
+        engine = query.last_demand
+        if engine is not None and args.stats:
+            for key, value in engine.stats.as_row().items():
+                print(f"stats {key}: {value}", file=out)
+        if engine is not None and args.explain:
+            print(engine.explain(), file=out)
+    return 0
+
+
 def _run_explain(argv: Sequence[str], out) -> int:
     args = build_explain_parser().parse_args([str(a) for a in argv])
+    if args.magic and args.program is None:
+        print("error: --magic needs --program (the rules to rewrite)",
+              file=out)
+        return 2
     try:
         db = _load_database(args)
-        if args.program is not None:
+        if args.magic:
             program = parse_program(args.program.read_text())
-            db = Engine(db, program).run()
-        report = Query(db).explain(args.query,
-                                   analyze=not args.no_analyze)
+            query = Query(db, program=program, magic=True)
+        elif args.program is not None:
+            program = parse_program(args.program.read_text())
+            query = Query(Engine(db, program).run())
+        else:
+            query = Query(db)
+        report = query.explain(args.query, analyze=not args.no_analyze)
         print(report.render(), file=out)
     except PathLogError as error:
         print(f"error: {error}", file=out)
@@ -145,8 +197,7 @@ def _evaluate(args, db: Database):
     return engine.run(), engine
 
 
-def _run_query(db: Database, text: str, out) -> None:
-    rows = Query(db).all(text)
+def _print_rows(rows, text: str, out) -> None:
     print(f"?- {text}", file=out)
     if not rows:
         print("  no", file=out)

@@ -19,7 +19,12 @@ applied"; this package supplies them:
 - :mod:`repro.engine.heads` -- head realisation, including the paper's
   virtual-object creation (scalar paths in heads define objects);
 - :mod:`repro.engine.stratify` -- NT89-style stratification driven by
-  the *strong* dependencies of superset filters;
+  the *strong* dependencies of superset filters (plus the
+  full-evaluation closure the magic rewrite leans on);
+- :mod:`repro.engine.magic` -- demand-driven evaluation: magic-set
+  rewriting of a program for one query (adornments, magic seed facts,
+  guarded rule variants, recorded fallbacks) and the
+  :class:`DemandEngine` front door;
 - :mod:`repro.engine.fixpoint` -- the :class:`Engine` driver with naive
   and semi-naive iteration, resource limits, plan capture, and
   profiling.
@@ -33,30 +38,42 @@ from repro.engine.compile import (
 )
 from repro.engine.explain import PlanReport, StepView, explain_conjunction
 from repro.engine.fixpoint import Engine, EngineLimits
+from repro.engine.magic import (
+    DemandEngine,
+    DemandReport,
+    MagicRewrite,
+    rewrite_for_query,
+)
 from repro.engine.normalize import NormalizedRule, normalize_program, normalize_rule
-from repro.engine.planner import Plan, PlanCache, PlanStep, build_plan
+from repro.engine.planner import Plan, PlanCache, PlanStep, adornment, build_plan
 from repro.engine.profiler import EngineStats
 from repro.engine.solve import solve
-from repro.engine.stratify import stratify
+from repro.engine.stratify import full_evaluation_closure, stratify
 
 __all__ = [
     "CompiledDeltaPlan",
     "CompiledPlan",
+    "DemandEngine",
+    "DemandReport",
     "Engine",
     "EngineLimits",
     "EngineStats",
+    "MagicRewrite",
     "NormalizedRule",
     "Plan",
     "PlanCache",
     "PlanReport",
     "PlanStep",
     "StepView",
+    "adornment",
     "build_plan",
     "compile_delta_plan",
     "compile_plan",
     "explain_conjunction",
+    "full_evaluation_closure",
     "normalize_program",
     "normalize_rule",
+    "rewrite_for_query",
     "solve",
     "stratify",
 ]

@@ -44,7 +44,13 @@ from typing import Callable, Iterator, Sequence
 from repro.core import builtins as _builtins
 from repro.core.ast import Name, Var
 from repro.core.entailment import compare_oids
-from repro.engine.matching import UNRESTRICTED, Binding, MatchPolicy, match_atom
+from repro.engine.matching import (
+    UNRESTRICTED,
+    Binding,
+    MatchPolicy,
+    match_atom,
+    method_visible,
+)
 from repro.engine.planner import Plan
 from repro.errors import EvaluationError
 from repro.flogic.atoms import (
@@ -116,6 +122,21 @@ def _getter(op):
         return lambda regs: oid
     index = op[1]
     return lambda regs: regs[index]
+
+
+def _method_filter(policy: MatchPolicy, m_op):
+    """The per-fact method predicate for a scan/probe kernel.
+
+    When the method position is *enumerated* (a ``_STORE`` op -- an
+    unbound variable ranging over stored methods), internal magic
+    predicates are hidden in addition to the policy's depth bound,
+    mirroring :func:`repro.engine.matching.method_visible`.  Constant
+    and already-bound method positions keep the plain policy check.
+    """
+    method_ok = policy.method_ok
+    if m_op[0] != _STORE:
+        return method_ok
+    return lambda m: method_ok(m) and method_visible(m)
 
 
 # ---------------------------------------------------------------------------
@@ -312,7 +333,7 @@ def _scalar_s_probe(db: Database, m_op, s_op, arg_ops, r_op, nargs: int,
     """Method unbound, subject known: walk the subject index bucket."""
     buckets = db.scalars.by_subject_view()
     s_get = _getter(s_op)
-    method_ok = policy.method_ok
+    method_ok = _method_filter(policy, m_op)
     row_ops = (m_op, *arg_ops, r_op)
 
     def kern(regs, _b=buckets, _s=s_get, _ok=method_ok, _ops=row_ops,
@@ -332,7 +353,7 @@ def _scalar_scan(db: Database, m_op, s_op, arg_ops, r_op, nargs: int,
                  policy: MatchPolicy, name: str) -> tuple[str, Kernel]:
     """No usable index: scan the primary dict, unifying every position."""
     facts = db.scalars.primary_view()
-    method_ok = policy.method_ok
+    method_ok = _method_filter(policy, m_op)
     row_ops = (m_op, s_op, *arg_ops, r_op)
 
     def kern(regs, _facts=facts, _ok=method_ok, _ops=row_ops, _n=nargs):
@@ -386,6 +407,27 @@ def _set_app_kernel(db: Database, method: Oid, s_op, arg_ops, r_op,
                     r_known: bool) -> tuple[str, Kernel]:
     """Method, subject, and args known: probe one application's set."""
     facts = db.sets.primary_view()
+    if not arg_ops and s_op[0] == _CONST:
+        # Constant subject (e.g. a magic guard's demand anchor): the
+        # whole probe key is baked at compile time, like _scalar_lookup.
+        key = (method, s_op[1], ())
+        if r_known:
+            r_get = _getter(r_op)
+
+            def kern(regs, _get=facts.get, _key=key, _r=r_get):
+                bucket = _get(_key)
+                if bucket and _r(regs) in bucket:
+                    yield None
+            return "set contains", kern
+        ri = r_op[1]
+
+        def kern(regs, _get=facts.get, _key=key, _ri=ri):
+            bucket = _get(_key)
+            if bucket:
+                for value in bucket:
+                    regs[_ri] = value
+                    yield None
+        return "set iter", kern
     s_get = _getter(s_op)
     if arg_ops:
         arg_gets = tuple(_getter(op) for op in arg_ops)
@@ -487,7 +529,7 @@ def _set_s_probe(db: Database, m_op, s_op, arg_ops, r_op, nargs: int,
     """Method unbound, subject known: walk the subject's applications."""
     buckets = db.sets.by_subject_view()
     s_get = _getter(s_op)
-    method_ok = policy.method_ok
+    method_ok = _method_filter(policy, m_op)
     row_ops = (m_op, *arg_ops)
 
     def kern(regs, _b=buckets, _s=s_get, _ok=method_ok, _ops=row_ops,
@@ -509,7 +551,7 @@ def _set_s_probe(db: Database, m_op, s_op, arg_ops, r_op, nargs: int,
 def _set_scan(db: Database, m_op, s_op, arg_ops, r_op, nargs: int,
               policy: MatchPolicy, name: str) -> tuple[str, Kernel]:
     facts = db.sets.primary_view()
-    method_ok = policy.method_ok
+    method_ok = _method_filter(policy, m_op)
     row_ops = (m_op, s_op, *arg_ops)
 
     def kern(regs, _facts=facts, _ok=method_ok, _ops=row_ops, _n=nargs,
@@ -947,7 +989,8 @@ def compile_delta_plan(db: Database, atom: Atom, plan: Plan,
                 regs[_ri] = entry[4]
                 yield None
     else:
-        runtime_ok = None if m_op[0] == _CONST else method_ok
+        runtime_ok = (None if m_op[0] == _CONST
+                      else _method_filter(policy, m_op))
 
         def seed(regs, _wanted=wanted, _n=nargs, _ok=runtime_ok, _ops=ops):
             for entry in regs[-1]:

@@ -13,7 +13,7 @@ subcommand.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Mapping
 
 from repro.core.pretty import render_table
 from repro.engine.matching import UNRESTRICTED, Binding, MatchPolicy
@@ -35,6 +35,9 @@ class StepView:
     #: Compiled kernel chosen for this step; None when the plan ran (or
     #: would run) through the interpreted executor.
     kernel: str | None = None
+    #: Boundness adornment (``bf``, ``magic``, ...) from a demand-driven
+    #: rewrite; None outside demand runs.
+    adornment: str | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,6 +52,13 @@ class PlanReport:
     #: exceed ``len(Query.all(...))`` when distinct bindings project
     #: onto the same answer row.
     bindings: int | None
+    #: Reason the conjunction could not be statically planned (unsafe
+    #: negation, ...); the report then has no steps to show.
+    fallback: str | None = None
+    #: Demand section of a magic-set rewrite
+    #: (:class:`repro.engine.magic.DemandReport`); rendered above the
+    #: plan table when present.
+    demand: object | None = None
 
     @property
     def analyzed(self) -> bool:
@@ -60,27 +70,46 @@ class PlanReport:
         """Whether the steps carry compiled kernel names."""
         return any(step.kernel is not None for step in self.steps)
 
+    @property
+    def adorned(self) -> bool:
+        """Whether the steps carry demand-rewrite adornments."""
+        return any(step.adornment is not None for step in self.steps)
+
     def render(self) -> str:
         """The aligned text table (what the CLI prints)."""
+        lines = []
+        if self.demand is not None:
+            lines.append(self.demand.render())
+            lines.append("")
+        lines.append(f"plan: {self.title}" if self.title else "plan:")
+        if self.fallback is not None:
+            lines.append(f"  fallback: {self.fallback}")
+            return "\n".join(lines)
         headers = ["#", "atom", "access path", "est.rows"]
         aligns = "rllr"
+        adorned = self.adorned
+        if adorned:
+            headers.insert(2, "adorn")
+            aligns = "rlllr"
         compiled = self.compiled
         if compiled:
-            headers.insert(3, "kernel")
-            aligns = "rlllr"
+            headers.insert(-1, "kernel")
+            aligns = aligns[:-1] + "l" + "r"
         if self.analyzed:
             headers.append("rows")
             aligns += "r"
         rows = []
         for step in self.steps:
-            row = [str(step.position), step.atom, step.access]
+            row = [str(step.position), step.atom]
+            if adorned:
+                row.append(step.adornment or "-")
+            row.append(step.access)
             if compiled:
                 row.append(step.kernel or "-")
             row.append(_fmt(step.est_rows))
             if self.analyzed:
                 row.append(str(step.actual_rows))
             rows.append(row)
-        lines = [f"plan: {self.title}" if self.title else "plan:"]
         lines.append(render_table(headers, rows, aligns))
         tail = f"estimated {_fmt(self.est_rows)} rows"
         if self.analyzed:
@@ -103,8 +132,15 @@ def _fmt(value: float) -> str:
 def report_for_plan(plan: Plan, *, title: str = "",
                     counters: list[int] | None = None,
                     bindings: int | None = None,
-                    kernels: Iterable[str] | None = None) -> PlanReport:
-    """Wrap a planner plan (and optional observed counts) as a report."""
+                    kernels: Iterable[str] | None = None,
+                    adornments: Mapping[Atom, str] | None = None
+                    ) -> PlanReport:
+    """Wrap a planner plan (and optional observed counts) as a report.
+
+    ``adornments`` maps body atoms to their demand-rewrite adornment
+    labels (the EXPLAIN ``adorn`` column); atoms outside the mapping
+    render as ``-``.
+    """
     names = tuple(kernels) if kernels is not None else None
     steps = tuple(
         StepView(
@@ -114,6 +150,8 @@ def report_for_plan(plan: Plan, *, title: str = "",
             est_rows=step.rows,
             actual_rows=counters[index] if counters is not None else None,
             kernel=names[index] if names is not None else None,
+            adornment=(adornments.get(step.atom, "-")
+                       if adornments is not None else None),
         )
         for index, step in enumerate(plan.steps)
     )

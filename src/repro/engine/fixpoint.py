@@ -146,12 +146,34 @@ class Engine:
         # Compiled execution rides on the planner's static plans; the
         # pre-planner dynamic order has nothing to compile.
         self._compiled = compiled and use_planner
+        # Semi-naive eligibility is a static property of each rule body;
+        # classify once here instead of once per rule per iteration.
+        self._rule_traits = {
+            id(rule): (_is_pure(rule), _reads_isa(rule))
+            for rule in self._rules
+        }
         self._plan_cache = PlanCache(track_version=False)
         self._plan_records: dict[int, _RulePlanRecord] = {}
         # Delta-position records, keyed (rule identity, atom position) so
         # the hot per-iteration path avoids re-hashing rule bodies.
         self._delta_records: dict[tuple[int, int], _DeltaPlanRecord] = {}
         self.stats = EngineStats(seminaive=seminaive)
+
+    @classmethod
+    def for_query(cls, db: Database,
+                  program: Union[Program, Iterable[Rule]],
+                  query, *, magic: bool = True, **kwargs):
+        """A :class:`~repro.engine.magic.DemandEngine` for one query.
+
+        With ``magic=True`` (the default) the program is magic-set
+        rewritten so evaluation derives only the facts the query
+        demands; ``magic=False`` is the full-fixpoint baseline.
+        ``query`` may be PathLog text, parsed literals, or flattened
+        atoms; the remaining keyword arguments are this class's.
+        """
+        from repro.engine.magic import DemandEngine
+
+        return DemandEngine(db, program, query, magic=magic, **kwargs)
 
     def run(self) -> Database:
         """Evaluate to fixpoint; returns the materialised database."""
@@ -184,19 +206,24 @@ class Engine:
     # EXPLAIN surface
     # ------------------------------------------------------------------
 
-    def plan_reports(self) -> list[PlanReport]:
+    def plan_reports(self, adornments: dict | None = None
+                     ) -> list[PlanReport]:
         """Structured plans of the last run, one per evaluated rule.
 
         Each report carries the join order chosen for the rule's *full*
         body evaluations, per-step estimated rows and access paths, and
         the actual rows observed across the run (delta-seeded firings
-        re-plan per seed position and are not folded in).
+        re-plan per seed position and are not folded in).  ``adornments``
+        maps rule ids to per-atom adornment labels (the demand engine's
+        EXPLAIN ``adorn`` column).
         """
+        adornments = adornments or {}
         return [
             report_for_plan(record.plan, title=str(record.rule),
                             counters=record.counters,
                             bindings=record.bindings,
-                            kernels=record.kernels)
+                            kernels=record.kernels,
+                            adornments=adornments.get(id(record.rule)))
             for record in self._plan_records.values()
             if record.plan.steps  # facts have no join order to explain
         ]
@@ -228,10 +255,12 @@ class Engine:
             isa_in_delta = delta is not None and any(
                 entry[0] == "isa" for entry in delta
             )
+            traits = self._rule_traits
             for rule in rules:
-                if delta is None or not _is_pure(rule):
+                pure, reads_isa = traits[id(rule)]
+                if delta is None or not pure:
                     self._fire_full(db, rule, realizer)
-                elif isa_in_delta and _reads_isa(rule):
+                elif isa_in_delta and reads_isa:
                     self._fire_full(db, rule, realizer)
                 else:
                     self._fire_delta(db, rule, realizer, delta)

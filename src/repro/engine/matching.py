@@ -42,9 +42,25 @@ from repro.flogic.atoms import (
     Term,
 )
 from repro.oodb.database import Database
-from repro.oodb.oid import Oid
+from repro.oodb.oid import NamedOid, Oid
 
 Binding = dict[Var, Oid]
+
+#: Methods carrying this name prefix are internal demand predicates of
+#: the magic-set rewrite (:mod:`repro.engine.magic`).  They behave like
+#: hidden system tables: a *variable* at method position never ranges
+#: over them (otherwise demand bookkeeping would leak into wildcard
+#: query answers and rule firings), while an explicit name -- the
+#: rewrite's own guard atoms -- matches them normally.  The ``$`` is
+#: unlexable, so no user program can name one.
+MAGIC_METHOD_PREFIX = "magic$"
+
+
+def method_visible(method: Oid) -> bool:
+    """Whether a variable at method position may enumerate ``method``."""
+    return not (isinstance(method, NamedOid)
+                and isinstance(method.value, str)
+                and method.value.startswith(MAGIC_METHOD_PREFIX))
 
 
 class MatchPolicy:
@@ -170,6 +186,8 @@ def _match_scalar(db: Database, atom: ScalarAtom, binding: Binding,
             continue
         if not policy.method_ok(fm):
             continue
+        if method is None and not method_visible(fm):
+            continue
         pairs = [(atom.method, fm), (atom.subject, fs), (atom.result, fr)]
         pairs.extend(zip(atom.args, fargs))
         extended = unify_all(pairs, db, binding)
@@ -226,6 +244,8 @@ def _match_set_member(db: Database, atom: SetMemberAtom, binding: Binding,
         if len(fargs) != len(atom.args):
             continue
         if not policy.method_ok(fm):
+            continue
+        if method is None and not method_visible(fm):
             continue
         pairs = [(atom.method, fm), (atom.subject, fs), (atom.member, fr)]
         pairs.extend(zip(atom.args, fargs))
@@ -302,6 +322,8 @@ def _match_superset_core(db: Database, atom, binding: Binding,
     for m in methods:
         if not policy.method_ok(m):
             continue
+        if method is None and not method_visible(m):
+            continue
         base = unify(atom.method, m, db, binding)
         if base is None:
             continue
@@ -372,6 +394,7 @@ def match_atom_delta(db: Database, atom: Atom, binding: Binding,
     else:
         return
     method_t, subject_t, args_t, result_t = pattern
+    method_unbound = resolve(method_t, db, binding) is None
     for entry in delta:
         if entry[0] != wanted:
             continue
@@ -379,6 +402,8 @@ def match_atom_delta(db: Database, atom: Atom, binding: Binding,
         if len(fargs) != len(args_t):
             continue
         if not policy.method_ok(fm):
+            continue
+        if method_unbound and not method_visible(fm):
             continue
         pairs = [(method_t, fm), (subject_t, fs), (result_t, fr)]
         pairs.extend(zip(args_t, fargs))

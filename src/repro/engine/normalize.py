@@ -165,9 +165,16 @@ def normalize_rule(rule: Rule) -> NormalizedRule:
 
 
 def normalize_program(program: Program | Iterable[Rule]) -> list[NormalizedRule]:
-    """Normalise every rule of a program, in order."""
+    """Normalise every rule of a program, in order.
+
+    Already-normalized rules pass through untouched, so synthesized
+    programs (e.g. the magic-set rewrite's guarded variants and seed
+    facts) can be fed back to the :class:`~repro.engine.fixpoint.Engine`
+    alongside raw rules.
+    """
     rules = program.rules if isinstance(program, Program) else tuple(program)
-    return [normalize_rule(rule) for rule in rules]
+    return [rule if isinstance(rule, NormalizedRule) else normalize_rule(rule)
+            for rule in rules]
 
 
 # ---------------------------------------------------------------------------

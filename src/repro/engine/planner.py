@@ -116,6 +116,33 @@ def is_bound(term: Term, bound: frozenset[Var] | set[Var]) -> bool:
     return isinstance(term, Name) or term in bound
 
 
+def adorn_positions(atom: Atom) -> tuple[Term, Term] | None:
+    """The (subject-like, result-like) terms adornments range over.
+
+    Adornments abstract an atom's boundness the same way the planner
+    does -- only *which* positions are bound matters -- and drive the
+    magic-set rewrite (:mod:`repro.engine.magic`) and the EXPLAIN
+    adornment column.  Non-data atoms have no adornable positions.
+    """
+    if isinstance(atom, ScalarAtom):
+        return (atom.subject, atom.result)
+    if isinstance(atom, SetMemberAtom):
+        return (atom.subject, atom.member)
+    if isinstance(atom, IsaAtom):
+        return (atom.obj, atom.cls)
+    return None
+
+
+def adornment(atom: Atom,
+              bound: set[Var] | frozenset[Var]) -> str | None:
+    """The ``b``/``f`` adornment of ``atom`` under a bound-variable set."""
+    positions = adorn_positions(atom)
+    if positions is None:
+        return None
+    return "".join("b" if is_bound(term, bound) else "f"
+                   for term in positions)
+
+
 def relevant_bound(atoms: Iterable[Atom],
                    binding: Iterable[Var]) -> frozenset[Var]:
     """The bound variables that can influence planning of ``atoms``.

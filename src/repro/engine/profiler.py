@@ -34,6 +34,13 @@ class EngineStats:
     #: Per-step extensions (tuples) observed while executing rule plans;
     #: the per-kernel row counters summed over the run.
     tuples: int = 0
+    #: Magic seed facts asserted for a demand-driven run (0 = full run).
+    magic_seeds: int = 0
+    #: Rule variants guarded by magic atoms in the evaluated program.
+    rules_rewritten: int = 0
+    #: Rules kept on full evaluation by the magic rewrite (with reasons
+    #: recorded in the rewrite itself).
+    rules_fallback: int = 0
 
     @property
     def derived_total(self) -> int:
@@ -63,5 +70,8 @@ class EngineStats:
             "plan-hits": self.plan_cache_hits,
             "kernels": self.plans_compiled,
             "tuples": self.tuples,
+            "magic-seeds": self.magic_seeds,
+            "rules-rewritten": self.rules_rewritten,
+            "rules-fallback": self.rules_fallback,
             "seconds": round(self.elapsed_s, 4),
         }

@@ -26,8 +26,68 @@ is rejected with :class:`~repro.errors.StratificationError`.
 
 from __future__ import annotations
 
-from repro.engine.normalize import NormalizedRule, pred_matches
+from typing import Iterable
+
+from repro.engine.normalize import NormalizedRule, Pred, pred_matches
 from repro.errors import StratificationError
+
+
+def full_evaluation_closure(rules: list[NormalizedRule],
+                            roots: Iterable[tuple[Pred, str]]
+                            ) -> dict[Pred, str]:
+    """Predicates that must be evaluated in *full*, with reasons.
+
+    The magic-set rewrite (:mod:`repro.engine.magic`) cannot
+    demand-filter a predicate read under negation or inside a superset
+    source -- those contexts need the complete relation, exactly the
+    completeness this module's strata guarantee.  Marking propagates
+    *down* the dependency graph: fully evaluating ``P`` means running
+    every rule defining ``P`` unguarded, which in turn needs every
+    predicate those rules read fully evaluated too.
+
+    ``roots`` are ``(pred, reason)`` pairs; a root whose name slot is
+    ``None`` (a variable at method position) expands to every concrete
+    predicate of its kind.  Returns ``{pred: reason}`` for the closure,
+    restricted to predicates some rule actually defines.
+    """
+    concrete: list[Pred] = []
+    seen: set[Pred] = set()
+    for rule in rules:
+        for define in rule.defines:
+            if define[1] is not None and define not in seen:
+                seen.add(define)
+                concrete.append(define)
+    full: dict[Pred, str] = {}
+    work: list[tuple[Pred, str]] = []
+
+    def push(pred: Pred, reason: str) -> None:
+        if pred[1] is None:
+            for candidate in concrete:
+                if candidate[0] == pred[0] and candidate not in full:
+                    work.append((candidate, reason))
+        elif pred not in full:
+            work.append((pred, reason))
+
+    for pred, reason in roots:
+        push(pred, reason)
+    while work:
+        pred, reason = work.pop()
+        if pred in full:
+            continue
+        if not any(pred_matches(pred, define)
+                   for rule in rules for define in rule.defines):
+            continue  # no rule defines it: base data needs no marking
+        full[pred] = reason
+        for rule in rules:
+            if not any(pred_matches(pred, define)
+                       for define in rule.defines):
+                continue
+            dependent = (f"dependency of fully-evaluated "
+                         f"{pred[0]}:{pred[1]}")
+            for read in rule.weak_reads | rule.strong_reads:
+                if read != pred:
+                    push(read, dependent)
+    return full
 
 
 def dependency_edges(rules: list[NormalizedRule]

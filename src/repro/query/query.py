@@ -32,6 +32,7 @@ from repro.core.variables import variables_of
 from repro.engine.explain import PlanReport, explain_conjunction
 from repro.engine.planner import PlanCache
 from repro.engine.solve import solve
+from repro.errors import EvaluationError
 from repro.flogic.flatten import flatten_conjunction
 from repro.lang.parser import parse_query, parse_reference
 from repro.oodb.database import Database
@@ -49,17 +50,94 @@ class Query:
     its compiled slot/kernel form (:mod:`repro.engine.compile`);
     ``compiled=False`` keeps the interpreted dict-binding executor (the
     B10 baseline).
+
+    With ``program=...`` the query runs *over rules*: each query first
+    evaluates the program, then answers against the materialised result.
+    ``magic=True`` (the default) evaluates **on demand** -- the program
+    is magic-set rewritten per query (:mod:`repro.engine.magic`) so only
+    the facts the query can reach are derived; ``magic=False`` is the
+    materialise-everything baseline (the full fixpoint is computed once
+    and shared by every query).  Demand evaluations are memoised per
+    flattened conjunction and invalidated when the base database's facts
+    change.
     """
 
-    def __init__(self, db: Database, *, compiled: bool = True) -> None:
+    #: Demand memo bound: each entry retains a materialised database
+    #: clone, so the cache is small FIFO rather than unbounded.
+    _MAX_DEMAND_ENTRIES = 16
+
+    def __init__(self, db: Database, *, compiled: bool = True,
+                 program=None, magic: bool = True,
+                 seminaive: bool = True, limits=None) -> None:
         self._db = db
         self._plans = PlanCache()
         self._compiled = compiled
+        self._program = program
+        self._magic = magic
+        self._seminaive = seminaive
+        self._limits = limits
+        self._materialized: Database | None = None
+        self._demand_dbs: dict[tuple, Database] = {}
+        self._demand_engines: dict[tuple, object] = {}
+        #: One plan cache per memoised result database (keyed by id),
+        #: so repeat queries skip planning and kernel lowering.
+        self._result_caches: dict[int, PlanCache] = {}
+        self._cache_version: int | None = None
+        #: The :class:`~repro.engine.magic.DemandEngine` behind the most
+        #: recent demand evaluation (stats, demand report, rule plans).
+        self.last_demand = None
 
     @property
     def plan_cache(self) -> PlanCache:
         """The plan cache (hits/misses/invalidations are inspectable)."""
         return self._plans
+
+    # ------------------------------------------------------------------
+    # Program evaluation (demand-driven or full fixpoint)
+    # ------------------------------------------------------------------
+
+    def _db_for(self, atoms: tuple) -> Database:
+        """The database to answer against: base, demanded, or full."""
+        if self._program is None:
+            return self._db
+        version = self._db.data_version()
+        if version != self._cache_version:
+            self._materialized = None
+            self._demand_dbs.clear()
+            self._demand_engines.clear()
+            self._result_caches.clear()
+            self._cache_version = version
+        if not self._magic:
+            if self._materialized is None:
+                from repro.engine.fixpoint import Engine
+
+                self._materialized = Engine(
+                    self._db, self._program, seminaive=self._seminaive,
+                    limits=self._limits, compiled=self._compiled,
+                ).run()
+                self._result_caches[id(self._materialized)] = PlanCache()
+            return self._materialized
+        key = tuple(atoms)
+        result = self._demand_dbs.get(key)
+        if result is None:
+            from repro.engine.magic import DemandEngine
+
+            engine = DemandEngine(
+                self._db, self._program, key, magic=True,
+                seminaive=self._seminaive, limits=self._limits,
+                compiled=self._compiled,
+            )
+            result = engine.run()
+            while len(self._demand_dbs) >= self._MAX_DEMAND_ENTRIES:
+                oldest = next(iter(self._demand_dbs))
+                evicted = self._demand_dbs.pop(oldest)
+                self._result_caches.pop(id(evicted), None)
+                del self._demand_engines[oldest]
+            self._demand_dbs[key] = result
+            self._demand_engines[key] = engine
+            self._result_caches[id(result)] = PlanCache()
+        self.last_demand = self._demand_engines[key]
+        return result
 
     # ------------------------------------------------------------------
 
@@ -73,8 +151,9 @@ class Query:
         literals = self._as_literals(query)
         wanted = self._wanted_variables(literals, variables)
         atoms = flatten_conjunction(literals)
+        db = self._db_for(atoms)
         seen: set[tuple] = set()
-        for binding in solve(self._db, atoms, {}, cache=self._plans,
+        for binding in solve(db, atoms, {}, cache=self._cache_for(db),
                              compiled=self._compiled):
             row = {name: binding[Var(name)] for name in wanted}
             key = tuple(row[name] for name in wanted)
@@ -96,7 +175,8 @@ class Query:
         """True iff the query has at least one solution."""
         literals = self._as_literals(query)
         atoms = flatten_conjunction(literals)
-        for _ in solve(self._db, atoms, {}, cache=self._plans,
+        db = self._db_for(atoms)
+        for _ in solve(db, atoms, {}, cache=self._cache_for(db),
                        compiled=self._compiled):
             return True
         return False
@@ -109,7 +189,7 @@ class Query:
         valuations (the natural "result column" reading).
         """
         reference = (parse_reference(ref) if isinstance(ref, str) else ref)
-        if not variables_of(reference):
+        if self._program is None and not variables_of(reference):
             return valuate(reference, self._db, VariableValuation())
         from repro.core.variables import FreshVariables
         from repro.flogic.flatten import flatten_reference
@@ -117,13 +197,17 @@ class Query:
         flattened = flatten_reference(
             reference, FreshVariables(avoid=variables_of(reference))
         )
+        db = self._db_for(tuple(flattened.atoms))
+        if not variables_of(reference):
+            return valuate(reference, db, VariableValuation())
         found: set[Oid] = set()
-        for binding in solve(self._db, flattened.atoms, {},
-                             cache=self._plans, compiled=self._compiled):
+        for binding in solve(db, flattened.atoms, {},
+                             cache=self._cache_for(db),
+                             compiled=self._compiled):
             if isinstance(flattened.term, Var):
                 found.add(binding[flattened.term])
             else:
-                found.add(self._db.lookup_name(flattened.term.value))
+                found.add(db.lookup_name(flattened.term.value))
         return frozenset(found)
 
     def count(self, query: QueryInput,
@@ -142,13 +226,48 @@ class Query:
         query methods use, so what you see is what runs.  The report's
         ``bindings`` counts raw solver bindings; :meth:`all` may return
         fewer rows after projection and deduplication.
+
+        A conjunction the planner must reject (an unsafe negation whose
+        variables the positive part cannot bind) renders its fallback
+        reason instead of raising.  In program mode with ``magic=True``
+        the report also carries the demand section (adornments, seeds,
+        rewritten vs. fallback rules) of the evaluation that produced
+        the answers.
         """
         literals = self._as_literals(query)
         atoms = flatten_conjunction(literals)
         title = ", ".join(literal_to_text(lit) for lit in literals)
-        return explain_conjunction(self._db, atoms, {}, cache=self._plans,
-                                   analyze=analyze, title=title,
-                                   compiled=self._compiled)
+        db = self._db_for(atoms)
+        try:
+            report = explain_conjunction(db, atoms, {},
+                                         cache=self._cache_for(db),
+                                         analyze=analyze, title=title,
+                                         compiled=self._compiled)
+        except EvaluationError as error:
+            # Only planning rejections (unsafe negation, unready
+            # comparisons) are rendered as a fallback; failures of the
+            # program evaluation itself propagate from _db_for above.
+            return PlanReport(title=title, steps=(), est_rows=0.0,
+                              bindings=None, fallback=str(error))
+        if self._program is not None and self._magic \
+                and self.last_demand is not None:
+            from dataclasses import replace
+
+            report = replace(report,
+                             demand=self.last_demand.demand_report())
+        return report
+
+    def _cache_for(self, db: Database) -> PlanCache | None:
+        """The plan cache for one answering database.
+
+        The base db shares `self._plans`; every memoised result
+        database (demand or full materialisation) owns its own cache,
+        because sharing one version-tracked cache across databases
+        would thrash on every switch.
+        """
+        if db is self._db:
+            return self._plans
+        return self._result_caches.get(id(db))
 
     # ------------------------------------------------------------------
 

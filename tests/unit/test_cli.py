@@ -162,3 +162,103 @@ class TestErrors:
         code, output = invoke(program_file, "--query", "p1[")
         assert code == 1
         assert "error:" in output
+
+
+MAGIC_PROGRAM = """
+    p1 : person. c1 : person. g1 : person.
+    p1[kids ->> {c1}]. c1[kids ->> {g1}].
+    X[desc ->> {Y}] <- X[kids ->> {Y}].
+    X[desc ->> {Y}] <- X[desc ->> {Z}], Z[kids ->> {Y}].
+    X[busy -> yes] <- X[kids ->> {K}].
+    X[idle -> yes] <- X : person, not X[busy -> yes].
+"""
+
+#: Demand section + plan for the magic snapshot program: the two `desc`
+#: rules are rewritten for the bf adornment (subject bound), while the
+#: negation rule, the predicate it reads, and that predicate's
+#: dependencies fall back to full evaluation with recorded reasons.
+MAGIC_EXPLAIN_SNAPSHOT = """\
+demand:
+  demanded: set:desc^bf
+  seeds (1):
+    "__demand__"["magic$set$desc$bf" ->> {p1}].
+  rewritten (2):
+    [bf] X[desc ->> {Y}] <- X[kids ->> {Y}].
+    [bf] X[desc ->> {Y}] <- X[desc ->> {Z}], Z[kids ->> {Y}].
+  full evaluation (7):
+    p1 : person.  -- head declares class membership
+    c1 : person.  -- head declares class membership
+    g1 : person.  -- head declares class membership
+    p1[kids ->> {c1}].  -- dependency of fully-evaluated scalar:busy
+    c1[kids ->> {g1}].  -- dependency of fully-evaluated scalar:busy
+    X[busy -> yes] <- X[kids ->> {K}].  -- read under negation or a superset source
+    X[idle -> yes] <- X : person, not X[busy -> yes].  -- negation in body
+
+plan: p1[desc ->> {Y}], g1[idle -> F]
+#  atom              access path     kernel      est.rows  rows
+-  ----------------  --------------  ----------  --------  ----
+1  g1[idle -> F]     primary lookup  scalar get         1     1
+2  p1[desc ->> {Y}]  primary lookup  set iter           2     2
+estimated 2 rows; 2 bindings
+"""
+
+
+class TestMagic:
+    @pytest.fixture
+    def magic_program(self, tmp_path):
+        path = tmp_path / "magic.plog"
+        path.write_text(MAGIC_PROGRAM)
+        return path
+
+    def test_magic_query_answers_match_full(self, magic_program):
+        code, full = invoke(magic_program, "--query", "p1[desc ->> {Y}]")
+        code2, magic = invoke(magic_program, "--magic",
+                              "--query", "p1[desc ->> {Y}]")
+        assert code == code2 == 0
+        assert magic == full
+        assert "Y=c1" in magic and "Y=g1" in magic
+
+    def test_magic_explain_snapshot(self, magic_program):
+        code, output = invoke("explain", "p1[desc ->> {Y}], g1[idle -> F]",
+                              "--program", magic_program, "--magic")
+        assert code == 0
+        assert output == MAGIC_EXPLAIN_SNAPSHOT
+
+    def test_magic_stats_count_seeds_and_rewrites(self, magic_program):
+        code, output = invoke(magic_program, "--magic", "--stats",
+                              "--query", "p1[desc ->> {Y}]")
+        assert code == 0
+        assert "stats magic-seeds: 1" in output
+        assert "stats rules-rewritten: 2" in output
+
+    def test_magic_explain_flag_shows_adornments(self, magic_program):
+        code, output = invoke(magic_program, "--magic", "--explain",
+                              "--query", "p1[desc ->> {Y}]")
+        assert code == 0
+        assert "demand:" in output
+        assert "adorn" in output
+        assert "magic" in output
+
+    def test_magic_requires_program_and_query(self, magic_program,
+                                              tmp_path):
+        code, output = invoke(magic_program, "--magic")
+        assert code == 2
+        assert "--magic" in output
+        snapshot = tmp_path / "db.json"
+        code, _ = invoke(magic_program, "--dump", snapshot)
+        assert code == 0
+        code, output = invoke("--db", snapshot, "--magic",
+                              "--query", "p1[desc ->> {Y}]")
+        assert code == 2
+
+    def test_magic_dump_is_rejected(self, magic_program, tmp_path):
+        code, output = invoke(magic_program, "--magic",
+                              "--query", "p1[desc ->> {Y}]",
+                              "--dump", tmp_path / "out.json")
+        assert code == 2
+        assert "full fixpoint" in output
+
+    def test_explain_subcommand_magic_needs_program(self):
+        code, output = invoke("explain", "X : person", "--magic")
+        assert code == 2
+        assert "--program" in output

@@ -108,3 +108,77 @@ class TestAnswer:
 
         answer = Answer({"B": VirtualOid(n("boss"), n("p1"))})
         assert answer.value("B") == "p1.boss"
+
+
+class TestExplainFallback:
+    def test_unsafe_negation_renders_fallback_instead_of_raising(self, db):
+        report = Query(db).explain(
+            "not X[color -> red], not X[color -> blue]")
+        assert report.fallback is not None
+        assert "unsafe negation" in report.fallback
+        assert not report.steps
+        rendered = report.render()
+        assert "fallback:" in rendered
+        assert "unsafe negation" in rendered
+
+    def test_safe_query_has_no_fallback(self, db):
+        report = Query(db).explain("X : automobile[color -> C]")
+        assert report.fallback is None
+        assert report.steps
+
+
+class TestProgramMode:
+    """Query(db, program=...): demand-driven query-over-rules."""
+
+    PROGRAM = """
+        X[flagged -> yes] <- X : employee..vehicles[color -> red].
+        X[rides ->> {V}] <- X[vehicles ->> {V}].
+        X[rides ->> {W}] <- X[rides ->> {V}], V[vehicles ->> {W}].
+    """
+
+    @pytest.fixture
+    def program(self):
+        from repro.lang.parser import parse_program
+
+        return parse_program(self.PROGRAM)
+
+    def test_magic_and_full_agree(self, db, program):
+        for text in ("p1[flagged -> F]", "p1[rides ->> {V}]",
+                     "X[rides ->> {car1}]"):
+            magic = Query(db, program=program, magic=True).all(text)
+            full = Query(db, program=program, magic=False).all(text)
+            assert [a.sort_key() for a in magic] == \
+                   [a.sort_key() for a in full]
+
+    def test_base_database_is_not_mutated(self, db, program):
+        facts_before = len(db.scalars)
+        Query(db, program=program).all("p1[flagged -> F]")
+        assert len(db.scalars) == facts_before
+
+    def test_demand_runs_are_memoised_per_conjunction(self, db, program):
+        query = Query(db, program=program)
+        query.all("p1[flagged -> F]")
+        first = query.last_demand
+        query.count("p1[flagged -> F]")
+        assert query.last_demand is first
+
+    def test_cache_invalidates_when_base_facts_change(self, db, program):
+        query = Query(db, program=program)
+        assert not query.all("p2[flagged -> F]")
+        db.add_object("car9", classes=["automobile"],
+                      scalars={"color": "red"})
+        db.add_object("p2", classes=["employee"],
+                      sets={"vehicles": ["car9"]})
+        assert query.all("p2[flagged -> F]")
+
+    def test_explain_carries_the_demand_section(self, db, program):
+        report = Query(db, program=program).explain("p1[rides ->> {V}]")
+        assert report.demand is not None
+        rendered = report.render()
+        assert "demand:" in rendered
+        assert "rewritten" in rendered
+        assert "plan:" in rendered
+
+    def test_objects_in_program_mode(self, db, program):
+        objects = Query(db, program=program).objects("p1..rides")
+        assert n("car1") in objects and n("car2") in objects
