@@ -1,0 +1,268 @@
+"""B12: incremental view maintenance vs. wholesale re-derivation.
+
+The update-side counterpart of B11 (``engine/incremental.py``): a
+long-lived :class:`~repro.query.Query` over a mutating database keeps
+its materialised results *maintained* -- base-fact deltas recorded by
+``Database.begin_changes()`` drive counting (non-recursive support) and
+delete-and-rederive (recursive support) passes riding the engine's own
+compiled delta kernels -- while the ``incremental=False`` baseline
+re-runs the whole fixpoint from scratch after every change, exactly
+what ``Query._db_for`` did before this layer existed.
+
+Workloads, each a *single-fact update + re-query* cycle:
+
+- **genealogy edge insert/delete**: a ``kids`` chain with the ``desc``
+  transitive closure; attach and detach one leaf, re-query the
+  descendants of one near-leaf person.  Deletion exercises DRed
+  (recursive stratum), insertion the semi-naive delta pass.
+- **company reorg**: a deep ``mentor`` chain of command; re-point the
+  most junior employee's mentor to the middle of the chain and back,
+  re-querying their transitive command chain joined with cities.
+- **company red-owner view** (counting): a non-recursive two-rule view
+  over ``vehicles``/``color``; repaint one car and back.  Deletions
+  here retract *support counts* -- facts with surviving derivations are
+  never churned.
+
+The acceptance gates require >= 5x at the largest sweep sizes, with
+answers identical to from-scratch re-derivation on every cycle (and to
+``magic=True`` demand evaluation where gated agreement tests run).
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report, sizes
+from repro.datasets import CompanyConfig, build_company
+from repro.datasets.genealogy import chain_family, desc_rules
+from repro.lang.parser import parse_program
+from repro.query import Query
+
+CHAIN_SIZES = (64, 256)
+CHAINS = sizes(CHAIN_SIZES)
+GATED_CHAIN = max(CHAIN_SIZES)
+
+COMPANY_SIZES = (100, 400)
+COMPANIES = sizes(COMPANY_SIZES)
+GATED_COMPANY = max(COMPANY_SIZES)
+
+#: The point a speedup must reach at the largest size to pass the gate.
+GATE = 5.0
+
+COMMAND_RULES = """
+    X[commandChain ->> {Y}] <- X[mentor -> Y].
+    X[commandChain ->> {Z}] <- X[commandChain ->> {Y}], Y[mentor -> Z].
+"""
+
+RED_OWNER_RULES = """
+    X[redOwner -> 1] <- X[vehicles ->> {V}], V[color -> red].
+"""
+
+
+@pytest.fixture(scope="module", params=CHAINS)
+def chain_db(request):
+    length = request.param
+    db, _ = chain_family(length)
+    db.begin_changes()
+    return length, db, desc_rules()
+
+
+def _company(size):
+    db = build_company(CompanyConfig(employees=size, seed=61))
+    for index in range(1, size):
+        db.add_object(f"p{index}", scalars={"mentor": f"p{index - 1}"})
+    db.begin_changes()
+    return db
+
+
+@pytest.fixture(scope="module", params=COMPANIES)
+def company_db(request):
+    size = request.param
+    return size, _company(size), parse_program(COMMAND_RULES)
+
+
+def answer_keys(query, text):
+    return [answer.sort_key() for answer in query.all(text)]
+
+
+def _best_of(fn, reps=3):
+    best = float("inf")
+    for _ in range(reps):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _gate(tag, cycle_incremental, cycle_full, *, gated, **fields):
+    incremental_s = _best_of(cycle_incremental)
+    full_s = _best_of(cycle_full)
+    ratio = full_s / incremental_s
+    report("B12-speedup", workload=tag,
+           incremental_ms=round(incremental_s * 1000, 3),
+           full_ms=round(full_s * 1000, 3),
+           ratio=round(ratio, 2), gate=GATE, gated=gated, **fields)
+    if gated:
+        assert ratio >= GATE
+    return ratio
+
+
+# ---------------------------------------------------------------------------
+# Agreement: maintained answers match from-scratch on every cycle.
+# ---------------------------------------------------------------------------
+
+def test_maintained_answers_match_scratch_on_chain(chain_db):
+    length, db, program = chain_db
+    text = f"c{length - 6}[desc ->> {{Y}}]"
+    kids, parent, leaf = db.obj("kids"), db.obj(f"c{length - 1}"), db.obj("x0")
+    maintained = Query(db, program=program, magic=False)
+    demand = Query(db, program=program, magic=True)
+    baseline = answer_keys(maintained, text)
+    for _ in range(2):
+        db.assert_set_member(kids, parent, (), leaf)
+        scratch = Query(db, program=program, magic=False,
+                        incremental=False)
+        assert answer_keys(maintained, text) == answer_keys(scratch, text)
+        assert answer_keys(demand, text) == answer_keys(scratch, text)
+        db.retract_set_member(kids, parent, (), leaf)
+        assert answer_keys(maintained, text) == baseline
+        assert answer_keys(demand, text) == baseline
+    report("B12-agreement", chain=length, answers=len(baseline))
+
+
+def test_maintenance_counters_visible_in_stats(chain_db):
+    length, db, program = chain_db
+    text = f"c{length - 6}[desc ->> {{Y}}]"
+    kids, parent, leaf = db.obj("kids"), db.obj(f"c{length - 1}"), db.obj("x0")
+    query = Query(db, program=program, magic=True)
+    query.all(text)
+    db.assert_set_member(kids, parent, (), leaf)
+    query.all(text)
+    db.retract_set_member(kids, parent, (), leaf)
+    query.all(text)
+    assert query.last_maintenance is not None
+    assert query.last_maintenance.applied
+    stats = query.last_demand.stats.as_row()
+    assert stats["maintenance"] >= 2
+    assert stats["overdeleted"] >= 1
+    assert stats["reinserted"] >= 1
+    report("B12-stats", chain=length,
+           overdeleted=stats["overdeleted"],
+           reinserted=stats["reinserted"])
+
+
+# ---------------------------------------------------------------------------
+# The acceptance gates: >= 5x at the largest sweep sizes.
+# ---------------------------------------------------------------------------
+
+def test_incremental_beats_rederivation_on_chain_updates(chain_db):
+    length, db, program = chain_db
+    text = f"c{length - 6}[desc ->> {{Y}}]"
+    kids, parent, leaf = db.obj("kids"), db.obj(f"c{length - 1}"), db.obj("x0")
+
+    def cycle(query):
+        db.assert_set_member(kids, parent, (), leaf)
+        inserted = answer_keys(query, text)
+        db.retract_set_member(kids, parent, (), leaf)
+        restored = answer_keys(query, text)
+        return inserted, restored
+
+    maintained = Query(db, program=program, magic=False)
+    full = Query(db, program=program, magic=False, incremental=False)
+    baseline = answer_keys(maintained, text)
+    assert cycle(maintained) == cycle(full)
+    assert answer_keys(maintained, text) == baseline
+    _gate("chain-insert-delete", lambda: cycle(maintained),
+          lambda: cycle(full), gated=length == GATED_CHAIN, chain=length)
+
+
+def test_incremental_beats_rederivation_on_company_reorg(company_db):
+    size, db, program = company_db
+    text = f"p{size - 1}[commandChain ->> {{Y}}], Y[city -> C]"
+    mentor = db.obj("mentor")
+    junior = db.obj(f"p{size - 1}")
+    old_boss, new_boss = db.obj(f"p{size - 2}"), db.obj(f"p{size // 2}")
+
+    def cycle(query):
+        db.retract_scalar(mentor, junior, ())
+        db.assert_scalar(mentor, junior, (), new_boss)
+        reorged = answer_keys(query, text)
+        db.retract_scalar(mentor, junior, ())
+        db.assert_scalar(mentor, junior, (), old_boss)
+        restored = answer_keys(query, text)
+        return reorged, restored
+
+    maintained = Query(db, program=program, magic=False)
+    full = Query(db, program=program, magic=False, incremental=False)
+    baseline = answer_keys(maintained, text)
+    assert cycle(maintained) == cycle(full)
+    assert answer_keys(maintained, text) == baseline
+    _gate("company-reorg", lambda: cycle(maintained), lambda: cycle(full),
+          gated=size == GATED_COMPANY, employees=size)
+
+
+def test_incremental_beats_rederivation_on_counting_view(company_db):
+    size, db, _ = company_db
+    program = parse_program(RED_OWNER_RULES)
+    text = "X[redOwner -> 1]"
+    color, red = db.obj("color"), db.obj("red")
+    car = db.obj("goldcar")  # red in the seed data (owned by p0)
+
+    def cycle(query):
+        db.retract_scalar(color, car, ())
+        repainted = answer_keys(query, text)
+        db.assert_scalar(color, car, (), red)
+        restored = answer_keys(query, text)
+        return repainted, restored
+
+    maintained = Query(db, program=program, magic=False)
+    full = Query(db, program=program, magic=False, incremental=False)
+    baseline = answer_keys(maintained, text)
+    assert cycle(maintained) == cycle(full)
+    assert answer_keys(maintained, text) == baseline
+    _gate("red-owner-view", lambda: cycle(maintained), lambda: cycle(full),
+          gated=size == GATED_COMPANY, employees=size)
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark timing groups
+# ---------------------------------------------------------------------------
+
+@pytest.mark.benchmark(group="B12-chain")
+def test_bench_chain_incremental(benchmark, chain_db):
+    length, db, program = chain_db
+    text = f"c{length - 6}[desc ->> {{Y}}]"
+    kids, parent, leaf = db.obj("kids"), db.obj(f"c{length - 1}"), db.obj("x0")
+    query = Query(db, program=program, magic=False)
+    query.all(text)
+
+    def cycle():
+        db.assert_set_member(kids, parent, (), leaf)
+        rows = len(answer_keys(query, text))
+        db.retract_set_member(kids, parent, (), leaf)
+        answer_keys(query, text)
+        return rows
+
+    rows = benchmark(cycle)
+    report("B12", mode="incremental", workload="chain-insert-delete",
+           chain=length, answers=rows)
+
+
+@pytest.mark.benchmark(group="B12-chain")
+def test_bench_chain_full(benchmark, chain_db):
+    length, db, program = chain_db
+    text = f"c{length - 6}[desc ->> {{Y}}]"
+    kids, parent, leaf = db.obj("kids"), db.obj(f"c{length - 1}"), db.obj("x0")
+    query = Query(db, program=program, magic=False, incremental=False)
+    query.all(text)
+
+    def cycle():
+        db.assert_set_member(kids, parent, (), leaf)
+        rows = len(answer_keys(query, text))
+        db.retract_set_member(kids, parent, (), leaf)
+        answer_keys(query, text)
+        return rows
+
+    rows = benchmark(cycle)
+    report("B12", mode="full", workload="chain-insert-delete",
+           chain=length, answers=rows)

@@ -24,6 +24,16 @@ and the access path per atom; with ``--magic`` it also prints the
 demand section.  The subcommand is recognised by its first-argument
 position; a program file literally named ``explain`` must be written as
 ``./explain``.
+
+Long-lived embedders (servers holding a :class:`~repro.query.Query`
+over a mutating database) additionally get incremental view
+maintenance: with ``Database.begin_changes()`` active, memoised
+results are patched by overdelete/rederive/insert passes instead of
+re-derived, ``--stats``-style rows (``maintenance``, ``overdeleted``,
+``rederived``, ``reinserted``, ``evictions``) report what maintenance
+did, and ``Query.explain`` adds a ``maintenance:`` section (see
+docs/performance.md).  One-shot CLI invocations evaluate exactly once,
+so these rows read zero here.
 """
 
 from __future__ import annotations

@@ -25,6 +25,9 @@ applied"; this package supplies them:
   rewriting of a program for one query (adornments, magic seed facts,
   guarded rule variants, recorded fallbacks) and the
   :class:`DemandEngine` front door;
+- :mod:`repro.engine.incremental` -- incremental view maintenance:
+  support counting for non-recursive strata, delete-and-rederive for
+  recursive ones, driven by the database change log;
 - :mod:`repro.engine.fixpoint` -- the :class:`Engine` driver with naive
   and semi-naive iteration, resource limits, plan capture, and
   profiling.
@@ -38,6 +41,11 @@ from repro.engine.compile import (
 )
 from repro.engine.explain import PlanReport, StepView, explain_conjunction
 from repro.engine.fixpoint import Engine, EngineLimits
+from repro.engine.incremental import (
+    MaintenanceReport,
+    Maintainer,
+    SupportIndex,
+)
 from repro.engine.magic import (
     DemandEngine,
     DemandReport,
@@ -59,12 +67,15 @@ __all__ = [
     "EngineLimits",
     "EngineStats",
     "MagicRewrite",
+    "MaintenanceReport",
+    "Maintainer",
     "NormalizedRule",
     "Plan",
     "PlanCache",
     "PlanReport",
     "PlanStep",
     "StepView",
+    "SupportIndex",
     "adornment",
     "build_plan",
     "compile_delta_plan",

@@ -59,6 +59,11 @@ class PlanReport:
     #: (:class:`repro.engine.magic.DemandReport`); rendered above the
     #: plan table when present.
     demand: object | None = None
+    #: Maintenance section of the most recent incremental update
+    #: (:class:`repro.engine.incremental.MaintenanceReport`): what the
+    #: overdelete / rederive / insert passes did, or the recorded
+    #: reason the memoised result had to be re-derived in full.
+    maintenance: object | None = None
 
     @property
     def analyzed(self) -> bool:
@@ -80,6 +85,9 @@ class PlanReport:
         lines = []
         if self.demand is not None:
             lines.append(self.demand.render())
+            lines.append("")
+        if self.maintenance is not None:
+            lines.append(self.maintenance.render())
             lines.append("")
         lines.append(f"plan: {self.title}" if self.title else "plan:")
         if self.fallback is not None:

@@ -136,7 +136,8 @@ class Engine:
                  *, seminaive: bool = True,
                  limits: EngineLimits | None = None,
                  use_planner: bool = True,
-                 compiled: bool = True) -> None:
+                 compiled: bool = True,
+                 record_support: bool = False) -> None:
         self._db = db
         self._rules = normalize_program(program)
         self._seminaive = seminaive
@@ -157,6 +158,11 @@ class Engine:
         # Delta-position records, keyed (rule identity, atom position) so
         # the hot per-iteration path avoids re-hashing rule bodies.
         self._delta_records: dict[tuple[int, int], _DeltaPlanRecord] = {}
+        # Per-fact derivation support, recorded during run() so the
+        # result can later be maintained incrementally (built lazily in
+        # run(): stratification errors keep raising from there).
+        self._record_support = record_support
+        self.support = None
         self.stats = EngineStats(seminaive=seminaive)
 
     @classmethod
@@ -179,6 +185,10 @@ class Engine:
         """Evaluate to fixpoint; returns the materialised database."""
         work = self._db.clone()
         strata = stratify(self._rules)
+        if self._record_support and self.support is None:
+            from repro.engine.incremental import SupportIndex
+
+            self.support = SupportIndex(self._rules)
         self.stats = EngineStats(seminaive=self._seminaive,
                                  strata=len(strata))
         # One plan per (rule body, bound set) for the whole run: the
@@ -281,7 +291,7 @@ class Engine:
         if not self._use_planner:
             solutions = list(solve(db, rule.body, {}, self._policy,
                                    use_planner=False))
-            self._realize_all(rule, solutions, realizer)
+            self._realize_all(db, rule, solutions, realizer)
             return
         record = self._plan_records.get(id(rule))
         if record is None:
@@ -308,7 +318,7 @@ class Engine:
             )
         record.bindings += len(solutions)
         record.firings += 1
-        self._realize_all(rule, solutions, realizer)
+        self._realize_all(db, rule, solutions, realizer)
 
     def _fire_delta(self, db: Database, rule: NormalizedRule,
                     realizer: HeadRealizer, delta: list[Derived]) -> None:
@@ -354,13 +364,45 @@ class Engine:
                                              self._policy):
                     solutions.extend(solve(db, list(rest), seed, self._policy,
                                            use_planner=False))
-        self._realize_all(rule, solutions, realizer)
+        self._realize_all(db, rule, solutions, realizer)
 
-    def _realize_all(self, rule: NormalizedRule, solutions: list[Binding],
+    def _realize_all(self, db: Database, rule: NormalizedRule,
+                     solutions: list[Binding],
                      realizer: HeadRealizer) -> None:
+        support = self.support
+        if support is not None and support.tracks(rule):
+            for binding in solutions:
+                support.observe(rule, binding, db)
+                realizer.realize(rule.head, binding)
+                self.stats.firings += 1
+            return
         for binding in solutions:
             realizer.realize(rule.head, binding)
             self.stats.firings += 1
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance entry point
+    # ------------------------------------------------------------------
+
+    def maintainer(self, result: Database, base: Database):
+        """A :class:`~repro.engine.incremental.Maintainer` for ``result``.
+
+        ``result`` is the database a previous :meth:`run` produced and
+        ``base`` the live base database the change log rides on.  When
+        the run recorded support (``record_support=True``) the
+        maintainer uses the counting algorithm for non-recursive
+        support; otherwise everything is delete-and-rederive.
+        Maintenance counters are accumulated into this engine's
+        :attr:`stats`.
+        """
+        from repro.engine.incremental import Maintainer
+
+        return Maintainer(
+            result, base, self._rules, policy=self._policy,
+            support=self.support, compiled=self._compiled,
+            use_planner=self._use_planner, stats=self.stats,
+            max_virtual_depth=self._limits.max_virtual_depth,
+        )
 
 
 def _is_pure(rule: NormalizedRule) -> bool:

@@ -25,6 +25,8 @@ its fixpoint detection.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.core import builtins as _builtins
 from repro.core.ast import (
     IsaFilter,
@@ -68,6 +70,33 @@ class HeadRealizer:
         before = len(self.log)
         obj = self._realize(head, binding)
         return obj, len(self.log) > before
+
+    def replay(self, entries: Iterable[Derived]) -> int:
+        """Re-assert logged primitives; returns how many were new.
+
+        The incremental maintenance layer uses this to apply base-fact
+        insertions (and rederived facts) with the same logging the
+        engine's semi-naive deltas ride on: every entry that was
+        actually absent is asserted and appended to :attr:`log`, and
+        because entries carry concrete OIDs, re-asserting a fact whose
+        result is a virtual object reuses the *identical*
+        :class:`~repro.oodb.oid.VirtualOid` the original run created.
+        """
+        new = 0
+        for entry in entries:
+            kind = entry[0]
+            if kind == "scalar":
+                added = self._db.assert_scalar(entry[1], entry[2],
+                                               entry[3], entry[4])
+            elif kind == "set":
+                added = self._db.assert_set_member(entry[1], entry[2],
+                                                   entry[3], entry[4])
+            else:
+                added = self._db.assert_isa(entry[1], entry[2])
+            if added:
+                self.log.append(entry)
+                new += 1
+        return new
 
     # -- spine walk ---------------------------------------------------------
 

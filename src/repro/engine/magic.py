@@ -780,7 +780,8 @@ class DemandEngine:
                                 Iterable[NormalizedRule]],
                  query: QueryLike, *, magic: bool = True,
                  seminaive: bool = True, limits=None,
-                 use_planner: bool = True, compiled: bool = True) -> None:
+                 use_planner: bool = True, compiled: bool = True,
+                 record_support: bool = False) -> None:
         from repro.engine.fixpoint import Engine
 
         self._db = db
@@ -795,13 +796,25 @@ class DemandEngine:
             run_rules = rules
         self._engine = Engine(db, run_rules, seminaive=seminaive,
                               limits=limits, use_planner=use_planner,
-                              compiled=compiled)
+                              compiled=compiled,
+                              record_support=record_support)
         self.result: Database | None = None
 
     @property
     def stats(self):
         """The underlying engine's :class:`EngineStats`."""
         return self._engine.stats
+
+    def maintainer(self, result: Database, base: Database):
+        """An incremental maintainer for the demanded result database.
+
+        The rewritten program (seeds, magic rules, guarded variants) is
+        maintained exactly like an ordinary one: demand itself is a set
+        of derived facts, so base changes grow and shrink it through
+        the same counting / delete-and-rederive machinery.  See
+        :meth:`repro.engine.fixpoint.Engine.maintainer`.
+        """
+        return self._engine.maintainer(result, base)
 
     def run(self) -> Database:
         """Evaluate (on demand when ``magic``); returns the result db."""

@@ -41,6 +41,16 @@ class EngineStats:
     #: Rules kept on full evaluation by the magic rewrite (with reasons
     #: recorded in the rewrite itself).
     rules_fallback: int = 0
+    #: Incremental maintenance runs applied to this engine's result.
+    maintenance_runs: int = 0
+    #: Facts removed by the overdelete / counting deletion passes.
+    facts_overdeleted: int = 0
+    #: Overdeleted facts the rederive pass re-asserted.
+    facts_rederived: int = 0
+    #: Facts derived by maintenance insertion passes.
+    facts_reinserted: int = 0
+    #: Memoised result databases evicted from the query-level LRU.
+    memo_evictions: int = 0
 
     @property
     def derived_total(self) -> int:
@@ -73,5 +83,10 @@ class EngineStats:
             "magic-seeds": self.magic_seeds,
             "rules-rewritten": self.rules_rewritten,
             "rules-fallback": self.rules_fallback,
+            "maintenance": self.maintenance_runs,
+            "overdeleted": self.facts_overdeleted,
+            "rederived": self.facts_rederived,
+            "reinserted": self.facts_reinserted,
+            "evictions": self.memo_evictions,
             "seconds": round(self.elapsed_s, 4),
         }

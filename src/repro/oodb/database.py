@@ -26,6 +26,65 @@ from repro.oodb.hierarchy import ClassHierarchy
 from repro.oodb.methods import ScalarMethodTable, SetMethodTable
 from repro.oodb.oid import NamedOid, NameValue, Oid, VirtualOid
 
+#: A recorded base-fact change: ``("+", fact)`` or ``("-", fact)`` where
+#: ``fact`` uses the realizer-log shape -- ``("scalar", m, s, args, r)``,
+#: ``("set", m, s, args, r)``, or ``("isa", o, c)``.
+ChangeEntry = tuple[str, tuple]
+
+
+class ChangeLog:
+    """An append-only record of base-fact insertions and deletions.
+
+    Started by :meth:`Database.begin_changes`, the log captures every
+    successful mutation that goes through the database's assertion and
+    retraction API.  Consumers (memoised query results, the cardinality
+    catalog) remember a *cursor* -- ``len(entries)`` at snapshot time --
+    and later replay ``entries[cursor:]`` as their delta.
+
+    Every recorded entry corresponds to exactly one ``data_version``
+    bump, so :meth:`in_sync` can prove that no mutation escaped the log
+    (a direct table mutation would bump a version counter without an
+    entry, and the consumer then falls back to a full rebuild).  An
+    alias change rebinds what a name denotes everywhere -- that is not
+    expressible as a fact delta, so it *disrupts* the log permanently.
+    """
+
+    __slots__ = ("start_version", "entries", "disrupted")
+
+    def __init__(self, start_version: int) -> None:
+        #: ``data_version()`` of the database when recording started.
+        self.start_version = start_version
+        self.entries: list[ChangeEntry] = []
+        #: Reason the log can no longer prove completeness, or None.
+        self.disrupted: str | None = None
+
+    def cursor(self) -> int:
+        """The current replay position (snapshot with the data version)."""
+        return len(self.entries)
+
+    def record(self, sign: str, fact: tuple) -> None:
+        """Append one applied change (``sign`` is ``"+"`` or ``"-"``)."""
+        self.entries.append((sign, fact))
+
+    def disrupt(self, reason: str) -> None:
+        """Mark the log as unable to describe the change as fact deltas."""
+        if self.disrupted is None:
+            self.disrupted = reason
+
+    def in_sync(self, version: int, cursor: int) -> bool:
+        """Whether ``entries[:cursor]`` fully explains ``version``.
+
+        True iff the log is undisrupted and exactly ``cursor`` mutations
+        happened since ``start_version`` -- i.e. nothing changed the
+        database behind the log's back up to that point.
+        """
+        return (self.disrupted is None
+                and self.start_version + cursor == version)
+
+    def since(self, cursor: int) -> list[ChangeEntry]:
+        """The changes recorded after ``cursor``, oldest first."""
+        return self.entries[cursor:]
+
 
 class Database:
     """An in-memory OODB instance: the semantic structure ``I``."""
@@ -39,7 +98,9 @@ class Database:
         self._indexed = indexed
         self._catalog = None
         self._catalog_version = -1
+        self._catalog_cursor: int | None = None
         self._alias_version = 0
+        self._change_log: ChangeLog | None = None
 
     # ------------------------------------------------------------------
     # Names and universe
@@ -66,6 +127,10 @@ class Database:
         # (and their compiled forms, which resolve names at compile
         # time) must be invalidated exactly like a fact change.
         self._alias_version += 1
+        if self._change_log is not None:
+            # Rebinding a name is not a fact delta: every fact mentioning
+            # the name semantically changes at once.
+            self._change_log.disrupt(f"alias changed for {value!r}")
 
     def register(self, oid: Oid) -> Oid:
         """Add an OID to the universe (idempotent); returns it."""
@@ -90,7 +155,21 @@ class Database:
         """Declare ``obj in_U cls``; returns False if already implied."""
         self._universe.add(obj)
         self._universe.add(cls)
-        return self.hierarchy.declare(obj, cls)
+        added = self.hierarchy.declare(obj, cls)
+        if added and self._change_log is not None:
+            self._change_log.record("+", ("isa", obj, cls))
+        return added
+
+    def retract_isa(self, obj: Oid, cls: Oid) -> bool:
+        """Remove a *declared* ``obj in_U cls`` edge; False when absent.
+
+        Only declared edges can be retracted; memberships implied by
+        transitivity through other edges survive.
+        """
+        removed = self.hierarchy.remove(obj, cls)
+        if removed and self._change_log is not None:
+            self._change_log.record("-", ("isa", obj, cls))
+        return removed
 
     def isa(self, obj: Oid, cls: Oid) -> bool:
         """``obj in_U cls``: declared closure or built-in value classes.
@@ -119,13 +198,42 @@ class Database:
                       args: tuple[Oid, ...], result: Oid) -> bool:
         """Store a scalar fact; see :meth:`ScalarMethodTable.put`."""
         self._register_app(method, subject, args, result)
-        return self.scalars.put(method, subject, args, result)
+        added = self.scalars.put(method, subject, args, result)
+        if added and self._change_log is not None:
+            self._change_log.record(
+                "+", ("scalar", method, subject, args, result))
+        return added
+
+    def retract_scalar(self, method: Oid, subject: Oid,
+                       args: tuple[Oid, ...] = ()) -> bool:
+        """Delete one stored scalar application; False when absent."""
+        result = self.scalars.get(method, subject, args)
+        if result is None:
+            return False
+        self.scalars.remove(method, subject, args)
+        if self._change_log is not None:
+            self._change_log.record(
+                "-", ("scalar", method, subject, args, result))
+        return True
 
     def assert_set_member(self, method: Oid, subject: Oid,
                           args: tuple[Oid, ...], member: Oid) -> bool:
         """Store a set membership fact."""
         self._register_app(method, subject, args, member)
-        return self.sets.add(method, subject, args, member)
+        added = self.sets.add(method, subject, args, member)
+        if added and self._change_log is not None:
+            self._change_log.record(
+                "+", ("set", method, subject, args, member))
+        return added
+
+    def retract_set_member(self, method: Oid, subject: Oid,
+                           args: tuple[Oid, ...], member: Oid) -> bool:
+        """Remove one stored set membership; False when absent."""
+        removed = self.sets.discard(method, subject, args, member)
+        if removed and self._change_log is not None:
+            self._change_log.record(
+                "-", ("set", method, subject, args, member))
+        return removed
 
     def _register_app(self, method: Oid, subject: Oid,
                       args: tuple[Oid, ...], result: Oid) -> None:
@@ -147,6 +255,62 @@ class Database:
         return self.sets.get(method, subject, args)
 
     # ------------------------------------------------------------------
+    # Change log (incremental view maintenance)
+    # ------------------------------------------------------------------
+
+    @property
+    def change_log(self) -> ChangeLog | None:
+        """The active :class:`ChangeLog`, or None when not recording."""
+        return self._change_log
+
+    def begin_changes(self) -> ChangeLog:
+        """Start (or continue) recording base-fact changes.
+
+        Returns the active :class:`ChangeLog`.  Idempotent: calling it
+        again while a healthy log is active returns the same log, so
+        several consumers (queries, the catalog) can share one
+        recording; a *disrupted* log is replaced by a fresh one
+        (consumers holding cursors into the old log rebuild once).  The
+        log rides the existing table version counters: every recorded
+        entry corresponds to exactly one ``data_version`` bump, which is
+        how consumers verify nothing mutated the tables directly.
+
+        Entries are kept until consumed: long-lived embedders should
+        either size for O(mutations) log growth, or periodically rotate
+        with ``end_changes()`` + ``begin_changes()`` (one full
+        re-derivation per consumer, then incremental again).
+        """
+        if self._change_log is None or self._change_log.disrupted:
+            self._change_log = ChangeLog(self.data_version())
+            self._catalog_cursor = None
+        return self._change_log
+
+    def end_changes(self) -> None:
+        """Stop recording; consumers fall back to full recomputation."""
+        self._change_log = None
+        self._catalog_cursor = None
+
+    def trim_changes(self) -> int:
+        """Drop the change-log prefix the catalog has already replayed.
+
+        Returns how many entries were discarded.  **Only safe when the
+        catalog is the log's sole cursor-holding consumer** -- dropping
+        entries rebases every cursor.  The incremental maintenance
+        layer uses this on *result* databases (whose private log feeds
+        nothing but their own catalog) to keep memory bounded across an
+        unbounded stream of updates; do not call it on a base database
+        that live queries hold cursors into.
+        """
+        log = self._change_log
+        cursor = self._catalog_cursor
+        if log is None or not cursor:
+            return 0
+        del log.entries[:cursor]
+        log.start_version += cursor
+        self._catalog_cursor = 0
+        return cursor
+
+    # ------------------------------------------------------------------
     # Planner support: data version and cardinality catalog
     # ------------------------------------------------------------------
 
@@ -165,13 +329,35 @@ class Database:
 
     def catalog(self):
         """The :class:`~repro.oodb.statistics.CardinalityCatalog` of this
-        database, rebuilt lazily when :meth:`data_version` changes."""
+        database, rebuilt lazily when :meth:`data_version` changes.
+
+        When a change log is active and proves it covers the gap since
+        the catalog was built, the catalog is *patched* from the logged
+        deltas (fact counts and totals adjust in place) instead of
+        being rebuilt by a full O(|facts|) scan.
+        """
         from repro.oodb.statistics import CardinalityCatalog
 
         version = self.data_version()
-        if self._catalog is None or self._catalog_version != version:
-            self._catalog = CardinalityCatalog.build(self)
+        if self._catalog is not None and self._catalog_version == version:
+            return self._catalog
+        log = self._change_log
+        if (self._catalog is not None and log is not None
+                and self._catalog_cursor is not None
+                and log.in_sync(version, log.cursor())
+                and log.in_sync(self._catalog_version,
+                                self._catalog_cursor)):
+            self._catalog.apply(log.since(self._catalog_cursor),
+                                universe=len(self._universe))
             self._catalog_version = version
+            self._catalog_cursor = log.cursor()
+            return self._catalog
+        self._catalog = CardinalityCatalog.build(self)
+        self._catalog_version = version
+        cursor = None
+        if log is not None and log.in_sync(version, log.cursor()):
+            cursor = log.cursor()
+        self._catalog_cursor = cursor
         return self._catalog
 
     # ------------------------------------------------------------------

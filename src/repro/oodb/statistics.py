@@ -150,6 +150,54 @@ class CardinalityCatalog:
         catalog.isa_classes = len(classes_seen)
         return catalog
 
+    # -- incremental patching (change-log replay) ---------------------------
+
+    def apply(self, entries, *, universe: int | None = None) -> None:
+        """Patch the catalog from change-log entries instead of rebuilding.
+
+        ``entries`` is a sequence of ``("+"/"-", fact)`` pairs in
+        :class:`~repro.oodb.database.ChangeLog` shape.  Fact counts,
+        per-kind totals, and isa edge counts adjust exactly; the
+        *distinct* subject/result counts stay as built (maintaining them
+        exactly would need per-method value multisets), which only skews
+        the planner's per-subject/per-result averages slightly -- these
+        are estimates, and the exact index bucket sizes the planner
+        prefers are read live from the tables anyway.
+        """
+        for sign, fact in entries:
+            step = 1 if sign == "+" else -1
+            kind = fact[0]
+            if kind == "scalar":
+                self._bump(self.scalar, fact[1], step, scalar=True)
+                self.scalar_total = max(0, self.scalar_total + step)
+            elif kind == "set":
+                self._bump(self.sets, fact[1], step, scalar=False)
+                self.set_total = max(0, self.set_total + step)
+            else:  # isa
+                self.isa_edges = max(0, self.isa_edges + step)
+        if universe is not None:
+            self.universe = universe
+
+    def _bump(self, table: dict, method: Oid, step: int,
+              *, scalar: bool) -> None:
+        from dataclasses import replace
+
+        card = table.get(method)
+        if card is None:
+            if step > 0:
+                table[method] = MethodCard(facts=1, apps=1,
+                                           subjects=1, results=1)
+                if not scalar:
+                    self.set_apps_total += 1
+            return
+        facts = max(0, card.facts + step)
+        # Application counts are exact for scalar methods (one fact per
+        # application); for set methods the membership delta may or may
+        # not open/close an application, so they are left untouched --
+        # an estimate-only skew, like the distinct counts.
+        apps = facts if scalar else card.apps
+        table[method] = replace(card, facts=facts, apps=apps)
+
     # -- derived averages ---------------------------------------------------
 
     @property

@@ -58,17 +58,31 @@ class Query:
     the facts the query can reach are derived; ``magic=False`` is the
     materialise-everything baseline (the full fixpoint is computed once
     and shared by every query).  Demand evaluations are memoised per
-    flattened conjunction and invalidated when the base database's facts
-    change.
+    flattened conjunction in a bounded LRU.
+
+    With ``incremental=True`` (the default) and an active change log on
+    the base database (:meth:`~repro.oodb.database.Database.begin_changes`),
+    memoised results are **maintained in place** when base facts change:
+    the recorded insert/delete deltas drive the counting /
+    delete-and-rederive passes of :mod:`repro.engine.incremental`
+    instead of re-running the fixpoint from scratch.  When maintenance
+    must fall back (negation or superset atoms over changed predicates,
+    isa deletions, un-rederivable heads) the result is re-derived in
+    full and the recorded reason is surfaced through
+    :meth:`explain`'s ``maintenance:`` section.  ``incremental=False``
+    restores the wholesale invalidate-on-any-change baseline (what the
+    B12 benchmark measures against).
     """
 
     #: Demand memo bound: each entry retains a materialised database
-    #: clone, so the cache is small FIFO rather than unbounded.
+    #: clone, so the cache is a small LRU rather than unbounded.
     _MAX_DEMAND_ENTRIES = 16
 
     def __init__(self, db: Database, *, compiled: bool = True,
                  program=None, magic: bool = True,
-                 seminaive: bool = True, limits=None) -> None:
+                 seminaive: bool = True, limits=None,
+                 incremental: bool = True,
+                 memo_entries: int | None = None) -> None:
         self._db = db
         self._plans = PlanCache()
         self._compiled = compiled
@@ -76,6 +90,9 @@ class Query:
         self._magic = magic
         self._seminaive = seminaive
         self._limits = limits
+        self._incremental = incremental
+        self._memo_entries = (self._MAX_DEMAND_ENTRIES
+                              if memo_entries is None else memo_entries)
         self._materialized: Database | None = None
         self._demand_dbs: dict[tuple, Database] = {}
         self._demand_engines: dict[tuple, object] = {}
@@ -83,9 +100,22 @@ class Query:
         #: so repeat queries skip planning and kernel lowering.
         self._result_caches: dict[int, PlanCache] = {}
         self._cache_version: int | None = None
+        #: Per-result maintenance bookkeeping (all keyed by result id):
+        #: the engine that produced it, its lazily-built maintainer, and
+        #: the (data version, change-log cursor) it is synced to.
+        self._engines: dict[int, object] = {}
+        self._maintainers: dict[int, object] = {}
+        self._memo_state: dict[int, tuple[int, int]] = {}
         #: The :class:`~repro.engine.magic.DemandEngine` behind the most
         #: recent demand evaluation (stats, demand report, rule plans).
         self.last_demand = None
+        #: The :class:`~repro.engine.incremental.MaintenanceReport` of
+        #: the most recent evaluation: what incremental maintenance did,
+        #: or why it fell back to full re-derivation.  None when the
+        #: memoised result was simply fresh (or on a first evaluation).
+        self.last_maintenance = None
+        #: Memoised results evicted from the LRU over this Query's life.
+        self.memo_evictions = 0
 
     @property
     def plan_cache(self) -> PlanCache:
@@ -101,24 +131,46 @@ class Query:
         if self._program is None:
             return self._db
         version = self._db.data_version()
-        if version != self._cache_version:
+        self.last_maintenance = None
+        if not self._incremental and version != self._cache_version:
+            # Baseline discipline: any base change invalidates every
+            # memoised result wholesale.
             self._materialized = None
             self._demand_dbs.clear()
             self._demand_engines.clear()
             self._result_caches.clear()
+            self._engines.clear()
+            self._maintainers.clear()
+            self._memo_state.clear()
             self._cache_version = version
         if not self._magic:
-            if self._materialized is None:
+            result = self._materialized
+            if result is not None and not self._fresh(result, version):
+                self._forget(result)
+                self._materialized = result = None
+            if result is None:
                 from repro.engine.fixpoint import Engine
 
-                self._materialized = Engine(
+                engine = Engine(
                     self._db, self._program, seminaive=self._seminaive,
                     limits=self._limits, compiled=self._compiled,
-                ).run()
-                self._result_caches[id(self._materialized)] = PlanCache()
-            return self._materialized
+                    record_support=self._record_support(),
+                )
+                result = engine.run()
+                self._materialized = result
+                self._register(result, engine, version)
+            return result
         key = tuple(atoms)
         result = self._demand_dbs.get(key)
+        if result is not None:
+            # LRU touch: re-insert at the most-recent end.
+            engine = self._demand_engines.pop(key)
+            self._demand_engines[key] = engine
+            self._demand_dbs.pop(key)
+            self._demand_dbs[key] = result
+            if not self._fresh(result, version):
+                self._evict(key)
+                result = None
         if result is None:
             from repro.engine.magic import DemandEngine
 
@@ -126,18 +178,92 @@ class Query:
                 self._db, self._program, key, magic=True,
                 seminaive=self._seminaive, limits=self._limits,
                 compiled=self._compiled,
+                record_support=self._record_support(),
             )
             result = engine.run()
-            while len(self._demand_dbs) >= self._MAX_DEMAND_ENTRIES:
-                oldest = next(iter(self._demand_dbs))
-                evicted = self._demand_dbs.pop(oldest)
-                self._result_caches.pop(id(evicted), None)
-                del self._demand_engines[oldest]
-            self._demand_dbs[key] = result
-            self._demand_engines[key] = engine
-            self._result_caches[id(result)] = PlanCache()
-        self.last_demand = self._demand_engines[key]
+            if self._memo_entries > 0:
+                while self._demand_dbs \
+                        and len(self._demand_dbs) >= self._memo_entries:
+                    self._evict(next(iter(self._demand_dbs)), count=True)
+                self._demand_dbs[key] = result
+                self._demand_engines[key] = engine
+                self._register(result, engine, version)
+            engine.stats.memo_evictions = self.memo_evictions
+            self.last_demand = engine
+        else:
+            self.last_demand = self._demand_engines[key]
         return result
+
+    def _record_support(self) -> bool:
+        """Whether a fresh evaluation should record derivation support.
+
+        Only worthwhile when maintenance can actually consume it: a
+        change log must already be active on the base.  A log begun
+        *after* this memo entry simply means one more full rebuild on
+        the first change -- the replacement run records support.
+        """
+        return self._incremental and self._db.change_log is not None
+
+    def _register(self, result: Database, engine, version: int) -> None:
+        """Track a freshly materialised result for reuse + maintenance."""
+        self._result_caches[id(result)] = PlanCache()
+        log = self._db.change_log
+        if (self._incremental and log is not None
+                and log.in_sync(version, log.cursor())):
+            self._memo_state[id(result)] = (version, log.cursor())
+            self._engines[id(result)] = engine
+        else:
+            # No provable change log (or incremental off): cursor -1
+            # means plain version comparison -- the entry stays fresh
+            # until any base change, then is discarded.
+            self._memo_state[id(result)] = (version, -1)
+
+    def _fresh(self, result: Database, version: int) -> bool:
+        """Whether ``result`` answers for the current base facts.
+
+        True when nothing changed, or when the change log covers the
+        gap and incremental maintenance brought the result up to date.
+        False means the caller must discard and re-derive (the
+        unapplied :class:`MaintenanceReport`, if any, stays on
+        :attr:`last_maintenance` with its fallback reason).
+        """
+        state = self._memo_state.get(id(result))
+        if state is None:
+            return False
+        old_version, cursor = state
+        if old_version == version:
+            return True
+        log = self._db.change_log
+        if (not self._incremental or log is None or cursor < 0
+                or not log.in_sync(version, log.cursor())
+                or not log.in_sync(old_version, cursor)):
+            return False
+        maintainer = self._maintainers.get(id(result))
+        if maintainer is None:
+            engine = self._engines.get(id(result))
+            if engine is None:
+                return False
+            maintainer = engine.maintainer(result, self._db)
+            self._maintainers[id(result)] = maintainer
+        report = maintainer.apply(log.since(cursor))
+        self.last_maintenance = report
+        if not report.applied:
+            return False
+        self._memo_state[id(result)] = (version, log.cursor())
+        return True
+
+    def _evict(self, key: tuple, *, count: bool = False) -> None:
+        """Drop one demand memo entry (and its maintenance state)."""
+        result = self._demand_dbs.pop(key)
+        self._demand_engines.pop(key, None)
+        self._forget(result)
+        if count:
+            self.memo_evictions += 1
+
+    def _forget(self, result: Database) -> None:
+        for registry in (self._result_caches, self._memo_state,
+                         self._maintainers, self._engines):
+            registry.pop(id(result), None)
 
     # ------------------------------------------------------------------
 
@@ -232,7 +358,10 @@ class Query:
         reason instead of raising.  In program mode with ``magic=True``
         the report also carries the demand section (adornments, seeds,
         rewritten vs. fallback rules) of the evaluation that produced
-        the answers.
+        the answers, and -- when this call found the memoised result
+        stale -- the ``maintenance:`` section describing what the
+        incremental update did, including the recorded fallback reason
+        when the result had to be re-derived in full instead.
         """
         literals = self._as_literals(query)
         atoms = flatten_conjunction(literals)
@@ -247,14 +376,17 @@ class Query:
             # Only planning rejections (unsafe negation, unready
             # comparisons) are rendered as a fallback; failures of the
             # program evaluation itself propagate from _db_for above.
-            return PlanReport(title=title, steps=(), est_rows=0.0,
-                              bindings=None, fallback=str(error))
-        if self._program is not None and self._magic \
-                and self.last_demand is not None:
-            from dataclasses import replace
+            report = PlanReport(title=title, steps=(), est_rows=0.0,
+                                bindings=None, fallback=str(error))
+        from dataclasses import replace
 
+        if self._program is not None and self._magic \
+                and self.last_demand is not None \
+                and report.fallback is None:
             report = replace(report,
                              demand=self.last_demand.demand_report())
+        if self._program is not None and self.last_maintenance is not None:
+            report = replace(report, maintenance=self.last_maintenance)
         return report
 
     def _cache_for(self, db: Database) -> PlanCache | None:
