@@ -1,0 +1,261 @@
+"""B13: set-at-a-time batched execution vs. tuple-at-a-time kernels.
+
+The batched executor (``engine/batch.py``) pushes whole *batches* of
+bindings through each plan step as per-slot columns: delta logs become
+the initial batch in one pass, joins run as bulk dict probes without
+per-tuple generator dispatch, and simple rule heads are asserted
+straight from the solution columns.  This bench measures that against
+the PR 2 tuple-at-a-time compiled executor (``executor="compiled"``) --
+both sides execute the *same* static plans, so the delta is pure
+execution-schedule overhead:
+
+- **transitive closure** (B3's chain workload): every semi-naive round
+  is one batch per delta position; head emission skips the per-binding
+  realizer walk (measured ~2.3x).
+- **company command chain** (B11's mentor-chain workload over the
+  company dataset): scalar-probe-heavy delta rounds (measured ~2.4x).
+- **inverse join** (B9's acceptance query, solve-level): batch columns
+  vs. tuple kernels on an ad-hoc conjunction (reported, not gated --
+  tuple-at-a-time remains the streaming default for queries).
+
+The acceptance gates require >= 2x at the largest sweep sizes on the
+two fixpoint workloads.  Answers, derived facts, per-step row counters,
+and virtual-object identity must be identical everywhere, and the
+batched executor must compose with ``magic=True`` demand evaluation and
+``incremental=True`` maintenance without parity regressions: batching
+changes the execution schedule, never the semantics.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report, sizes
+from repro.datasets import CompanyConfig, build_company
+from repro.datasets.genealogy import chain_family, desc_rules
+from repro.engine import Engine
+from repro.engine.solve import solve
+from repro.flogic.flatten import flatten_conjunction
+from repro.lang.parser import parse_program, parse_query
+from repro.query import Query
+
+CHAIN_SIZES = (48, 160)
+CHAINS = sizes(CHAIN_SIZES)
+GATED_CHAIN = max(CHAIN_SIZES)
+
+COMPANY_SIZES = (60, 200)
+COMPANIES = sizes(COMPANY_SIZES)
+GATED_COMPANY = max(COMPANY_SIZES)
+
+#: The speedup the batched executor must reach at the largest sizes.
+GATE = 2.0
+
+COMMAND_RULES = """
+    X[commandChain ->> {Y}] <- X[mentor -> Y].
+    X[commandChain ->> {Z}] <- X[commandChain ->> {Y}], Y[mentor -> Z].
+"""
+
+#: A virtual-creating variant: the path head forces per-row realisation
+#: (no batched emitter), pinning virtual identity across executors.
+VIRTUAL_RULES = COMMAND_RULES + """
+    X.rep[covers ->> {Y}] <- X[commandChain ->> {Y}].
+"""
+
+INVERSE_QUERY = ("Y[color -> red], Y[cylinders -> 8], "
+                 "Y[producedBy -> P], P[city -> detroit]")
+
+
+@pytest.fixture(scope="module", params=CHAINS)
+def chain_db(request):
+    db, _ = chain_family(request.param)
+    return request.param, db
+
+
+@pytest.fixture(scope="module", params=COMPANIES)
+def company_db(request):
+    size = request.param
+    db = build_company(CompanyConfig(employees=size, seed=61))
+    # A deep chain of command: every employee mentors the previous one,
+    # so the transitive closure is as large as the genealogy chain's.
+    for index in range(1, size):
+        db.add_object(f"p{index}", scalars={"mentor": f"p{index - 1}"})
+    return size, db
+
+
+def _best_of(fn, reps=5):
+    best = float("inf")
+    for _ in range(reps):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _materialised_facts(db):
+    return (set(db.scalars.items()),
+            {(key, frozenset(bucket)) for key, bucket in db.sets.items()},
+            set(db.hierarchy.declared_edges()))
+
+
+def _step_rows(engine):
+    """Per-step actual rows of every captured rule plan (EXPLAIN data)."""
+    return {report_.title: [step.actual_rows for step in report_.steps]
+            for report_ in engine.plan_reports()}
+
+
+# ---------------------------------------------------------------------------
+# Agreement: batching never changes answers, counters, or identity.
+# ---------------------------------------------------------------------------
+
+def test_identical_fixpoints_and_counters_on_chain(chain_db):
+    length, db = chain_db
+    batch = Engine(db, desc_rules(), executor="batch")
+    via_batch = batch.run()
+    tuple_ = Engine(db, desc_rules(), executor="compiled")
+    via_tuple = tuple_.run()
+    assert (_materialised_facts(via_batch)
+            == _materialised_facts(via_tuple))
+    assert batch.stats.derived_total == tuple_.stats.derived_total
+    assert batch.stats.tuples == tuple_.stats.tuples
+    assert _step_rows(batch) == _step_rows(tuple_)
+    assert batch.stats.batches > 0
+    assert tuple_.stats.batches == 0
+    report("B13-agreement", chain=length,
+           derived=batch.stats.derived_total,
+           batches=batch.stats.batches,
+           batch_rows=batch.stats.batch_rows)
+
+
+def test_virtual_identity_preserved_on_company(company_db):
+    size, db = company_db
+    program = parse_program(VIRTUAL_RULES)
+    via_batch = Engine(db, program, executor="batch").run()
+    via_tuple = Engine(db, program, executor="compiled").run()
+    # Structural fact equality covers VirtualOid identity: the batched
+    # run must create the same ``rep(p_i)`` objects, not fresh ones.
+    assert (_materialised_facts(via_batch)
+            == _materialised_facts(via_tuple))
+    assert via_batch.virtual_count() == via_tuple.virtual_count() > 0
+    report("B13-agreement", employees=size, workload="virtual-heads",
+           virtuals=via_batch.virtual_count())
+
+
+def test_inverse_join_answers_identical(company_db):
+    size, db = company_db
+    atoms = flatten_conjunction(parse_query(INVERSE_QUERY))
+    batch = {frozenset(b.items())
+             for b in solve(db, atoms, executor="batch")}
+    tuple_ = {frozenset(b.items())
+              for b in solve(db, atoms, executor="compiled")}
+    assert batch == tuple_
+    report("B13-agreement", employees=size, workload="inverse",
+           answers=len(batch))
+
+
+# ---------------------------------------------------------------------------
+# The acceptance gates: >= 2x at the largest sweep sizes.
+# ---------------------------------------------------------------------------
+
+def test_batch_beats_tuple_executor_on_transitive_closure(chain_db):
+    length, db = chain_db
+    batch = _best_of(
+        lambda: Engine(db, desc_rules(), executor="batch").run())
+    tuple_ = _best_of(
+        lambda: Engine(db, desc_rules(), executor="compiled").run())
+    probe = Engine(db, desc_rules(), executor="batch")
+    probe.run()
+    ratio = tuple_ / batch
+    report("B13-speedup", chain=length, workload="transitive-closure",
+           batch_ms=round(batch * 1000, 3),
+           tuple_ms=round(tuple_ * 1000, 3),
+           ratio=round(ratio, 2), gate=GATE,
+           batches=probe.stats.batches,
+           batch_rows=probe.stats.batch_rows,
+           step_rows=_step_rows(probe))
+    if length == GATED_CHAIN:
+        assert ratio >= GATE
+
+
+def test_batch_beats_tuple_executor_on_command_chains(company_db):
+    size, db = company_db
+    program = parse_program(COMMAND_RULES)
+    batch = _best_of(lambda: Engine(db, program, executor="batch").run())
+    tuple_ = _best_of(
+        lambda: Engine(db, program, executor="compiled").run())
+    probe = Engine(db, program, executor="batch")
+    probe.run()
+    ratio = tuple_ / batch
+    report("B13-speedup", employees=size, workload="command-chains",
+           batch_ms=round(batch * 1000, 3),
+           tuple_ms=round(tuple_ * 1000, 3),
+           ratio=round(ratio, 2), gate=GATE,
+           batches=probe.stats.batches,
+           batch_rows=probe.stats.batch_rows,
+           step_rows=_step_rows(probe))
+    if size == GATED_COMPANY:
+        assert ratio >= GATE
+
+
+def test_inverse_join_reported_not_gated(company_db):
+    size, db = company_db
+    atoms = flatten_conjunction(parse_query(INVERSE_QUERY))
+    from repro.engine.planner import PlanCache
+
+    cache_b = PlanCache()
+    batch = _best_of(
+        lambda: sum(1 for _ in solve(db, atoms, cache=cache_b,
+                                     executor="batch")))
+    cache_t = PlanCache()
+    tuple_ = _best_of(
+        lambda: sum(1 for _ in solve(db, atoms, cache=cache_t,
+                                     executor="compiled")))
+    report("B13-speedup", employees=size, workload="inverse",
+           batch_ms=round(batch * 1000, 3),
+           tuple_ms=round(tuple_ * 1000, 3),
+           ratio=round(tuple_ / batch, 2))
+
+
+# ---------------------------------------------------------------------------
+# Composition: batch + magic demand, batch + incremental maintenance.
+# ---------------------------------------------------------------------------
+
+def test_batch_composes_with_magic(company_db):
+    size, db = company_db
+    program = parse_program(COMMAND_RULES)
+    text = f"p{size - 1}[commandChain ->> {{Y}}]"
+    demand_batch = Query(db, program=program, magic=True,
+                         executor="batch")
+    demand_tuple = Query(db, program=program, magic=True,
+                         executor="compiled")
+    full = Query(db, program=program, magic=False)
+    keys = [a.sort_key() for a in full.all(text)]
+    assert [a.sort_key() for a in demand_batch.all(text)] == keys
+    assert [a.sort_key() for a in demand_tuple.all(text)] == keys
+    assert demand_batch.last_demand.stats.rules_rewritten > 0
+    report("B13-compose", employees=size, mode="magic", answers=len(keys))
+
+
+def test_batch_composes_with_incremental(company_db):
+    size, db = company_db
+    base = db.clone()
+    base.begin_changes()
+    program = parse_program(COMMAND_RULES)
+    text = "p5[commandChain ->> {Y}]"
+    maintained = Query(base, program=program, incremental=True,
+                       executor="batch")
+    assert maintained.all(text)  # prime the memo
+    mentor, p0 = base.obj("mentor"), base.obj("p0")
+    cycles = 0
+    for value in ("p5", "p7"):
+        base.retract_scalar(mentor, p0, ())
+        base.assert_scalar(mentor, p0, (), base.obj(value))
+        scratch = Query(base, program=program, magic=False,
+                        incremental=False)
+        assert ([a.sort_key() for a in maintained.all(text)]
+                == [a.sort_key() for a in scratch.all(text)])
+        if maintained.last_maintenance is not None:
+            assert maintained.last_maintenance.applied
+            cycles += 1
+    assert cycles > 0
+    report("B13-compose", employees=size, mode="incremental",
+           cycles=cycles)

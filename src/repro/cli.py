@@ -18,6 +18,12 @@ per-rule join plans the engine used.  ``--magic`` answers each query
 demand-driven: the program is magic-set rewritten per query so only the
 facts the query needs are derived (``--stats`` and ``--explain`` then
 describe the demand run, including the rewritten-vs-fallback rules).
+``--executor`` picks the plan executor: ``batch`` (set-at-a-time
+binding columns, the engine's fixpoint default), ``compiled``
+(tuple-at-a-time kernels, the ad-hoc query default), or
+``interpreted`` (the dict-binding walk); ``--stats`` rows ``batches``
+and ``batch_rows`` report how many batched executions ran and how many
+solution rows they produced (zero outside batched evaluation).
 The ``explain`` subcommand prints the plan of one query -- ordered
 atoms, estimated (and, unless ``--no-analyze`` is given, actual) rows,
 and the access path per atom; with ``--magic`` it also prints the
@@ -78,6 +84,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="answer each --query demand-driven (magic-set "
                              "rewriting) instead of materialising the full "
                              "fixpoint first")
+    parser.add_argument("--executor",
+                        choices=["batch", "compiled", "interpreted"],
+                        help="plan executor: batch (set-at-a-time columns, "
+                             "the engine default), compiled "
+                             "(tuple-at-a-time kernels, the query default), "
+                             "or interpreted (dict-binding walk)")
     return parser
 
 
@@ -100,6 +112,10 @@ def build_explain_parser() -> argparse.ArgumentParser:
                         help="demand-driven: magic-set rewrite --program for "
                              "this query and explain over the demanded "
                              "result (prints the demand section)")
+    parser.add_argument("--executor",
+                        choices=["batch", "compiled", "interpreted"],
+                        help="executor whose kernels the plan report names "
+                             "(and runs, unless --no-analyze)")
     return parser
 
 
@@ -134,7 +150,8 @@ def run(argv: Sequence[str] | None = None, *, out=None) -> int:
         if engine is not None and args.explain:
             print(engine.explain(), file=out)
         for text in args.query:
-            _print_rows(Query(db).all(text), text, out)
+            _print_rows(Query(db, executor=args.executor).all(text),
+                        text, out)
         if args.dump is not None:
             args.dump.write_text(serialize.dumps(db, indent=2))
             print(f"dumped database to {args.dump}", file=out)
@@ -153,7 +170,8 @@ def _run_magic(args, out) -> int:
     program = parse_program(args.program.read_text())
     limits = EngineLimits(max_iterations=args.max_iterations)
     query = Query(db, program=program, magic=True,
-                  seminaive=not args.naive, limits=limits)
+                  seminaive=not args.naive, limits=limits,
+                  executor=args.executor)
     for text in args.query:
         _print_rows(query.all(text), text, out)
         engine = query.last_demand
@@ -175,12 +193,14 @@ def _run_explain(argv: Sequence[str], out) -> int:
         db = _load_database(args)
         if args.magic:
             program = parse_program(args.program.read_text())
-            query = Query(db, program=program, magic=True)
+            query = Query(db, program=program, magic=True,
+                          executor=args.executor)
         elif args.program is not None:
             program = parse_program(args.program.read_text())
-            query = Query(Engine(db, program).run())
+            query = Query(Engine(db, program).run(),
+                          executor=args.executor)
         else:
-            query = Query(db)
+            query = Query(db, executor=args.executor)
         report = query.explain(args.query, analyze=not args.no_analyze)
         print(report.render(), file=out)
     except PathLogError as error:
@@ -203,7 +223,8 @@ def _evaluate(args, db: Database):
         return db, None
     program = parse_program(args.program.read_text())
     limits = EngineLimits(max_iterations=args.max_iterations)
-    engine = Engine(db, program, seminaive=not args.naive, limits=limits)
+    engine = Engine(db, program, seminaive=not args.naive, limits=limits,
+                    executor=args.executor)
     return engine.run(), engine
 
 

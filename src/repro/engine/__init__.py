@@ -11,6 +11,10 @@ applied"; this package supplies them:
   planned orders (with the fixed-penalty dynamic order as a baseline);
 - :mod:`repro.engine.compile` -- compiled plan execution: slot-based
   bindings and per-step kernels specialized at plan-build time;
+- :mod:`repro.engine.batch` -- set-at-a-time execution of the same
+  plans: batches of bindings as columns, bulk probes and scans per
+  step, batched delta seeding and head emission (the fixpoint engine's
+  default executor);
 - :mod:`repro.engine.explain` -- the EXPLAIN surface: structured plan
   reports with estimated vs. actual rows and access paths;
 - :mod:`repro.engine.normalize` -- rule normalisation: head scalarity
@@ -33,6 +37,12 @@ applied"; this package supplies them:
   profiling.
 """
 
+from repro.engine.batch import (
+    BatchDeltaPlan,
+    BatchPlan,
+    compile_batch_delta_plan,
+    compile_batch_plan,
+)
 from repro.engine.compile import (
     CompiledDeltaPlan,
     CompiledPlan,
@@ -59,6 +69,8 @@ from repro.engine.solve import solve
 from repro.engine.stratify import full_evaluation_closure, stratify
 
 __all__ = [
+    "BatchDeltaPlan",
+    "BatchPlan",
     "CompiledDeltaPlan",
     "CompiledPlan",
     "DemandEngine",
@@ -78,6 +90,8 @@ __all__ = [
     "SupportIndex",
     "adornment",
     "build_plan",
+    "compile_batch_delta_plan",
+    "compile_batch_plan",
     "compile_delta_plan",
     "compile_plan",
     "explain_conjunction",

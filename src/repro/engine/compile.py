@@ -35,6 +35,14 @@ itself.  :class:`CompiledDeltaPlan` gives semi-naive delta firing its
 own specialization: the delta position becomes a seed kernel scanning
 the realizer log directly into registers, chained into the compiled
 rest-of-body plan.
+
+This module is also the substrate of the **batched** executor
+(:mod:`repro.engine.batch`): the term-op lowering (``_term_op`` /
+``_apply_row``), slot assignment, and per-atom kernel dispatch
+(``_compile_step``) are shared, and atoms without a batched form run
+their compiled tuple kernel row-at-a-time inside a batch -- so every
+semantic detail (magic-predicate hiding, method-depth policy, bridge
+semantics) lives here exactly once.
 """
 
 from __future__ import annotations

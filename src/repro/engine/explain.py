@@ -173,14 +173,20 @@ def explain_conjunction(db: Database, atoms: Iterable[Atom],
                         *, cache: PlanCache | None = None,
                         analyze: bool = True,
                         compiled: bool = True,
+                        executor: str | None = None,
                         title: str = "") -> PlanReport:
     """Plan a conjunction and (by default) execute it to observe rows.
 
-    With ``compiled=True`` (the solver's default mode) the report names
-    the kernel the compiled executor selected for every step, and the
-    ``analyze`` run executes the compiled form -- what you see is what
-    runs.
+    The report names the kernel the selected executor would run for
+    every step -- the compiled tuple-at-a-time form by default, the
+    batched column form under ``executor="batch"`` -- and the
+    ``analyze`` run executes that same form, so what you see is what
+    runs.  In batched mode the per-step ``rows`` column reports the
+    batch sizes leaving each step (the same quantity the tuple
+    executors count per extension).
     """
+    from repro.engine.solve import resolve_executor
+
     atoms_t = tuple(atoms)
     initial = dict(binding or {})
     bound = relevant_bound(atoms_t, initial)
@@ -188,8 +194,13 @@ def explain_conjunction(db: Database, atoms: Iterable[Atom],
         plan = cache.get(db, atoms_t, bound)
     else:
         plan = build_plan(db, atoms_t, bound)
+    mode = resolve_executor(executor, compiled)
     kernels = None
-    if compiled:
+    if mode == "batch":
+        from repro.engine.batch import compile_batch_plan
+
+        kernels = compile_batch_plan(db, plan, policy).kernel_names
+    elif mode == "compiled":
         from repro.engine.compile import compile_plan
 
         kernels = compile_plan(db, plan, policy).kernel_names
@@ -198,7 +209,7 @@ def explain_conjunction(db: Database, atoms: Iterable[Atom],
     counters = [0] * len(plan.steps)
     bindings = sum(
         1 for _ in execute_plan(db, plan, initial, policy, counters,
-                                compiled=compiled)
+                                compiled=compiled, executor=executor)
     )
     return report_for_plan(plan, title=title, counters=counters,
                            bindings=bindings, kernels=kernels)

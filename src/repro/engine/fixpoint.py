@@ -22,13 +22,17 @@ Rule bodies are evaluated through the cost-based planner
 :class:`~repro.engine.planner.PlanCache` keyed on each rule body and its
 initially-bound variable set, so the greedy join-order search runs once
 per rule (and once per delta position), not once per binding or per
-fixpoint iteration.  With ``compiled=True`` (the default) each plan is
-additionally lowered once to its slot/kernel form
-(:mod:`repro.engine.compile`) -- full firings run the compiled plan
-projected onto the head variables, and each delta position gets its own
-compiled seed kernel scanning the realizer log directly into registers.
-The plans chosen for full evaluations are captured with their observed
-row counts and kernel names; :meth:`Engine.explain` renders them.
+fixpoint iteration.  By default each plan is additionally lowered to
+its **batched** column-at-a-time form (:mod:`repro.engine.batch`,
+``executor="batch"``): full firings push one batch through the whole
+body, semi-naive rounds turn the realizer log into the initial batch in
+a single pass, and simple rule heads are asserted straight from the
+solution columns.  ``executor="compiled"`` keeps the tuple-at-a-time
+slot/kernel form of :mod:`repro.engine.compile` (the B13 baseline), and
+``executor="interpreted"`` (equivalently ``compiled=False``) the
+dict-binding walk (B10's baseline).  The plans chosen for full
+evaluations are captured with their observed row counts and kernel
+names; :meth:`Engine.explain` renders them.
 
 Safeguards (the paper is silent on termination, so the engine is not):
 ``max_iterations`` per stratum, ``max_universe`` size, and
@@ -44,6 +48,7 @@ from typing import Iterable, Union
 
 from repro.core.ast import Program, Rule
 from repro.core.variables import variables_of
+from repro.engine.batch import DeltaIndex
 from repro.engine.compile import compile_delta_plan, compile_plan
 from repro.engine.explain import PlanReport, report_for_plan
 from repro.engine.heads import Derived, HeadRealizer
@@ -83,13 +88,16 @@ class EngineLimits:
 class _RulePlanRecord:
     """Captured plan and observed rows for one rule's full evaluations.
 
-    In compiled mode the record also owns the rule's execution entry
-    point (slot registers projected onto the head variables) and the
-    kernel names for EXPLAIN.
+    In compiled mode the record owns the rule's execution entry point
+    (slot registers projected onto the head variables) and the kernel
+    names for EXPLAIN; in batched mode it owns the column executor
+    (``execute_cols``), the head variable -> column mapping, and -- for
+    simple heads -- the batched head emitter.
     """
 
     __slots__ = ("rule", "plan", "counters", "bindings", "firings",
-                 "execute", "kernels")
+                 "execute", "kernels", "execute_cols", "head_pairs",
+                 "emit")
 
     def __init__(self, rule: NormalizedRule, plan: Plan) -> None:
         self.rule = rule
@@ -99,24 +107,32 @@ class _RulePlanRecord:
         self.firings = 0
         self.execute = None
         self.kernels: tuple[str, ...] | None = None
+        self.execute_cols = None
+        self.head_pairs: tuple = ()
+        self.emit = None
 
 
 class _DeltaPlanRecord:
     """One rule's delta position: its rest-of-body plan and counters.
 
-    ``counters`` is seed + per-step rows, filled by the compiled chain;
-    the interpreted executor cannot share it (its counters exclude the
-    seed position), so interpreted runs fill ``counters[0]`` plus the
-    separate ``rest_counters`` -- exactly one of the two stays zero.
+    ``counters`` is seed + per-step rows, filled by the compiled and
+    batched chains; the interpreted executor cannot share it (its
+    counters exclude the seed position), so interpreted runs fill
+    ``counters[0]`` plus the separate ``rest_counters`` -- exactly one
+    of the two stays zero.
     """
 
-    __slots__ = ("plan", "counters", "rest_counters", "execute")
+    __slots__ = ("plan", "counters", "rest_counters", "execute",
+                 "execute_cols", "head_pairs", "emit")
 
     def __init__(self, plan: Plan) -> None:
         self.plan = plan
         self.counters = [0] * (len(plan.steps) + 1)
         self.rest_counters = [0] * len(plan.steps)
         self.execute = None
+        self.execute_cols = None
+        self.head_pairs: tuple = ()
+        self.emit = None
 
     def tuples(self) -> int:
         """All per-step extensions observed through this position."""
@@ -137,6 +153,7 @@ class Engine:
                  limits: EngineLimits | None = None,
                  use_planner: bool = True,
                  compiled: bool = True,
+                 executor: str | None = None,
                  record_support: bool = False) -> None:
         self._db = db
         self._rules = normalize_program(program)
@@ -144,9 +161,21 @@ class Engine:
         self._limits = limits or EngineLimits()
         self._policy = MatchPolicy(self._limits.max_method_depth)
         self._use_planner = use_planner
-        # Compiled execution rides on the planner's static plans; the
-        # pre-planner dynamic order has nothing to compile.
-        self._compiled = compiled and use_planner
+        # Kernel execution (batched or tuple-at-a-time) rides on the
+        # planner's static plans; the pre-planner dynamic order has
+        # nothing to compile.  The fixpoint defaults to the batched
+        # executor -- evaluation is set-semantics, so the batch
+        # schedule (breadth-first per rule firing) cannot change the
+        # result -- with ``executor="compiled"`` / ``compiled=False``
+        # as the tuple-at-a-time and interpreted baselines.
+        if executor is None:
+            executor = "batch" if compiled else "interpreted"
+        else:
+            from repro.engine.solve import resolve_executor
+
+            executor = resolve_executor(executor, compiled)
+        self._executor = executor if use_planner else "interpreted"
+        self._compiled = use_planner and self._executor != "interpreted"
         # Semi-naive eligibility is a static property of each rule body;
         # classify once here instead of once per rule per iteration.
         self._rule_traits = {
@@ -193,7 +222,11 @@ class Engine:
                                  strata=len(strata))
         # One plan per (rule body, bound set) for the whole run: the
         # engine owns its snapshot, so version tracking is unnecessary.
+        # The cardinality catalog is likewise snapshotted once -- plans
+        # built mid-run (delta positions) should not each pay a catalog
+        # rebuild against the facts derived so far.
         self._plan_cache = PlanCache(track_version=False)
+        self._run_catalog = work.catalog()
         self._plan_records = {}
         self._delta_records = {}
         realizer = HeadRealizer(
@@ -265,6 +298,12 @@ class Engine:
             isa_in_delta = delta is not None and any(
                 entry[0] == "isa" for entry in delta
             )
+            delta_fire = delta
+            if delta is not None and self._executor == "batch":
+                # One lazily-partitioned view of the log serves every
+                # rule position this iteration (each constant-method
+                # seed reads only its own bucket).
+                delta_fire = DeltaIndex(delta)
             traits = self._rule_traits
             for rule in rules:
                 pure, reads_isa = traits[id(rule)]
@@ -273,7 +312,7 @@ class Engine:
                 elif isa_in_delta and reads_isa:
                     self._fire_full(db, rule, realizer)
                 else:
-                    self._fire_delta(db, rule, realizer, delta)
+                    self._fire_delta(db, rule, realizer, delta_fire)
             if len(db) > self._limits.max_universe:
                 raise ResourceLimitError(
                     f"universe grew past {self._limits.max_universe} "
@@ -295,11 +334,25 @@ class Engine:
             return
         record = self._plan_records.get(id(rule))
         if record is None:
-            plan = self._plan_cache.get(db, rule.body, frozenset())
+            plan = self._plan_cache.get(db, rule.body, frozenset(),
+                                        self._run_catalog)
             record = _RulePlanRecord(rule, plan)
             # Facts (empty bodies) have nothing to compile: the
             # interpreted walk yields the empty binding once.
-            if self._compiled and plan.steps:
+            if self._executor == "batch" and plan.steps:
+                from repro.engine.batch import (
+                    compile_batch_plan,
+                    head_emitter,
+                )
+
+                batch = compile_batch_plan(db, plan, self._policy)
+                record.kernels = batch.kernel_names
+                record.execute_cols, record.head_pairs = \
+                    batch.column_executor(record.counters,
+                                          project=variables_of(rule.head))
+                record.emit = head_emitter(db, rule, batch.slots)
+                self.stats.plans_compiled += 1
+            elif self._compiled and plan.steps:
                 compiled = compile_plan(db, plan, self._policy)
                 record.kernels = compiled.kernel_names
                 record.execute = compiled.executor(
@@ -309,6 +362,12 @@ class Engine:
         else:
             plan = record.plan
             self._plan_cache.hits += 1
+        if record.execute_cols is not None:
+            cols, nrows = record.execute_cols({})
+            record.bindings += nrows
+            record.firings += 1
+            self._realize_columns(db, rule, record, cols, nrows, realizer)
+            return
         if record.execute is not None:
             solutions = list(record.execute({}))
         else:
@@ -323,6 +382,10 @@ class Engine:
     def _fire_delta(self, db: Database, rule: NormalizedRule,
                     realizer: HeadRealizer, delta: list[Derived]) -> None:
         solutions: list[Binding] = []
+        # Batched positions are materialised as columns first and
+        # realised after the position loop, preserving the invariant
+        # that the solver never iterates indexes the realizer mutates.
+        batches: list[tuple[_DeltaPlanRecord, list, int]] = []
         for position, atom in enumerate(rule.body):
             if not isinstance(atom, (ScalarAtom, SetMemberAtom)):
                 continue
@@ -335,9 +398,24 @@ class Engine:
                 record = self._delta_records.get(key)
                 if record is None:
                     bound = relevant_bound(rest, atom.variables())
-                    plan = self._plan_cache.get(db, rest, bound)
+                    plan = self._plan_cache.get(db, rest, bound,
+                                                self._run_catalog)
                     record = _DeltaPlanRecord(plan)
-                    if self._compiled:
+                    if self._executor == "batch":
+                        from repro.engine.batch import (
+                            compile_batch_delta_plan,
+                            head_emitter,
+                        )
+
+                        batch = compile_batch_delta_plan(db, atom, plan,
+                                                         self._policy)
+                        record.execute_cols, record.head_pairs = \
+                            batch.column_executor(
+                                record.counters,
+                                project=variables_of(rule.head))
+                        record.emit = head_emitter(db, rule, batch.slots)
+                        self.stats.plans_compiled += 1
+                    elif self._compiled:
                         compiled = compile_delta_plan(db, atom, plan,
                                                       self._policy)
                         record.execute = compiled.executor(
@@ -347,7 +425,10 @@ class Engine:
                     self._delta_records[key] = record
                 else:
                     self._plan_cache.hits += 1
-            if record is not None and record.execute is not None:
+            if record is not None and record.execute_cols is not None:
+                cols, nrows = record.execute_cols(delta)
+                batches.append((record, cols, nrows))
+            elif record is not None and record.execute is not None:
                 solutions.extend(record.execute(delta))
             elif record is not None:
                 counters = record.counters
@@ -364,6 +445,36 @@ class Engine:
                                              self._policy):
                     solutions.extend(solve(db, list(rest), seed, self._policy,
                                            use_planner=False))
+        if solutions:
+            self._realize_all(db, rule, solutions, realizer)
+        for record, cols, nrows in batches:
+            self._realize_columns(db, rule, record, cols, nrows, realizer)
+
+    def _realize_columns(self, db: Database, rule: NormalizedRule,
+                         record, cols: list, nrows: int,
+                         realizer: HeadRealizer) -> None:
+        """Realise one batch of solution columns, set-at-a-time when simple.
+
+        Simple heads are asserted straight from the columns by the
+        record's precompiled emitter; complex heads (and
+        support-recording runs, which observe per-binding) fall back to
+        per-row realisation through :meth:`_realize_all`.
+        """
+        self.stats.batches += 1
+        self.stats.batch_rows += nrows
+        if not nrows:
+            return
+        support = self.support
+        if record.emit is not None and (
+                support is None or not support.tracks(rule)):
+            record.emit(cols, nrows, realizer.log)
+            self.stats.firings += nrows
+            return
+        pairs = record.head_pairs
+        solutions = [
+            {var: cols[slot][i] for var, slot in pairs}
+            for i in range(nrows)
+        ]
         self._realize_all(db, rule, solutions, realizer)
 
     def _realize_all(self, db: Database, rule: NormalizedRule,
@@ -400,6 +511,7 @@ class Engine:
         return Maintainer(
             result, base, self._rules, policy=self._policy,
             support=self.support, compiled=self._compiled,
+            executor=self._executor,
             use_planner=self._use_planner, stats=self.stats,
             max_virtual_depth=self._limits.max_virtual_depth,
         )

@@ -430,13 +430,16 @@ def net_changes(changes) -> tuple[list[Fact], list[Fact]]:
 class _DeltaExec:
     """Cached delta machinery for one (rule, body position)."""
 
-    __slots__ = ("atom", "rest", "plan", "execute")
+    __slots__ = ("atom", "rest", "plan", "execute", "execute_cols",
+                 "head_pairs")
 
     def __init__(self, atom, rest, plan, execute) -> None:
         self.atom = atom
         self.rest = rest
         self.plan = plan
         self.execute = execute  #: compiled executor or None (interpreted)
+        self.execute_cols = None  #: batched column executor, if batched
+        self.head_pairs: tuple = ()
 
 
 class Maintainer:
@@ -457,6 +460,7 @@ class Maintainer:
                  policy: MatchPolicy,
                  support: SupportIndex | None = None,
                  compiled: bool = True, use_planner: bool = True,
+                 executor: str | None = None,
                  stats=None, max_virtual_depth: int = 32) -> None:
         self._db = db
         self._base = base
@@ -464,7 +468,14 @@ class Maintainer:
         self._policy = policy
         self._support = support
         self._use_planner = use_planner
-        self._compiled = compiled and use_planner
+        # The delta passes reuse the engine's batched kernels when the
+        # owning engine ran batched; goal-directed existence checks
+        # (``_body_solvable``) stay tuple-at-a-time either way -- they
+        # want the first solution, not all of them.
+        if executor is None:
+            executor = "compiled" if compiled else "interpreted"
+        self._executor = executor if use_planner else "interpreted"
+        self._compiled = use_planner and self._executor != "interpreted"
         self._stats = stats
         self._strata = stratify(self._rules)
         self._stratum_of: dict[int, int] = {}
@@ -849,14 +860,30 @@ class Maintainer:
             bound = relevant_bound(rest, atom.variables())
             plan = self._plan_cache.get(self._db, rest, bound)
             execute = None
-            if self._compiled:
+            record = _DeltaExec(atom, rest, plan, execute)
+            if self._executor == "batch":
+                from repro.engine.batch import compile_batch_delta_plan
+
+                record.execute_cols, record.head_pairs = \
+                    compile_batch_delta_plan(
+                        self._db, atom, plan, self._policy
+                    ).column_executor(None, project=variables_of(rule.head))
+            elif self._compiled:
                 from repro.engine.compile import compile_delta_plan
 
-                execute = compile_delta_plan(
+                record.execute = compile_delta_plan(
                     self._db, atom, plan, self._policy
                 ).executor(None, project=variables_of(rule.head))
-            record = _DeltaExec(atom, rest, plan, execute)
             self._delta_execs[key] = record
+        if record.execute_cols is not None:
+            cols, nrows = record.execute_cols(batch)
+            pairs = record.head_pairs
+            if self._stats is not None:
+                self._stats.batches += 1
+                self._stats.batch_rows += nrows
+            for i in range(nrows):
+                yield {var: cols[slot][i] for var, slot in pairs}
+            return
         if record.execute is not None:
             yield from record.execute(batch)
             return

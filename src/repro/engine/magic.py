@@ -781,6 +781,7 @@ class DemandEngine:
                  query: QueryLike, *, magic: bool = True,
                  seminaive: bool = True, limits=None,
                  use_planner: bool = True, compiled: bool = True,
+                 executor: str | None = None,
                  record_support: bool = False) -> None:
         from repro.engine.fixpoint import Engine
 
@@ -796,7 +797,7 @@ class DemandEngine:
             run_rules = rules
         self._engine = Engine(db, run_rules, seminaive=seminaive,
                               limits=limits, use_planner=use_planner,
-                              compiled=compiled,
+                              compiled=compiled, executor=executor,
                               record_support=record_support)
         self.result: Database | None = None
 

@@ -31,11 +31,13 @@ version changes (or never, for an engine run that owns its snapshot).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.core import builtins as _builtins
 from repro.core.ast import Name, Var
+from repro.engine.matching import MAGIC_METHOD_PREFIX
 from repro.flogic.atoms import (
     Atom,
     ComparisonAtom,
@@ -401,12 +403,17 @@ def build_plan(db: Database, atoms: Sequence[Atom],
 
     Repeatedly schedules the cheapest remaining atom under the abstract
     binding (the set of bound variables), then marks the variables that
-    atom binds.  Raises :class:`~repro.errors.EvaluationError` when only
-    blocked negations remain (the conjunction is unsafe).  This check is
-    *static*: a structurally unsafe conjunction is rejected at plan time
-    even when its positive part happens to match no data -- stricter
-    than the legacy dynamic order, which only floundered when execution
-    actually reached the negations.
+    atom binds.  Cost ties break towards the atom expected to yield
+    *fewer rows*: the batched executor's dominant cost is the width of
+    the intermediate binding batch (and the tuple executors equally
+    prefer narrow intermediate results), so among equally cheap steps
+    the more selective one goes first.  Raises
+    :class:`~repro.errors.EvaluationError` when only blocked negations
+    remain (the conjunction is unsafe).  This check is *static*: a
+    structurally unsafe conjunction is rejected at plan time even when
+    its positive part happens to match no data -- stricter than the
+    legacy dynamic order, which only floundered when execution actually
+    reached the negations.
     """
     catalog = catalog if catalog is not None else db.catalog()
     remaining = list(atoms)
@@ -421,7 +428,8 @@ def build_plan(db: Database, atoms: Sequence[Atom],
                 est = negation_estimate(remaining, index, atom, bound_now)
             else:
                 est = estimate_atom(db, catalog, atom, bound_now)
-            if best is None or est.cost < best.cost:
+            if best is None or est.cost < best.cost or (
+                    est.cost == best.cost and est.rows < best.rows):
                 best = est
                 best_index = index
         assert best is not None
@@ -444,6 +452,67 @@ def build_plan(db: Database, atoms: Sequence[Atom],
 
 
 # ---------------------------------------------------------------------------
+# Structural plan keys (adornment-aware reuse)
+# ---------------------------------------------------------------------------
+
+def _canon_node(node, mapping: dict) -> object:
+    """A hashable signature of one AST/atom node, variables abstracted.
+
+    Variables become first-occurrence indexes (alpha-renaming), and
+    magic demand predicates (``magic$kind$name$adornment``) drop their
+    adornment suffix, so the rule-body variants the magic rewrite emits
+    for different adornments of one predicate -- and plain conjunctions
+    that differ only in variable naming -- share a signature.  All
+    other name constants are kept verbatim: estimates probe exact index
+    buckets for constants, so conjunctions over different objects must
+    not share plans.
+    """
+    if isinstance(node, Var):
+        return ("v", mapping.setdefault(node, len(mapping)))
+    if isinstance(node, Name):
+        value = node.value
+        if isinstance(value, str) and value.startswith(MAGIC_METHOD_PREFIX):
+            return ("magic", *value.split("$")[1:-1])
+        return ("n", value)
+    if isinstance(node, tuple):
+        return tuple(_canon_node(item, mapping) for item in node)
+    if dataclasses.is_dataclass(node) and not isinstance(node, type):
+        return (type(node).__name__,
+                *(_canon_node(getattr(node, f.name), mapping)
+                  for f in dataclasses.fields(node)))
+    return node
+
+
+def structural_key(atoms: Sequence[Atom],
+                   bound: Iterable[Var]) -> tuple:
+    """The (conjunction, bound-set) structure of a planning problem.
+
+    Two keys coincide exactly when the conjunctions are equal up to
+    variable renaming and magic-adornment naming and bind the same
+    positions -- the planner would walk the same search space, so one
+    greedy search can serve both (see :class:`PlanCache`).
+    """
+    mapping: dict[Var, int] = {}
+    signature = tuple(_canon_node(atom, mapping) for atom in atoms)
+    canon_bound = frozenset(mapping[v] for v in bound if v in mapping)
+    return (signature, canon_bound)
+
+
+def _order_of(atoms: tuple[Atom, ...], plan: Plan) -> tuple[int, ...] | None:
+    """Each plan step's index into ``atoms`` (duplicates disambiguated)."""
+    positions: dict[Atom, list[int]] = {}
+    for index, atom in enumerate(atoms):
+        positions.setdefault(atom, []).append(index)
+    order: list[int] = []
+    for step in plan.steps:
+        indexes = positions.get(step.atom)
+        if not indexes:  # pragma: no cover - steps are a permutation
+            return None
+        order.append(indexes.pop(0))
+    return tuple(order)
+
+
+# ---------------------------------------------------------------------------
 # Plan cache
 # ---------------------------------------------------------------------------
 
@@ -456,30 +525,60 @@ class PlanCache:
     ``track_version=False``: it owns its evaluation snapshot and keeps
     one plan per rule body for the whole run, so the greedy search is
     not re-run for every binding (or every fixpoint iteration).
+
+    Behind the exact key sits a **structural** layer keyed by
+    :func:`structural_key`: when a conjunction misses exactly but an
+    alpha-equivalent one (same atoms up to variable renaming and magic
+    adornment naming, same bound positions) was planned before, its
+    step order and estimates are replayed onto the new atoms instead of
+    re-running the greedy search.  This is what lets the magic
+    rewrite's rule-body variants for different adornments -- and
+    re-parsed queries with fresh variable names -- share planning work;
+    ``structural_hits`` counts these replays (they also count as
+    ``hits``).  Safety transfers with the order: a stored order exists
+    only for conjunctions the planner accepted, and alpha-equivalence
+    preserves which schedules keep negations and comparisons bound.
     """
 
     def __init__(self, *, track_version: bool = True,
-                 max_entries: int = 1024) -> None:
+                 max_entries: int = 1024,
+                 structural: bool = True) -> None:
         self._track_version = track_version
         self._max_entries = max_entries
+        self._structural = structural
         self._plans: dict[tuple, Plan] = {}
+        #: structural key -> (step order, per-step (cost, rows, access)).
+        self._orders: dict[tuple, tuple] = {}
         self._version: int | None = None
         self.hits = 0
         self.misses = 0
+        self.structural_hits = 0
         self.invalidations = 0
 
     def __len__(self) -> int:
         return len(self._plans)
 
     def invalidate(self) -> None:
-        """Drop every cached plan."""
-        if self._plans:
+        """Drop every cached plan (and structural order)."""
+        if self._plans or self._orders:
             self.invalidations += 1
         self._plans.clear()
+        self._orders.clear()
+
+    def _store(self, key: tuple, plan: Plan) -> None:
+        if len(self._plans) >= self._max_entries:
+            self._plans.clear()
+        self._plans[key] = plan
 
     def get(self, db: Database, atoms: tuple[Atom, ...],
-            bound: frozenset[Var]) -> Plan:
-        """The cached plan for this key, built on first use."""
+            bound: frozenset[Var],
+            catalog: CardinalityCatalog | None = None) -> Plan:
+        """The cached plan for this key, built on first use.
+
+        ``catalog`` pins the statistics a cache miss plans against; the
+        engine passes its start-of-run snapshot so mid-run derivations
+        do not trigger catalog rebuilds between rule plannings.
+        """
         if self._track_version:
             version = db.data_version()
             if version != self._version:
@@ -491,9 +590,32 @@ class PlanCache:
         if plan is not None:
             self.hits += 1
             return plan
+        skey = structural_key(atoms, bound) if self._structural else None
+        if skey is not None:
+            entry = self._orders.get(skey)
+            if entry is not None:
+                order, estimates = entry
+                plan = Plan(
+                    tuple(PlanStep(atoms[index], cost, rows, access)
+                          for index, (cost, rows, access)
+                          in zip(order, estimates)),
+                    frozenset(bound),
+                )
+                self.hits += 1
+                self.structural_hits += 1
+                self._store(key, plan)
+                return plan
         self.misses += 1
-        plan = build_plan(db, atoms, bound)
-        if len(self._plans) >= self._max_entries:
-            self._plans.clear()
-        self._plans[key] = plan
+        plan = build_plan(db, atoms, bound, catalog)
+        if skey is not None:
+            order = _order_of(atoms, plan)
+            if order is not None:
+                if len(self._orders) >= self._max_entries:
+                    self._orders.clear()
+                self._orders[skey] = (
+                    order,
+                    tuple((step.cost, step.rows, step.access)
+                          for step in plan.steps),
+                )
+        self._store(key, plan)
         return plan

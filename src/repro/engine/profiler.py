@@ -32,8 +32,14 @@ class EngineStats:
     #: Plans lowered to slot/kernel form (full bodies + delta positions).
     plans_compiled: int = 0
     #: Per-step extensions (tuples) observed while executing rule plans;
-    #: the per-kernel row counters summed over the run.
+    #: the per-kernel row counters summed over the run.  Comparable
+    #: across the batch, compiled, and interpreted executors.
     tuples: int = 0
+    #: Batched executions performed (one per rule firing or delta
+    #: position pushed through the set-at-a-time executor).
+    batches: int = 0
+    #: Solution rows those batched executions produced.
+    batch_rows: int = 0
     #: Magic seed facts asserted for a demand-driven run (0 = full run).
     magic_seeds: int = 0
     #: Rule variants guarded by magic atoms in the evaluated program.
@@ -80,6 +86,8 @@ class EngineStats:
             "plan-hits": self.plan_cache_hits,
             "kernels": self.plans_compiled,
             "tuples": self.tuples,
+            "batches": self.batches,
+            "batch_rows": self.batch_rows,
             "magic-seeds": self.magic_seeds,
             "rules-rewritten": self.rules_rewritten,
             "rules-fallback": self.rules_fallback,

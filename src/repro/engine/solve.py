@@ -13,9 +13,13 @@ all of its variables.
 Plans execute in their **compiled** form by default: variables become
 integer slots, bindings a fixed-size register list, and each step a
 kernel closure specialized at compile time (see
-:mod:`repro.engine.compile`).  ``compiled=False`` keeps the interpreted
-dict-binding walk (B10's baseline); the pre-planner behaviour (dynamic
-greedy ordering with fixed penalty constants) is kept as :func:`solve`'s
+:mod:`repro.engine.compile`).  ``executor="batch"`` runs the same plan
+set-at-a-time instead -- whole batches of bindings flow through
+column-oriented kernels (:mod:`repro.engine.batch`), which the fixpoint
+engine uses by default; ``compiled=False`` (equivalently
+``executor="interpreted"``) keeps the interpreted dict-binding walk
+(B10's baseline); and the pre-planner behaviour (dynamic greedy
+ordering with fixed penalty constants) is kept as :func:`solve`'s
 ``use_planner=False`` mode (B9's baseline).  This is the evaluator
 behind both rule bodies and the public query API.
 """
@@ -67,21 +71,45 @@ def atom_cost(db: Database, atom: Atom, binding: Binding) -> float:
 # Planned execution
 # ---------------------------------------------------------------------------
 
+#: Valid ``executor=`` values for planned execution.
+EXECUTORS = ("batch", "compiled", "interpreted")
+
+
+def resolve_executor(executor: str | None, compiled: bool) -> str:
+    """Map the (executor, legacy compiled flag) pair onto one executor.
+
+    ``executor=None`` preserves the pre-batch API: ``compiled=True``
+    selects the tuple-at-a-time compiled kernels, ``compiled=False`` the
+    interpreted dict-binding walk.
+    """
+    if executor is None:
+        return "compiled" if compiled else "interpreted"
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+        )
+    return executor
+
+
 def solve(db: Database, atoms: Iterable[Atom],
           binding: Binding | None = None,
           policy: MatchPolicy = UNRESTRICTED,
           *, cache: PlanCache | None = None,
           plan: Plan | None = None,
           use_planner: bool = True,
-          compiled: bool = True) -> Iterator[Binding]:
+          compiled: bool = True,
+          executor: str | None = None) -> Iterator[Binding]:
     """Yield every binding satisfying all ``atoms`` (extends ``binding``).
 
     ``cache`` memoises plans across calls (the engine and the query API
     each own one); ``plan`` short-circuits planning entirely;
-    ``compiled=False`` runs the plan through the interpreted dict-binding
-    executor instead of its compiled slot/kernel form (B10's baseline);
-    and ``use_planner=False`` falls back to the legacy dynamic greedy
-    order with fixed penalty constants (B9's baseline).
+    ``executor`` selects how the plan runs -- ``"batch"`` (set-at-a-time
+    columns), ``"compiled"`` (tuple-at-a-time kernels), or
+    ``"interpreted"`` (the dict-binding walk, B10's baseline); the
+    legacy ``compiled=False`` flag is shorthand for
+    ``executor="interpreted"``; and ``use_planner=False`` falls back to
+    the dynamic greedy order with fixed penalty constants (B9's
+    baseline).
     """
     initial = dict(binding or {})
     if not use_planner:
@@ -94,22 +122,36 @@ def solve(db: Database, atoms: Iterable[Atom],
             plan = cache.get(db, atoms_t, bound)
         else:
             plan = build_plan(db, atoms_t, bound)
-    yield from execute_plan(db, plan, initial, policy, compiled=compiled)
+    yield from execute_plan(db, plan, initial, policy, compiled=compiled,
+                            executor=executor)
 
 
 def execute_plan(db: Database, plan: Plan,
                  binding: Binding | None = None,
                  policy: MatchPolicy = UNRESTRICTED,
                  counters: list[int] | None = None,
-                 *, compiled: bool = True) -> Iterator[Binding]:
+                 *, compiled: bool = True,
+                 executor: str | None = None) -> Iterator[Binding]:
     """Run a static plan; ``counters[i]`` accumulates step i's actual rows.
 
-    With ``compiled=True`` (the default) the plan is lowered once to its
-    slot/kernel form (:func:`repro.engine.compile.compile_plan`, memoised
-    on the plan) and executed without per-tuple dispatch or dict copies.
-    ``compiled=False`` keeps the interpreted dict-binding walk.
+    ``executor="compiled"`` (the default, via the legacy ``compiled``
+    flag) lowers the plan once to its slot/kernel form
+    (:func:`repro.engine.compile.compile_plan`, memoised on the plan)
+    and executes it without per-tuple dispatch or dict copies;
+    ``executor="batch"`` lowers it to column-at-a-time steps instead
+    (:func:`repro.engine.batch.compile_batch_plan`) and pushes whole
+    binding batches through each step; ``executor="interpreted"`` keeps
+    the dict-binding walk.  Per-step counters are comparable across all
+    three executors.
     """
-    if compiled:
+    mode = resolve_executor(executor, compiled)
+    if mode == "batch":
+        from repro.engine.batch import compile_batch_plan
+
+        yield from compile_batch_plan(db, plan, policy).execute(binding,
+                                                                counters)
+        return
+    if mode == "compiled":
         from repro.engine.compile import compile_plan
 
         yield from compile_plan(db, plan, policy).execute(binding, counters)

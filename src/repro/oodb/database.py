@@ -19,6 +19,7 @@ The built-in ``self`` method is interpreted here, so
 
 from __future__ import annotations
 
+import weakref
 from typing import Iterable, Iterator, Mapping
 
 from repro.core import builtins as _builtins
@@ -47,20 +48,28 @@ class ChangeLog:
     entry, and the consumer then falls back to a full rebuild).  An
     alias change rebinds what a name denotes everywhere -- that is not
     expressible as a fact delta, so it *disrupts* the log permanently.
+
+    Cursors are **absolute**: they keep counting from the log's birth
+    even after :meth:`trim_to` drops an already-replayed prefix
+    (``offset`` remembers how many entries were discarded), so held
+    cursors never need rebasing when the log is trimmed.
     """
 
-    __slots__ = ("start_version", "entries", "disrupted")
+    __slots__ = ("start_version", "entries", "disrupted", "offset")
 
     def __init__(self, start_version: int) -> None:
         #: ``data_version()`` of the database when recording started.
         self.start_version = start_version
         self.entries: list[ChangeEntry] = []
+        #: Entries discarded from the front by :meth:`trim_to`; absolute
+        #: cursor ``c`` lives at ``entries[c - offset]``.
+        self.offset = 0
         #: Reason the log can no longer prove completeness, or None.
         self.disrupted: str | None = None
 
     def cursor(self) -> int:
         """The current replay position (snapshot with the data version)."""
-        return len(self.entries)
+        return self.offset + len(self.entries)
 
     def record(self, sign: str, fact: tuple) -> None:
         """Append one applied change (``sign`` is ``"+"`` or ``"-"``)."""
@@ -72,18 +81,47 @@ class ChangeLog:
             self.disrupted = reason
 
     def in_sync(self, version: int, cursor: int) -> bool:
-        """Whether ``entries[:cursor]`` fully explains ``version``.
+        """Whether the first ``cursor`` changes fully explain ``version``.
 
         True iff the log is undisrupted and exactly ``cursor`` mutations
         happened since ``start_version`` -- i.e. nothing changed the
-        database behind the log's back up to that point.
+        database behind the log's back up to that point.  (The check
+        needs only arithmetic, so it stays provable for cursors below
+        the trimmed prefix.)
         """
         return (self.disrupted is None
                 and self.start_version + cursor == version)
 
     def since(self, cursor: int) -> list[ChangeEntry]:
-        """The changes recorded after ``cursor``, oldest first."""
-        return self.entries[cursor:]
+        """The changes recorded after ``cursor``, oldest first.
+
+        Raises :class:`ValueError` for cursors below the trimmed
+        prefix: entries there are gone, and silently returning the
+        surviving suffix would let an unregistered consumer apply an
+        incomplete delta.  Long-lived cursors must be registered with
+        :meth:`Database.hold_changes` so trimming preserves them.
+        """
+        if cursor < self.offset:
+            raise ValueError(
+                f"change-log cursor {cursor} is below the trimmed "
+                f"prefix ({self.offset}); register long-lived cursors "
+                f"with Database.hold_changes so trim_changes keeps "
+                f"their entries"
+            )
+        return self.entries[cursor - self.offset:]
+
+    def trim_to(self, cursor: int) -> int:
+        """Discard entries below the absolute ``cursor``; returns count.
+
+        The caller (:meth:`Database.trim_changes`) guarantees ``cursor``
+        is at or below every live consumer's replay position.
+        """
+        drop = min(cursor, self.cursor()) - self.offset
+        if drop <= 0:
+            return 0
+        del self.entries[:drop]
+        self.offset += drop
+        return drop
 
 
 class Database:
@@ -101,6 +139,10 @@ class Database:
         self._catalog_cursor: int | None = None
         self._alias_version = 0
         self._change_log: ChangeLog | None = None
+        # Change-log cursors held by live consumers (memoising queries),
+        # weakly keyed so a dropped consumer stops pinning the log.
+        self._change_holds: weakref.WeakKeyDictionary = \
+            weakref.WeakKeyDictionary()
 
     # ------------------------------------------------------------------
     # Names and universe
@@ -275,40 +317,63 @@ class Database:
         entry corresponds to exactly one ``data_version`` bump, which is
         how consumers verify nothing mutated the tables directly.
 
-        Entries are kept until consumed: long-lived embedders should
-        either size for O(mutations) log growth, or periodically rotate
-        with ``end_changes()`` + ``begin_changes()`` (one full
-        re-derivation per consumer, then incremental again).
+        Entries are kept until every registered consumer has replayed
+        them: memoising queries publish their replay cursors through
+        :meth:`hold_changes`, and :meth:`trim_changes` drops the prefix
+        below the lowest held cursor, so a long-lived embedder's log
+        stays bounded by the *lag* of its slowest consumer rather than
+        by total mutation count.
         """
         if self._change_log is None or self._change_log.disrupted:
             self._change_log = ChangeLog(self.data_version())
             self._catalog_cursor = None
+            # Held cursors referred to the replaced log; consumers
+            # re-register after their next (full) rebuild.
+            self._change_holds.clear()
         return self._change_log
 
     def end_changes(self) -> None:
         """Stop recording; consumers fall back to full recomputation."""
         self._change_log = None
         self._catalog_cursor = None
+        self._change_holds.clear()
+
+    def hold_changes(self, holder: object, cursor: int) -> None:
+        """Register ``holder``'s lowest un-replayed change-log cursor.
+
+        Consumers that keep cursors into the log (memoising queries)
+        call this whenever their low-water mark advances; the reference
+        is weak, so a garbage-collected holder stops pinning the log
+        automatically.  Entries below the lowest held cursor become
+        eligible for :meth:`trim_changes`.
+        """
+        self._change_holds[holder] = cursor
+
+    def release_changes(self, holder: object) -> None:
+        """Drop ``holder``'s cursor registration (idempotent)."""
+        self._change_holds.pop(holder, None)
 
     def trim_changes(self) -> int:
-        """Drop the change-log prefix the catalog has already replayed.
+        """Drop the change-log prefix every live consumer has replayed.
 
-        Returns how many entries were discarded.  **Only safe when the
-        catalog is the log's sole cursor-holding consumer** -- dropping
-        entries rebases every cursor.  The incremental maintenance
-        layer uses this on *result* databases (whose private log feeds
-        nothing but their own catalog) to keep memory bounded across an
-        unbounded stream of updates; do not call it on a base database
-        that live queries hold cursors into.
+        The low-water mark is the minimum of the catalog's replay
+        cursor and every cursor registered through
+        :meth:`hold_changes`; entries below it can never be requested
+        again and are discarded (cursors are absolute, so nothing needs
+        rebasing).  Returns how many entries were dropped.  A consumer
+        that keeps a cursor *without* registering it gets a
+        :class:`ValueError` from ``since()`` once trimming passes its
+        cursor -- loud, rather than an incomplete delta.
         """
         log = self._change_log
-        cursor = self._catalog_cursor
-        if log is None or not cursor:
+        if log is None:
             return 0
-        del log.entries[:cursor]
-        log.start_version += cursor
-        self._catalog_cursor = 0
-        return cursor
+        low = log.cursor()
+        if self._catalog_cursor is not None:
+            low = min(low, self._catalog_cursor)
+        for cursor in self._change_holds.values():
+            low = min(low, cursor)
+        return log.trim_to(low)
 
     # ------------------------------------------------------------------
     # Planner support: data version and cardinality catalog

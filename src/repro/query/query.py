@@ -82,10 +82,17 @@ class Query:
                  program=None, magic: bool = True,
                  seminaive: bool = True, limits=None,
                  incremental: bool = True,
+                 executor: str | None = None,
                  memo_entries: int | None = None) -> None:
         self._db = db
         self._plans = PlanCache()
         self._compiled = compiled
+        #: None defers to the per-layer defaults: ad-hoc conjunction
+        #: solving stays tuple-at-a-time (answers stream lazily -- an
+        #: ``ask()`` stops at the first solution), while program
+        #: evaluation uses the engine's batched default.  An explicit
+        #: value pins both layers.
+        self._executor = executor
         self._program = program
         self._magic = magic
         self._seminaive = seminaive
@@ -154,6 +161,7 @@ class Query:
                 engine = Engine(
                     self._db, self._program, seminaive=self._seminaive,
                     limits=self._limits, compiled=self._compiled,
+                    executor=self._executor,
                     record_support=self._record_support(),
                 )
                 result = engine.run()
@@ -177,7 +185,7 @@ class Query:
             engine = DemandEngine(
                 self._db, self._program, key, magic=True,
                 seminaive=self._seminaive, limits=self._limits,
-                compiled=self._compiled,
+                compiled=self._compiled, executor=self._executor,
                 record_support=self._record_support(),
             )
             result = engine.run()
@@ -217,6 +225,23 @@ class Query:
             # means plain version comparison -- the entry stays fresh
             # until any base change, then is discarded.
             self._memo_state[id(result)] = (version, -1)
+        self._update_hold()
+
+    def _update_hold(self) -> None:
+        """Publish this query's change-log low-water mark to the base.
+
+        The smallest cursor any memo entry still needs is registered
+        with the base database (:meth:`Database.hold_changes`), so
+        :meth:`Database.trim_changes` can drop the log prefix no live
+        consumer can ever replay again -- the log stays bounded across
+        an unbounded stream of maintain cycles.
+        """
+        cursors = [cursor for _, cursor in self._memo_state.values()
+                   if cursor >= 0]
+        if cursors:
+            self._db.hold_changes(self, min(cursors))
+        else:
+            self._db.release_changes(self)
 
     def _fresh(self, result: Database, version: int) -> bool:
         """Whether ``result`` answers for the current base facts.
@@ -250,6 +275,10 @@ class Query:
         if not report.applied:
             return False
         self._memo_state[id(result)] = (version, log.cursor())
+        # Every sync state advanced past the consumed slice; move the
+        # low-water mark and trim the base log behind it.
+        self._update_hold()
+        self._db.trim_changes()
         return True
 
     def _evict(self, key: tuple, *, count: bool = False) -> None:
@@ -264,6 +293,7 @@ class Query:
         for registry in (self._result_caches, self._memo_state,
                          self._maintainers, self._engines):
             registry.pop(id(result), None)
+        self._update_hold()
 
     # ------------------------------------------------------------------
 
@@ -280,7 +310,8 @@ class Query:
         db = self._db_for(atoms)
         seen: set[tuple] = set()
         for binding in solve(db, atoms, {}, cache=self._cache_for(db),
-                             compiled=self._compiled):
+                             compiled=self._compiled,
+                             executor=self._executor):
             row = {name: binding[Var(name)] for name in wanted}
             key = tuple(row[name] for name in wanted)
             if key in seen:
@@ -303,7 +334,7 @@ class Query:
         atoms = flatten_conjunction(literals)
         db = self._db_for(atoms)
         for _ in solve(db, atoms, {}, cache=self._cache_for(db),
-                       compiled=self._compiled):
+                       compiled=self._compiled, executor=self._executor):
             return True
         return False
 
@@ -329,7 +360,8 @@ class Query:
         found: set[Oid] = set()
         for binding in solve(db, flattened.atoms, {},
                              cache=self._cache_for(db),
-                             compiled=self._compiled):
+                             compiled=self._compiled,
+                             executor=self._executor):
             if isinstance(flattened.term, Var):
                 found.add(binding[flattened.term])
             else:
@@ -371,7 +403,8 @@ class Query:
             report = explain_conjunction(db, atoms, {},
                                          cache=self._cache_for(db),
                                          analyze=analyze, title=title,
-                                         compiled=self._compiled)
+                                         compiled=self._compiled,
+                                         executor=self._executor)
         except EvaluationError as error:
             # Only planning rejections (unsafe negation, unready
             # comparisons) are rendered as a fallback; failures of the

@@ -1,0 +1,307 @@
+"""Batched-executor tests: column kernels, delta seeds, head emitters."""
+
+import pytest
+
+from repro.core.ast import Var
+from repro.engine import Engine
+from repro.engine.batch import (
+    compile_batch_delta_plan,
+    compile_batch_plan,
+    head_emitter,
+)
+from repro.engine.compile import compile_delta_plan, compile_plan
+from repro.engine.normalize import normalize_program
+from repro.engine.planner import build_plan, relevant_bound
+from repro.engine.solve import execute_plan, resolve_executor, solve
+from repro.errors import EvaluationError, ScalarConflictError
+from repro.flogic.atoms import SetMemberAtom
+from repro.flogic.flatten import flatten_conjunction
+from repro.lang.parser import parse_program, parse_query
+from repro.oodb.database import Database
+from repro.oodb.oid import NamedOid
+
+from repro.core.ast import Name
+
+
+def n(value):
+    return NamedOid(value)
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.subclass("automobile", "vehicle")
+    for i, color in enumerate(["red", "blue", "red"]):
+        db.add_object(f"car{i}", classes=["automobile"],
+                      scalars={"color": color, "cylinders": 4 if i else 6})
+    db.add_object("p1", classes=["employee"], scalars={"age": 30},
+                  sets={"vehicles": ["car0", "car1"]})
+    db.add_object("p2", classes=["employee"], scalars={"age": 40},
+                  sets={"vehicles": ["car2"]})
+    return db
+
+
+def atoms_for(text):
+    return flatten_conjunction(parse_query(text))
+
+
+def batched(db, text, bound=()):
+    atoms = atoms_for(text)
+    plan = build_plan(db, atoms, bound)
+    return compile_batch_plan(db, plan), plan, atoms
+
+
+def answer_set(bindings):
+    return {frozenset(b.items()) for b in bindings}
+
+
+class TestKernelSelection:
+    def test_probe_and_filter_kernels(self, db):
+        compiled, _, _ = batched(db, "Y[color -> blue], X[vehicles ->> {Y}]")
+        assert compiled.kernel_names == ("batch scalar mr-probe",
+                                         "batch set mm-probe")
+
+    def test_subject_navigation_kernels(self, db):
+        atoms = atoms_for("X[vehicles ->> {V}], V[color -> C]")
+        plan = build_plan(db, atoms, {Var("X")})
+        compiled = compile_batch_plan(db, plan)
+        assert compiled.kernel_names == ("batch set iter", "batch scalar get")
+
+    def test_isa_and_compare_kernels(self, db):
+        compiled, _, _ = batched(db, "X : employee, X.age >= 35")
+        assert "batch isa members" in compiled.kernel_names
+        assert "batch compare" in compiled.kernel_names
+
+    def test_unbatchable_steps_fall_back_rowwise(self, db):
+        compiled, _, _ = batched(
+            db, "X[vehicles ->> p2..vehicles], not X[age -> 30]")
+        assert any(name.startswith("batch row superset")
+                   for name in compiled.kernel_names)
+        assert any(name.startswith("batch row negation")
+                   for name in compiled.kernel_names)
+
+    def test_builtin_self_kernel(self, db):
+        compiled, _, _ = batched(db, "p1.self[Y]")
+        assert compiled.kernel_names[0] == "batch self fwd"
+
+    def test_memoised_per_database_and_policy(self, db):
+        _, plan, _ = batched(db, "X[vehicles ->> {V}]")
+        assert compile_batch_plan(db, plan) is compile_batch_plan(db, plan)
+        # The tuple-at-a-time lowering coexists under its own cache key.
+        assert compile_plan(db, plan) is not compile_batch_plan(db, plan)
+
+
+class TestExecutionParity:
+    QUERIES = [
+        "X : employee..vehicles[color -> red]",
+        "X : employee..vehicles[color -> C]",
+        "X : employee, X.age >= 35",
+        "X[color -> X]",                     # repeated var: scan, not probe
+        "X : X",                             # repeated var in isa
+        "X.self[Y]",                         # builtin over the universe
+        "p3[M ->> {V}], V[color -> red]",    # empty subject bucket
+        "X[vehicles ->> p2..vehicles]",      # superset bridge
+        "X : employee, not X[age -> 30]",    # negation bridge
+        "X[M ->> {V}]",                      # unbound method enumeration
+        "Y[cylinders -> 6]",                 # single probe
+    ]
+
+    def test_same_answers_as_other_executors(self, db):
+        for text in self.QUERIES:
+            atoms = atoms_for(text)
+            batch = answer_set(solve(db, atoms, executor="batch"))
+            tuple_ = answer_set(solve(db, atoms, executor="compiled"))
+            interp = answer_set(solve(db, atoms, compiled=False))
+            assert batch == tuple_ == interp, text
+
+    def test_counters_match_tuple_executor(self, db):
+        for text in self.QUERIES:
+            atoms = atoms_for(text)
+            plan = build_plan(db, atoms, ())
+            batch_counters = [0] * len(plan.steps)
+            tuple_counters = [0] * len(plan.steps)
+            list(execute_plan(db, plan, {}, counters=batch_counters,
+                              executor="batch"))
+            list(execute_plan(db, plan, {}, counters=tuple_counters,
+                              executor="compiled"))
+            assert batch_counters == tuple_counters, text
+
+    def test_seed_binding_extends_rows(self, db):
+        atoms = atoms_for("X[vehicles ->> {V}], V[color -> C]")
+        bound = relevant_bound(atoms, {Var("X")})
+        plan = build_plan(db, atoms, bound)
+        compiled = compile_batch_plan(db, plan)
+        rows = list(compiled.execute({Var("X"): n("p1")}))
+        assert all(row[Var("X")] == n("p1") for row in rows)
+        assert {row[Var("V")] for row in rows} == {n("car0"), n("car1")}
+
+    def test_missing_seed_variable_raises(self, db):
+        _, plan, _ = batched(db, "X[age -> A]", bound={Var("X")})
+        compiled = compile_batch_plan(db, plan)
+        with pytest.raises(EvaluationError, match="seed binding"):
+            list(compiled.execute({}))
+        with pytest.raises(EvaluationError, match="no seed binding"):
+            list(compiled.execute(None))
+
+    def test_extra_seed_variable_raises(self, db):
+        _, plan, _ = batched(db, "X[age -> A]", bound={Var("X")})
+        compiled = compile_batch_plan(db, plan)
+        with pytest.raises(EvaluationError, match="also binds"):
+            list(compiled.execute({Var("X"): n("p1"), Var("A"): n(30)}))
+
+    def test_projection_restricts_output(self, db):
+        compiled, _, _ = batched(db, "X[vehicles ->> {V}], V[color -> C]")
+        rows = list(compiled.executor(project=(Var("X"),))(None))
+        assert rows and all(set(row) == {Var("X")} for row in rows)
+
+    def test_resolve_executor_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            resolve_executor("vectorized", True)
+
+
+class TestDeltaPlans:
+    def test_delta_columns_match_tuple_delta(self, db):
+        atom = SetMemberAtom(Name("vehicles"), Var("X"), (), Var("V"))
+        rest = atoms_for("V[color -> C]")
+        bound = relevant_bound(rest, atom.variables())
+        plan = build_plan(db, rest, bound)
+        batch = compile_batch_delta_plan(db, atom, plan)
+        tuple_ = compile_delta_plan(db, atom, plan)
+        delta = [
+            ("set", n("vehicles"), n("p1"), (), n("car0")),
+            ("scalar", n("age"), n("p1"), (), n(30)),  # wrong kind
+            ("set", n("vehicles"), n("p2"), (), n("car2")),
+        ]
+        assert (answer_set(batch.execute(delta))
+                == answer_set(tuple_.execute(delta)))
+        batch_counters = [0] * (len(plan.steps) + 1)
+        tuple_counters = [0] * (len(plan.steps) + 1)
+        list(batch.executor(batch_counters)(delta))
+        list(tuple_.executor(tuple_counters)(delta))
+        assert batch_counters == tuple_counters == [2, 2]
+
+    def test_whole_log_becomes_one_batch(self, db):
+        atom = SetMemberAtom(Name("vehicles"), Var("X"), (), Var("V"))
+        rest = atoms_for("V[color -> C]")
+        plan = build_plan(db, rest, relevant_bound(rest, atom.variables()))
+        batch = compile_batch_delta_plan(db, atom, plan)
+        execute, out = batch.column_executor()
+        delta = [("set", n("vehicles"), n("p1"), (), n("car0")),
+                 ("set", n("vehicles"), n("p1"), (), n("car1"))]
+        cols, nrows = execute(delta)
+        assert nrows == 2
+        slots = dict(out)
+        assert cols[slots[Var("X")]] == [n("p1"), n("p1")]
+
+
+class TestHeadEmitters:
+    def rule_for(self, text):
+        return normalize_program(parse_program(text))[0]
+
+    def test_simple_set_head_emits_directly(self, db):
+        rule = self.rule_for("X[reach ->> {V}] <- X[vehicles ->> {V}].")
+        slots = {Var("X"): 0, Var("V"): 1}
+        emit = head_emitter(db, rule, slots)
+        assert emit is not None
+        log = []
+        emit([[n("p1"), n("p2")], [n("car0"), n("car2")]], 2, log)
+        assert log == [("set", n("reach"), n("p1"), (), n("car0")),
+                       ("set", n("reach"), n("p2"), (), n("car2"))]
+        assert db.sets.get(n("reach"), n("p1")) == frozenset({n("car0")})
+        # Re-emitting asserts nothing new and logs nothing.
+        log2 = []
+        emit([[n("p1")], [n("car0")]], 1, log2)
+        assert log2 == []
+
+    def test_multi_template_head_emits_all_templates(self, db):
+        rule = self.rule_for(
+            "X[marked ->> {V, car0}] <- X[vehicles ->> {V}].")
+        slots = {Var("X"): 0, Var("V"): 1}
+        emit = head_emitter(db, rule, slots)
+        assert emit is not None
+        log = []
+        emit([[n("p1")], [n("car1")]], 1, log)
+        assert ("set", n("marked"), n("p1"), (), n("car1")) in log
+        assert ("set", n("marked"), n("p1"), (), n("car0")) in log
+
+    def test_isa_head_emits_memberships(self, db):
+        rule = self.rule_for("X : flagged <- X[age -> A].")
+        slots = {Var("X"): 0, Var("A"): 1}
+        emit = head_emitter(db, rule, slots)
+        assert emit is not None
+        log = []
+        emit([[n("p1")], [n(30)]], 1, log)
+        assert log == [("isa", n("p1"), n("flagged"))]
+        assert db.isa(n("p1"), n("flagged"))
+
+    def test_nested_molecule_head_has_no_emitter(self, db):
+        rule = self.rule_for(
+            "X : flagged[why -> V] <- X[vehicles ->> {V}].")
+        assert head_emitter(db, rule, {Var("X"): 0, Var("V"): 1}) is None
+
+    def test_virtual_creating_head_has_no_emitter(self, db):
+        rule = self.rule_for("X.boss[city -> C] <- X[age -> C].")
+        assert head_emitter(db, rule, {Var("X"): 0, Var("C"): 1}) is None
+
+    def test_builtin_identity_head_has_no_emitter(self, db):
+        rule = self.rule_for("X[self -> X] <- X[age -> A].")
+        assert head_emitter(db, rule, {Var("X"): 0, Var("A"): 1}) is None
+
+    def test_scalar_conflicts_still_raise(self, db):
+        rule = self.rule_for("X[age -> V] <- X[cylinders -> V].")
+        slots = {Var("X"): 0, Var("V"): 1}
+        emit = head_emitter(db, rule, slots)
+        with pytest.raises(ScalarConflictError):
+            emit([[n("p1")], [n(99)]], 1, [])
+
+
+class TestEngineIntegration:
+    PROGRAM = """
+        X[reach ->> {Y}] <- X[next -> Y].
+        X[reach ->> {Z}] <- X[reach ->> {Y}], Y[next -> Z].
+    """
+
+    @pytest.fixture
+    def chain_db(self):
+        db = Database()
+        for i in range(8):
+            db.add_object(f"n{i}", scalars={"next": f"n{i + 1}"})
+        return db
+
+    def _sets(self, db):
+        return {(key, frozenset(bucket)) for key, bucket in db.sets.items()}
+
+    def test_batch_is_the_engine_default(self, chain_db):
+        engine = Engine(chain_db, parse_program(self.PROGRAM))
+        engine.run()
+        assert engine._executor == "batch"
+        assert engine.stats.batches > 0
+        assert engine.stats.batch_rows > 0
+
+    def test_fixpoint_and_tuple_counters_match_compiled(self, chain_db):
+        program = parse_program(self.PROGRAM)
+        batch = Engine(chain_db, program, executor="batch")
+        via_batch = batch.run()
+        tuple_ = Engine(chain_db, program, executor="compiled")
+        via_tuple = tuple_.run()
+        assert self._sets(via_batch) == self._sets(via_tuple)
+        assert batch.stats.tuples == tuple_.stats.tuples
+        assert batch.stats.firings == tuple_.stats.firings
+        assert batch.stats.derived_total == tuple_.stats.derived_total
+        assert tuple_.stats.batches == 0
+
+    def test_explain_names_batch_kernels(self, chain_db):
+        engine = Engine(chain_db, parse_program(self.PROGRAM))
+        engine.run()
+        report = engine.plan_reports()[0]
+        assert report.compiled
+        assert all(step.kernel.startswith("batch")
+                   for step in report.steps)
+
+    def test_support_recording_still_observes_per_binding(self, chain_db):
+        chain_db.begin_changes()
+        engine = Engine(chain_db, parse_program(self.PROGRAM),
+                        record_support=True)
+        engine.run()
+        assert engine.support is not None
+        assert engine.support.counts  # non-recursive rule was tracked

@@ -1,0 +1,170 @@
+"""Base change-log trimming: absolute cursors and the low-water mark."""
+
+import pytest
+
+from repro.oodb.database import ChangeLog, Database
+from repro.oodb.oid import NamedOid
+from repro.lang.parser import parse_program
+from repro.query import Query
+
+
+def n(value):
+    return NamedOid(value)
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.add_object("p1", sets={"kids": ["c1", "c2"]})
+    db.add_object("p2", sets={"kids": ["c3"]})
+    return db
+
+
+class TestAbsoluteCursors:
+    def test_cursor_and_since_survive_trimming(self, db):
+        log = db.begin_changes()
+        db.assert_set_member(n("kids"), n("p1"), (), n("x1"))
+        db.assert_set_member(n("kids"), n("p1"), (), n("x2"))
+        db.assert_set_member(n("kids"), n("p1"), (), n("x3"))
+        assert log.cursor() == 3
+        assert log.trim_to(2) == 2
+        assert log.offset == 2
+        assert log.cursor() == 3
+        # The absolute cursor 2 still addresses the surviving entry.
+        assert log.since(2) == [
+            ("+", ("set", n("kids"), n("p1"), (), n("x3")))]
+        assert log.since(3) == []
+
+    def test_in_sync_is_arithmetic_over_absolute_cursors(self, db):
+        version = db.data_version()
+        log = db.begin_changes()
+        db.assert_set_member(n("kids"), n("p1"), (), n("x1"))
+        db.assert_set_member(n("kids"), n("p1"), (), n("x2"))
+        log.trim_to(1)
+        # Trimming drops entries, never the proof: cursor 2 still
+        # explains exactly two bumps past the start version.
+        assert log.in_sync(version + 2, 2)
+        assert not log.in_sync(version + 2, 1)
+
+    def test_trim_to_never_drops_past_the_end(self):
+        log = ChangeLog(0)
+        log.record("+", ("isa", n("a"), n("b")))
+        assert log.trim_to(99) == 1
+        assert log.offset == 1
+        assert log.cursor() == 1
+
+    def test_since_below_the_trimmed_prefix_raises(self, db):
+        # An unregistered consumer must fail loudly, not apply an
+        # incomplete delta: entries below the offset are gone.
+        log = db.begin_changes()
+        db.assert_set_member(n("kids"), n("p1"), (), n("x1"))
+        db.assert_set_member(n("kids"), n("p1"), (), n("x2"))
+        log.trim_to(1)
+        with pytest.raises(ValueError, match="hold_changes"):
+            log.since(0)
+        assert len(log.since(1)) == 1
+
+
+class TestLowWaterMark:
+    def test_trim_respects_held_cursors(self, db):
+        class Holder:
+            pass
+
+        log = db.begin_changes()
+        holder = Holder()
+        db.assert_set_member(n("kids"), n("p1"), (), n("x1"))
+        db.assert_set_member(n("kids"), n("p1"), (), n("x2"))
+        db.hold_changes(holder, 1)
+        db.catalog()  # catalog replays to cursor 2
+        assert db.trim_changes() == 1  # only below the held cursor
+        assert log.offset == 1
+        db.hold_changes(holder, 2)
+        assert db.trim_changes() == 1
+        assert log.offset == 2
+
+    def test_release_unpins_the_log(self, db):
+        class Holder:
+            pass
+
+        log = db.begin_changes()
+        holder = Holder()
+        db.assert_set_member(n("kids"), n("p1"), (), n("x1"))
+        db.hold_changes(holder, 0)
+        db.catalog()
+        assert db.trim_changes() == 0
+        db.release_changes(holder)
+        assert db.trim_changes() == 1
+        assert log.entries == []
+
+    def test_dead_holders_stop_pinning(self, db):
+        class Holder:
+            pass
+
+        db.begin_changes()
+        holder = Holder()
+        db.assert_set_member(n("kids"), n("p1"), (), n("x1"))
+        db.hold_changes(holder, 0)
+        db.catalog()
+        del holder  # weak registry: collection releases the hold
+        assert db.trim_changes() == 1
+
+    def test_new_log_clears_stale_holds(self, db):
+        class Holder:
+            pass
+
+        holder = Holder()
+        log = db.begin_changes()
+        db.hold_changes(holder, 0)
+        log.disrupt("test")
+        replacement = db.begin_changes()
+        assert replacement is not log
+        db.assert_set_member(n("kids"), n("p1"), (), n("x1"))
+        db.catalog()
+        # The stale cursor referred to the dead log; it must not pin
+        # the replacement.
+        assert db.trim_changes() == 1
+
+
+class TestQueryKeepsTheBaseLogBounded:
+    PROGRAM = parse_program("X[d1 ->> {Y}] <- X[kids ->> {Y}].")
+
+    def test_log_stops_growing_under_repeated_maintain_cycles(self, db):
+        log = db.begin_changes()
+        query = Query(db, program=self.PROGRAM)
+        assert query.count("p1[d1 ->> {Y}]") == 2
+        peak = 0
+        for cycle in range(25):
+            member = n(f"m{cycle}")
+            db.assert_set_member(n("kids"), n("p1"), (), member)
+            assert query.count("p1[d1 ->> {Y}]") == 3
+            assert query.last_maintenance is not None
+            assert query.last_maintenance.applied
+            db.retract_set_member(n("kids"), n("p1"), (), member)
+            assert query.count("p1[d1 ->> {Y}]") == 2
+            peak = max(peak, len(log.entries))
+        # Every maintain cycle consumed its slice and advanced the
+        # low-water mark: the retained log stays a small constant, not
+        # O(total mutations).
+        assert len(log.entries) <= 2
+        assert peak <= 4
+        assert log.offset == log.cursor() - len(log.entries) > 0
+
+    def test_a_lagging_query_pins_then_releases_the_log(self, db):
+        log = db.begin_changes()
+        fast = Query(db, program=self.PROGRAM)
+        slow = Query(db, program=self.PROGRAM)
+        assert fast.count("p1[d1 ->> {Y}]") == 2
+        assert slow.count("p2[d1 ->> {Y}]") == 1
+        slow_cursor = log.cursor()
+        for cycle in range(6):
+            db.assert_set_member(n("kids"), n("p1"), (), n(f"f{cycle}"))
+            assert fast.count("p1[d1 ->> {Y}]") == 3 + cycle
+        # ``slow`` has not looked since its registration: its cursor
+        # pins the log even though ``fast`` is fully caught up.
+        assert log.offset <= slow_cursor
+        assert len(log.entries) >= 6
+        # Once the lagging consumer catches up, its next maintained
+        # query releases everything it was holding.
+        assert slow.count("p2[d1 ->> {Y}]") == 1
+        assert len(log.entries) == 0
+        assert log.offset == log.cursor()

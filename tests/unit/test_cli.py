@@ -57,6 +57,29 @@ class TestEvaluation:
                          "--query", "X[senior -> yes]")
         assert code == 0
 
+    def test_executor_flag_answers_and_stats(self, program_file):
+        expected = invoke(program_file, "--query", "X[senior -> yes]")[1]
+        for executor in ("batch", "compiled", "interpreted"):
+            code, output = invoke(program_file, "--executor", executor,
+                                  "--query", "X[senior -> yes]")
+            assert code == 0
+            assert output == expected
+        code, output = invoke(program_file, "--executor", "batch",
+                              "--stats")
+        assert code == 0
+        assert "stats batches:" in output
+        code, output = invoke(program_file, "--executor", "interpreted",
+                              "--stats")
+        assert code == 0
+        assert "stats batches: 0" in output
+
+    def test_executor_flag_on_explain_subcommand(self, program_file):
+        code, output = invoke("explain", "X[senior -> yes]",
+                              "--program", program_file,
+                              "--executor", "batch")
+        assert code == 0
+        assert "batch" in output
+
 
 class TestSnapshots:
     def test_dump_and_reload(self, program_file, tmp_path):

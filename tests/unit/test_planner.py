@@ -187,6 +187,116 @@ class TestPlanCache:
         assert cache.get(db, atoms, frozenset()) is first
 
 
+class TestStructuralPlanReuse:
+    def test_alpha_renamed_conjunctions_share_a_plan(self, db):
+        cache = PlanCache()
+        first = tuple(atoms_for("X[vehicles ->> {V}], V[color -> C]"))
+        renamed = tuple(atoms_for("A[vehicles ->> {B}], B[color -> D]"))
+        plan = cache.get(db, first, frozenset())
+        replayed = cache.get(db, renamed, frozenset())
+        assert cache.misses == 1
+        assert cache.structural_hits == 1
+        # The replayed plan schedules the *renamed* atoms in the stored
+        # order, with the stored estimates.
+        assert [str(a) for a in replayed.order()] == [
+            str(a).translate(str.maketrans("XVC", "ABD"))
+            for a in plan.order()
+        ]
+        assert [s.access for s in replayed.steps] == \
+            [s.access for s in plan.steps]
+
+    def test_bound_positions_are_part_of_the_structure(self, db):
+        cache = PlanCache()
+        atoms = tuple(atoms_for("X[vehicles ->> {V}], V[color -> C]"))
+        renamed = tuple(atoms_for("A[vehicles ->> {B}], B[color -> D]"))
+        cache.get(db, atoms, frozenset({Var("X")}))
+        cache.get(db, renamed, frozenset({Var("B")}))  # different position
+        assert cache.structural_hits == 0
+        cache.get(db, renamed, frozenset({Var("A")}))  # same position
+        assert cache.structural_hits == 1
+
+    def test_magic_adornment_variants_share_a_plan(self, db):
+        # Rule-body variants guarded for different adornments of one
+        # demand predicate differ only in the magic method's adornment
+        # suffix (and variable naming); the structural key abstracts
+        # both, so the greedy search runs once (ROADMAP:
+        # adornment-aware plan reuse).
+        cache = PlanCache()
+        anchor = Name("__demand__")
+        bf = (SetMemberAtom(Name("magic$set$desc$bf"), anchor, (),
+                            Var("X")),
+              SetMemberAtom(Name("vehicles"), Var("X"), (), Var("Y")))
+        fb = (SetMemberAtom(Name("magic$set$desc$fb"), anchor, (),
+                            Var("A")),
+              SetMemberAtom(Name("vehicles"), Var("A"), (), Var("B")))
+        cache.get(db, bf, frozenset())
+        cache.get(db, fb, frozenset())
+        assert cache.misses == 1
+        assert cache.structural_hits == 1
+
+    def test_different_magic_predicates_do_not_share(self, db):
+        cache = PlanCache()
+        anchor = Name("__demand__")
+        one = (SetMemberAtom(Name("magic$set$desc$bf"), anchor, (),
+                             Var("X")),)
+        other = (SetMemberAtom(Name("magic$set$anc$bf"), anchor, (),
+                               Var("X")),)
+        cache.get(db, one, frozenset())
+        cache.get(db, other, frozenset())
+        assert cache.misses == 2 and cache.structural_hits == 0
+
+    def test_different_constants_do_not_share(self, db):
+        # Estimates probe exact index buckets for constants; a renamed
+        # variable may share, a different constant never.
+        cache = PlanCache()
+        cache.get(db, tuple(atoms_for("Y[color -> red]")), frozenset())
+        cache.get(db, tuple(atoms_for("Y[color -> blue]")), frozenset())
+        assert cache.misses == 2 and cache.structural_hits == 0
+
+    def test_replayed_plans_execute_correctly(self, db):
+        from repro.engine.solve import solve
+
+        cache = PlanCache()
+        first = tuple(atoms_for("X[vehicles ->> {V}], V[color -> red]"))
+        renamed = tuple(atoms_for("A[vehicles ->> {B}], B[color -> red]"))
+        got_first = {frozenset(b.items())
+                     for b in solve(db, first, cache=cache)}
+        got_renamed = {frozenset(b.items())
+                       for b in solve(db, renamed, cache=cache)}
+        assert cache.structural_hits == 1
+        rename = {Var("X"): Var("A"), Var("V"): Var("B")}
+        assert got_renamed == {
+            frozenset((rename[v], o) for v, o in row) for row in got_first
+        }
+
+    def test_unsafe_structures_are_never_stored(self, db):
+        cache = PlanCache()
+        atoms = tuple(atoms_for("not X[color -> C], not X[age -> A]"))
+        with pytest.raises(EvaluationError):
+            cache.get(db, atoms, frozenset())
+        renamed = tuple(atoms_for("not Y[color -> D], not Y[age -> B]"))
+        with pytest.raises(EvaluationError):
+            cache.get(db, renamed, frozenset())
+        assert cache.structural_hits == 0
+
+    def test_invalidation_drops_structural_orders(self, db):
+        cache = PlanCache()
+        atoms = tuple(atoms_for("X : employee"))
+        cache.get(db, atoms, frozenset())
+        db.add_object("p3", classes=["employee"])
+        cache.get(db, tuple(atoms_for("Y : employee")), frozenset())
+        # The stored order predates the data change; it must not be
+        # replayed across the invalidation.
+        assert cache.structural_hits == 0
+        assert cache.misses == 2
+
+    def test_query_reuses_plans_across_variable_renamings(self, db):
+        query = Query(db)
+        query.all("X : employee..vehicles[color -> red]")
+        query.all("E : employee..vehicles[color -> red]")
+        assert query.plan_cache.structural_hits >= 1
+
+
 class TestQueryExplain:
     def test_analyzed_report_matches_answers(self, db):
         q = Query(db)
