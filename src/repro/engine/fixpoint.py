@@ -163,13 +163,16 @@ class Engine:
         self._use_planner = use_planner
         # Kernel execution (batched or tuple-at-a-time) rides on the
         # planner's static plans; the pre-planner dynamic order has
-        # nothing to compile.  The fixpoint defaults to the batched
-        # executor -- evaluation is set-semantics, so the batch
-        # schedule (breadth-first per rule firing) cannot change the
-        # result -- with ``executor="compiled"`` / ``compiled=False``
-        # as the tuple-at-a-time and interpreted baselines.
+        # nothing to compile.  The fixpoint defaults to the columnar
+        # executor (int-surrogate columns; see
+        # :mod:`repro.engine.columnar`) -- evaluation is set-semantics,
+        # so neither the batch schedule nor the surrogate encoding can
+        # change the result -- with ``executor="batch"`` as the boxed
+        # column baseline and ``executor="compiled"`` /
+        # ``compiled=False`` as the tuple-at-a-time and interpreted
+        # baselines.
         if executor is None:
-            executor = "batch" if compiled else "interpreted"
+            executor = "columnar" if compiled else "interpreted"
         else:
             from repro.engine.solve import resolve_executor
 
@@ -299,7 +302,14 @@ class Engine:
                 entry[0] == "isa" for entry in delta
             )
             delta_fire = delta
-            if delta is not None and self._executor == "batch":
+            if delta is not None and self._executor == "columnar":
+                # As for the batch index below, plus each bucket is
+                # interned into surrogate columns once, not once per
+                # rule position.
+                from repro.engine.columnar import IntDeltaIndex
+
+                delta_fire = IntDeltaIndex(delta, db.interner)
+            elif delta is not None and self._executor == "batch":
                 # One lazily-partitioned view of the log serves every
                 # rule position this iteration (each constant-method
                 # seed reads only its own bucket).
@@ -339,7 +349,33 @@ class Engine:
             record = _RulePlanRecord(rule, plan)
             # Facts (empty bodies) have nothing to compile: the
             # interpreted walk yields the empty binding once.
-            if self._executor == "batch" and plan.steps:
+            if self._executor == "columnar" and plan.steps:
+                from repro.engine.columnar import (
+                    columnar_head_emitter,
+                    compile_columnar_plan,
+                    head_emitter,
+                )
+
+                cplan = compile_columnar_plan(db, plan, self._policy)
+                record.kernels = cplan.kernel_names
+                # Support recording observes per-binding, so tracked
+                # rules must realise through OID columns; otherwise the
+                # int-native emitter consumes raw surrogate columns and
+                # the deref at the plan boundary is skipped entirely.
+                tracked = (self.support is not None
+                           and self.support.tracks(rule))
+                emit = None if tracked else columnar_head_emitter(
+                    db, rule, cplan)
+                raw = emit is not None
+                if emit is None and not tracked:
+                    emit = head_emitter(db, rule, cplan.slots)
+                record.emit = emit
+                record.execute_cols, record.head_pairs = \
+                    cplan.column_executor(record.counters,
+                                          project=variables_of(rule.head),
+                                          raw=raw)
+                self.stats.plans_compiled += 1
+            elif self._executor == "batch" and plan.steps:
                 from repro.engine.batch import (
                     compile_batch_plan,
                     head_emitter,
@@ -401,7 +437,30 @@ class Engine:
                     plan = self._plan_cache.get(db, rest, bound,
                                                 self._run_catalog)
                     record = _DeltaPlanRecord(plan)
-                    if self._executor == "batch":
+                    if self._executor == "columnar":
+                        from repro.engine.columnar import (
+                            columnar_head_emitter,
+                            compile_columnar_delta_plan,
+                            head_emitter,
+                        )
+
+                        cplan = compile_columnar_delta_plan(
+                            db, atom, plan, self._policy)
+                        tracked = (self.support is not None
+                                   and self.support.tracks(rule))
+                        emit = None if tracked else columnar_head_emitter(
+                            db, rule, cplan)
+                        raw = emit is not None
+                        if emit is None and not tracked:
+                            emit = head_emitter(db, rule, cplan.slots)
+                        record.emit = emit
+                        record.execute_cols, record.head_pairs = \
+                            cplan.column_executor(
+                                record.counters,
+                                project=variables_of(rule.head),
+                                raw=raw)
+                        self.stats.plans_compiled += 1
+                    elif self._executor == "batch":
                         from repro.engine.batch import (
                             compile_batch_delta_plan,
                             head_emitter,

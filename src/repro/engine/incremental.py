@@ -80,6 +80,7 @@ from repro.engine.matching import Binding, MatchPolicy, match_atom_delta
 from repro.engine.normalize import ISA_PRED, NormalizedRule, Pred, pred_matches
 from repro.engine.planner import PlanCache, relevant_bound
 from repro.engine.solve import execute_plan, solve
+from repro.engine.solve import exists as solve_exists
 from repro.engine.stratify import stratify
 from repro.flogic.atoms import (
     EnumSupersetAtom,
@@ -469,9 +470,10 @@ class Maintainer:
         self._support = support
         self._use_planner = use_planner
         # The delta passes reuse the engine's batched kernels when the
-        # owning engine ran batched; goal-directed existence checks
-        # (``_body_solvable``) stay tuple-at-a-time either way -- they
-        # want the first solution, not all of them.
+        # owning engine ran batched (columnar or boxed); goal-directed
+        # existence checks (``_body_solvable``) then short-circuit
+        # inside the plan in small chunks -- they want the first
+        # surviving row, not all of them.
         if executor is None:
             executor = "compiled" if compiled else "interpreted"
         self._executor = executor if use_planner else "interpreted"
@@ -832,6 +834,10 @@ class Maintainer:
             return False
         bound = relevant_bound(rule.body, binding)
         plan = self._plan_cache.get(self._db, rule.body, bound)
+        if self._executor in ("columnar", "batch"):
+            return solve_exists(self._db, rule.body, binding, self._policy,
+                                plan=plan, executor=self._executor,
+                                stats=self._stats)
         for _ in execute_plan(self._db, plan, binding, self._policy,
                               compiled=self._compiled):
             return True
@@ -861,7 +867,14 @@ class Maintainer:
             plan = self._plan_cache.get(self._db, rest, bound)
             execute = None
             record = _DeltaExec(atom, rest, plan, execute)
-            if self._executor == "batch":
+            if self._executor == "columnar":
+                from repro.engine.columnar import compile_columnar_delta_plan
+
+                record.execute_cols, record.head_pairs = \
+                    compile_columnar_delta_plan(
+                        self._db, atom, plan, self._policy
+                    ).column_executor(None, project=variables_of(rule.head))
+            elif self._executor == "batch":
                 from repro.engine.batch import compile_batch_delta_plan
 
                 record.execute_cols, record.head_pairs = \

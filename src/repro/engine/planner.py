@@ -239,7 +239,13 @@ def _scalar_estimate(db: Database, catalog: CardinalityCatalog,
         if s_bound:
             rows = min(rows, 1.0)
         if indexed:
-            return Estimate(rows + 1.0, rows, "method+result index")
+            # A variable result bound by an earlier step arrives as a
+            # whole column: the batched executors serve this shape as a
+            # merge join over the sorted inverse bucket rather than a
+            # per-row probe.
+            access = ("method+result index" if isinstance(atom.result, Name)
+                      else "method+result index (merge)")
+            return Estimate(rows + 1.0, rows, access)
         return Estimate(catalog.scalar_total + 1.0, rows, "table scan")
     if m_bound:
         rows = per_subject * check if s_bound else facts * check
@@ -302,7 +308,11 @@ def _set_estimate(db: Database, catalog: CardinalityCatalog,
         if s_bound:
             rows = min(rows, 1.0)
         if indexed:
-            return Estimate(rows + 1.0, rows, "method+member index")
+            # As for scalars: a column of bound members is answered
+            # with a merge join over the sorted inverse bucket.
+            access = ("method+member index" if isinstance(atom.member, Name)
+                      else "method+member index (merge)")
+            return Estimate(rows + 1.0, rows, access)
         return Estimate(catalog.set_total + 1.0, rows, "table scan")
     if m_bound:
         rows = facts * check

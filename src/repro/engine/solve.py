@@ -72,7 +72,7 @@ def atom_cost(db: Database, atom: Atom, binding: Binding) -> float:
 # ---------------------------------------------------------------------------
 
 #: Valid ``executor=`` values for planned execution.
-EXECUTORS = ("batch", "compiled", "interpreted")
+EXECUTORS = ("columnar", "batch", "compiled", "interpreted")
 
 
 def resolve_executor(executor: str | None, compiled: bool) -> str:
@@ -145,6 +145,12 @@ def execute_plan(db: Database, plan: Plan,
     three executors.
     """
     mode = resolve_executor(executor, compiled)
+    if mode == "columnar":
+        from repro.engine.columnar import compile_columnar_plan
+
+        yield from compile_columnar_plan(db, plan, policy).execute(binding,
+                                                                   counters)
+        return
     if mode == "batch":
         from repro.engine.batch import compile_batch_plan
 
@@ -184,9 +190,43 @@ def execute_plan(db: Database, plan: Plan,
 
 def exists(db: Database, atoms: Iterable[Atom],
            binding: Binding | None = None,
-           policy: MatchPolicy = UNRESTRICTED) -> bool:
-    """True iff the conjunction has at least one solution."""
-    for _ in solve(db, atoms, binding, policy):
+           policy: MatchPolicy = UNRESTRICTED,
+           *, cache: PlanCache | None = None,
+           plan: Plan | None = None,
+           compiled: bool = True,
+           executor: str | None = None,
+           stats=None) -> bool:
+    """True iff the conjunction has at least one solution.
+
+    Under the batched executors this short-circuits *inside* the plan:
+    rows flow through the steps in small chunks and the first surviving
+    terminal row returns immediately (see
+    :meth:`repro.engine.batch.BatchPlan.exists`), so an ``ask()`` over
+    a large batch no longer materialises every intermediate row.  The
+    tuple-at-a-time executors already stop at their first solution.
+    ``stats`` (an :class:`~repro.engine.profiler.EngineStats`) accrues
+    ``batches``/``batch_rows`` for the rows actually pushed.
+    """
+    mode = resolve_executor(executor, compiled)
+    if mode in ("columnar", "batch"):
+        initial = dict(binding or {})
+        if plan is None:
+            atoms_t = tuple(atoms)
+            bound = relevant_bound(atoms_t, initial)
+            if cache is not None:
+                plan = cache.get(db, atoms_t, bound)
+            else:
+                plan = build_plan(db, atoms_t, bound)
+        if mode == "columnar":
+            from repro.engine.columnar import compile_columnar_plan
+
+            return compile_columnar_plan(db, plan, policy).exists(initial,
+                                                                  stats)
+        from repro.engine.batch import compile_batch_plan
+
+        return compile_batch_plan(db, plan, policy).exists(initial, stats)
+    for _ in solve(db, atoms, binding, policy, cache=cache, plan=plan,
+                   compiled=compiled, executor=executor):
         return True
     return False
 

@@ -25,7 +25,7 @@ from typing import Iterable, Iterator, Mapping
 from repro.core import builtins as _builtins
 from repro.oodb.hierarchy import ClassHierarchy
 from repro.oodb.methods import ScalarMethodTable, SetMethodTable
-from repro.oodb.oid import NamedOid, NameValue, Oid, VirtualOid
+from repro.oodb.oid import NamedOid, NameValue, Oid, OidInterner, VirtualOid
 
 #: A recorded base-fact change: ``("+", fact)`` or ``("-", fact)`` where
 #: ``fact`` uses the realizer-log shape -- ``("scalar", m, s, args, r)``,
@@ -143,6 +143,24 @@ class Database:
         # weakly keyed so a dropped consumer stops pinning the log.
         self._change_holds: weakref.WeakKeyDictionary = \
             weakref.WeakKeyDictionary()
+        self._interner = OidInterner()
+
+    # ------------------------------------------------------------------
+    # Dense OID surrogates
+    # ------------------------------------------------------------------
+
+    @property
+    def interner(self) -> OidInterner:
+        """The database's dense surrogate table (shared with kernels)."""
+        return self._interner
+
+    def intern(self, oid: Oid) -> int:
+        """Dense integer surrogate for ``oid`` (assigned on first use)."""
+        return self._interner.intern(oid)
+
+    def resolve(self, surrogate: int) -> Oid:
+        """The OID a surrogate stands for."""
+        return self._interner.resolve(surrogate)
 
     # ------------------------------------------------------------------
     # Names and universe
@@ -478,6 +496,10 @@ class Database:
         copy.hierarchy = self.hierarchy.clone()
         copy.scalars = self.scalars.clone()
         copy.sets = self.sets.clone()
+        # Surrogates must be *stable* across clones: the engine evaluates
+        # on a clone, and columnar plans compiled against the original
+        # must agree with plans compiled against the copy.
+        copy._interner = self._interner.clone()
         return copy
 
     def virtual_count(self) -> int:

@@ -75,6 +75,86 @@ class VirtualOid(Oid):
         )
 
 
+class OidInterner:
+    """Dense integer surrogates for OIDs.
+
+    The columnar executor replaces boxed OID columns with ``int``
+    columns; this table is the bridge.  ``intern`` assigns each distinct
+    OID the next free small integer (dense: surrogates are drawn from
+    ``0..capacity-1`` with holes only where objects were retired), and
+    ``resolve`` is a plain list index, so the hot deref path costs no
+    hashing at all.  Structural OID hashing -- recomputed on every probe
+    for the frozen dataclasses above -- is paid once per object here
+    instead of once per join probe in the kernels.
+
+    Retiring an object pushes its surrogate onto a free list; the slot
+    is tombstoned (``None``) until a *different* OID is interned later
+    and reuses it, so two live objects can never share a surrogate.
+    """
+
+    __slots__ = ("_surrogate", "_object", "_free")
+
+    def __init__(self) -> None:
+        self._surrogate: dict[Oid, int] = {}
+        self._object: list[Oid | None] = []
+        self._free: list[int] = []
+
+    def __len__(self) -> int:
+        """Number of live (non-retired) interned objects."""
+        return len(self._surrogate)
+
+    @property
+    def capacity(self) -> int:
+        """Surrogates handed out so far, including tombstoned slots."""
+        return len(self._object)
+
+    def intern(self, oid: Oid) -> int:
+        """Return the surrogate for ``oid``, assigning one if new."""
+        surrogate = self._surrogate.get(oid)
+        if surrogate is None:
+            if self._free:
+                surrogate = self._free.pop()
+                self._object[surrogate] = oid
+            else:
+                surrogate = len(self._object)
+                self._object.append(oid)
+            self._surrogate[oid] = surrogate
+        return surrogate
+
+    def surrogate(self, oid: Oid) -> int | None:
+        """The surrogate for ``oid`` if it is interned, else ``None``."""
+        return self._surrogate.get(oid)
+
+    def resolve(self, surrogate: int) -> Oid:
+        """The OID behind ``surrogate`` (``None`` for retired slots)."""
+        return self._object[surrogate]
+
+    def resolver(self) -> list[Oid | None]:
+        """The live surrogate->OID list, for index-only kernel derefs.
+
+        The list is shared, not copied: future ``intern`` calls extend
+        it in place, so kernels may capture it once per plan.
+        """
+        return self._object
+
+    def retire(self, oid: Oid) -> bool:
+        """Drop ``oid``'s surrogate and recycle it via the free list."""
+        surrogate = self._surrogate.pop(oid, None)
+        if surrogate is None:
+            return False
+        self._object[surrogate] = None
+        self._free.append(surrogate)
+        return True
+
+    def clone(self) -> "OidInterner":
+        """An independent copy; existing surrogates stay identical."""
+        copy = OidInterner()
+        copy._surrogate = dict(self._surrogate)
+        copy._object = list(self._object)
+        copy._free = list(self._free)
+        return copy
+
+
 def oid_sort_key(oid: Oid) -> tuple:
     """A total order over OIDs for deterministic output.
 

@@ -31,6 +31,7 @@ from repro.core.valuation import VariableValuation, valuate
 from repro.core.variables import variables_of
 from repro.engine.explain import PlanReport, explain_conjunction
 from repro.engine.planner import PlanCache
+from repro.engine.solve import exists as solve_exists
 from repro.engine.solve import solve
 from repro.errors import EvaluationError
 from repro.flogic.flatten import flatten_conjunction
@@ -329,14 +330,21 @@ class Query:
         return answers
 
     def ask(self, query: QueryInput) -> bool:
-        """True iff the query has at least one solution."""
+        """True iff the query has at least one solution.
+
+        Under the batched executors the check short-circuits *inside*
+        the plan (:func:`repro.engine.solve.exists`): rows flow through
+        the kernels in small chunks and the first surviving terminal
+        row answers, instead of materialising every intermediate batch.
+        The tuple-at-a-time executors already stop at their first
+        solution.
+        """
         literals = self._as_literals(query)
         atoms = flatten_conjunction(literals)
         db = self._db_for(atoms)
-        for _ in solve(db, atoms, {}, cache=self._cache_for(db),
-                       compiled=self._compiled, executor=self._executor):
-            return True
-        return False
+        return solve_exists(db, atoms, {}, cache=self._cache_for(db),
+                            compiled=self._compiled,
+                            executor=self._executor)
 
     def objects(self, ref: Union[str, Reference]) -> frozenset[Oid]:
         """The set of objects a reference denotes, over all solutions.

@@ -31,6 +31,17 @@ NAME_POOL = ("a", "b", "c", "kids", "boss", "color", "m1", "m2")
 VALUE_POOL = (1, 2, 30, "red", "x y", "Zed")
 VAR_POOL = ("X", "Y", "Z", "M")
 
+#: Values mixing named objects (join keys) with int/string literals.
+#: Every stored value is a NamedOid, but the literals never appear as
+#: subjects, so columns over them are OID-servable without ever being
+#: probe targets -- the shape that separates int-column slots from the
+#: boxed fallback in the columnar executor.
+MIXED_VALUE_POOL = VALUE_POOL + (7, 0, "blue")
+
+#: Class names reserved for the deep isa chains below (disjoint from
+#: the c1..c3 pool ``databases`` already uses).
+CHAIN_CLASS_POOL = ("k0", "k1", "k2", "k3", "k4", "k5")
+
 names = st.sampled_from(NAME_POOL).map(Name)
 values = st.sampled_from(VALUE_POOL).map(Name)
 variables = st.sampled_from(VAR_POOL).map(Var)
@@ -161,3 +172,76 @@ def databases(draw, max_objects: int = 8) -> Database:
         if draw(st.booleans()):
             db.subclass(low, high)
     return db
+
+
+@st.composite
+def deep_databases(draw, max_objects: int = 8) -> Database:
+    """Random databases with a deep isa chain threaded through them.
+
+    Extends :func:`databases` with a subclass chain ``k0 < k1 < ...``
+    of random length (3-6 classes, acyclic by construction) and
+    attaches a few objects at random depths, so transitive class
+    membership must propagate through several hops -- the shape that
+    stresses hierarchy-driven kernels and isa filters.
+    """
+    db = draw(databases(max_objects=max_objects))
+    length = draw(st.integers(min_value=3, max_value=len(CHAIN_CLASS_POOL)))
+    chain = CHAIN_CLASS_POOL[:length]
+    for low, high in zip(chain, chain[1:]):
+        db.subclass(low, high)
+    members = draw(st.lists(st.sampled_from(NAME_POOL + ("p1", "p2", "p3")),
+                            max_size=4, unique=True))
+    for name in members:
+        db.assert_isa(db.obj(name), db.obj(draw(st.sampled_from(chain))))
+    # Optionally bridge the chain into the c1..c3 lattice.
+    if draw(st.booleans()):
+        db.subclass("c1", chain[0])
+    return db
+
+
+#: One mutation: (op, method name, subject name, value name).  The op
+#: pool is retraction-heavy (half the draws remove facts), so applying
+#: a sequence exercises surrogate retirement, free-list reuse, and the
+#: delete-and-rederive maintenance path rather than pure growth.
+mutation_ops = st.tuples(
+    st.sampled_from(("retract_scalar", "retract_set",
+                     "assert_scalar", "assert_set",
+                     "retract_scalar", "retract_set")),
+    st.sampled_from(NAME_POOL),
+    st.sampled_from(NAME_POOL + ("p1", "p2", "p3")),
+    st.sampled_from(MIXED_VALUE_POOL + ("p1", "p2")),
+)
+
+
+def mutation_sequences(min_size: int = 1,
+                       max_size: int = 12) -> st.SearchStrategy[list]:
+    """Retract-heavy mutation sequences over the shared pools."""
+    return st.lists(mutation_ops, min_size=min_size, max_size=max_size)
+
+
+def apply_mutation(db: Database, op: tuple) -> None:
+    """Apply one drawn mutation; scalar conflicts retract-then-assert.
+
+    The scalar table is a partial function, so a drawn assertion that
+    conflicts with a stored result models an *update*: the old fact is
+    retracted first (both paths are real workloads; raising would just
+    discard the example).
+    """
+    from repro.errors import ScalarConflictError
+
+    kind, method_name, subject_name, value_name = op
+    method = db.obj(method_name)
+    subject = db.obj(subject_name)
+    value = db.obj(value_name)
+    if kind == "assert_scalar":
+        try:
+            db.assert_scalar(method, subject, (), value)
+        except ScalarConflictError:
+            db.retract_scalar(method, subject, ())
+            db.assert_scalar(method, subject, (), value)
+    elif kind == "retract_scalar":
+        db.retract_scalar(method, subject, ())
+    elif kind == "assert_set":
+        db.assert_set_member(method, subject, (), value)
+    else:
+        db.retract_set_member(method, subject, (), value)

@@ -9,6 +9,7 @@ the tentpole invariant: compilation changes the executor, never the
 semantics.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -17,6 +18,8 @@ from repro.engine.solve import solve
 from repro.flogic.flatten import flatten_conjunction
 from repro.lang.parser import parse_program, parse_query
 from tests.property.strategies import databases
+
+pytestmark = pytest.mark.property
 
 #: Rule templates write only fresh methods (d1/d2/d3) or a fresh class
 #: (c9), so derived facts never conflict with stored ones; d3's result

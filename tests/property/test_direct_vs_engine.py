@@ -7,6 +7,7 @@ bindings.  This ties the paper's declarative semantics to the engine's
 operational one on the full reference language (supersets included).
 """
 
+import pytest
 from hypothesis import given, settings
 
 from repro.core.ast import Name, Var
@@ -14,6 +15,8 @@ from repro.core.valuation import GROUND, valuate
 from repro.engine.solve import solve
 from repro.flogic.flatten import flatten_reference
 from tests.property.strategies import databases, references
+
+pytestmark = pytest.mark.property
 
 
 def engine_objects(db, ref):

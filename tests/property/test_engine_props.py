@@ -1,5 +1,6 @@
 """Engine properties: evaluation-strategy parity and closure correctness."""
 
+import pytest
 import networkx as nx
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -10,6 +11,8 @@ from repro.lang.parser import parse_program
 from repro.oodb.database import Database
 from repro.oodb.oid import NamedOid
 from repro.oodb.serialize import dumps
+
+pytestmark = pytest.mark.property
 
 
 def n(value):

@@ -11,6 +11,7 @@ heads) and including the identity of virtual objects in the answers
 result reuses the same ``VirtualOid`` a fresh run would create).
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -18,6 +19,8 @@ from repro.errors import PathLogError
 from repro.lang.parser import parse_program
 from repro.query import Query
 from tests.property.strategies import databases
+
+pytestmark = pytest.mark.property
 
 #: Rules sweep counting (non-recursive d2/d6), DRed (recursive d1),
 #: derived-from-derived (d3), stratified negation (d4), and a

@@ -13,12 +13,15 @@ Rule heads write only fresh methods (``d1``..``d6``) or constant
 results, so derived facts never conflict with stored scalar facts.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.lang.parser import parse_program
 from repro.query import Query
 from tests.property.strategies import databases
+
+pytestmark = pytest.mark.property
 
 RULE_POOL = (
     # plain projection of a base set method

@@ -1,11 +1,14 @@
 """Property: the pretty-printer and parser are exact inverses."""
 
+import pytest
 from hypothesis import given, settings
 
 from repro.core.pretty import to_text
 from repro.core.wellformed import check_well_formed
 from repro.lang.parser import parse_reference
 from tests.property.strategies import references, wild_names
+
+pytestmark = pytest.mark.property
 
 
 @given(ref=references(max_depth=4))

@@ -1,5 +1,6 @@
 """Substrate properties: hierarchy laws and serialisation round-trips."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -8,6 +9,8 @@ from repro.oodb.hierarchy import ClassHierarchy
 from repro.oodb.oid import NamedOid
 from repro.oodb.serialize import dumps, loads
 from tests.property.strategies import databases
+
+pytestmark = pytest.mark.property
 
 
 def n(value):

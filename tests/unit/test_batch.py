@@ -271,10 +271,10 @@ class TestEngineIntegration:
     def _sets(self, db):
         return {(key, frozenset(bucket)) for key, bucket in db.sets.items()}
 
-    def test_batch_is_the_engine_default(self, chain_db):
+    def test_columnar_is_the_engine_default(self, chain_db):
         engine = Engine(chain_db, parse_program(self.PROGRAM))
         engine.run()
-        assert engine._executor == "batch"
+        assert engine._executor == "columnar"
         assert engine.stats.batches > 0
         assert engine.stats.batch_rows > 0
 
@@ -291,7 +291,8 @@ class TestEngineIntegration:
         assert tuple_.stats.batches == 0
 
     def test_explain_names_batch_kernels(self, chain_db):
-        engine = Engine(chain_db, parse_program(self.PROGRAM))
+        engine = Engine(chain_db, parse_program(self.PROGRAM),
+                        executor="batch")
         engine.run()
         report = engine.plan_reports()[0]
         assert report.compiled

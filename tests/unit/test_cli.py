@@ -59,7 +59,7 @@ class TestEvaluation:
 
     def test_executor_flag_answers_and_stats(self, program_file):
         expected = invoke(program_file, "--query", "X[senior -> yes]")[1]
-        for executor in ("batch", "compiled", "interpreted"):
+        for executor in ("columnar", "batch", "compiled", "interpreted"):
             code, output = invoke(program_file, "--executor", executor,
                                   "--query", "X[senior -> yes]")
             assert code == 0
@@ -102,15 +102,32 @@ EXPLAIN_PROGRAM = """
 
 #: The exact plan for the snapshot program: the planner starts from the
 #: one-entry (color, red) index bucket, walks the member index back to
-#: the owner, then checks the class; the kernel column names the
-#: compiled form of each step.  Pinned as a rendering snapshot.
+#: the owner (a merge join when the member column is batched -- the
+#: ``(merge)`` access-path suffix), then checks the class; the kernel
+#: column names the compiled form of each step.  Pinned as a rendering
+#: snapshot.
 EXPLAIN_SNAPSHOT = """\
 plan: X : employee..vehicles[color -> red]
-#  atom                   access path          kernel           est.rows  rows
--  ---------------------  -------------------  ---------------  --------  ----
-1  _V1[color -> red]      method+result index  scalar mr-probe         1     1
-2  X[vehicles ->> {_V1}]  method+member index  set mm-probe          1.5     1
-3  X : employee           isa check            isa check             0.5     1
+#  atom                   access path                  kernel           est.rows  rows
+-  ---------------------  ---------------------------  ---------------  --------  ----
+1  _V1[color -> red]      method+result index          scalar mr-probe         1     1
+2  X[vehicles ->> {_V1}]  method+member index (merge)  set mm-probe          1.5     1
+3  X : employee           isa check                    isa check             0.5     1
+estimated 0.8 rows; 1 bindings
+"""
+
+#: The same plan under ``--executor columnar``: int-mirror-served steps
+#: carry ``int ...`` kernel labels (including the merge-join access
+#: path of step 2), while the isa step -- which has no surrogate
+#: mirror -- keeps its boxed ``batch ...`` fallback kernel.  Pinned as
+#: a rendering snapshot.
+COLUMNAR_EXPLAIN_SNAPSHOT = """\
+plan: X : employee..vehicles[color -> red]
+#  atom                   access path                  kernel                 est.rows  rows
+-  ---------------------  ---------------------------  ---------------------  --------  ----
+1  _V1[color -> red]      method+result index          int scalar mr-probe           1     1
+2  X[vehicles ->> {_V1}]  method+member index (merge)  int set mm merge-join       1.5     1
+3  X : employee           isa check                    batch isa check             0.5     1
 estimated 0.8 rows; 1 bindings
 """
 
@@ -128,6 +145,32 @@ class TestExplain:
                               "--program", explain_program)
         assert code == 0
         assert output == EXPLAIN_SNAPSHOT
+
+    def test_explain_columnar_snapshot(self, explain_program):
+        code, output = invoke("explain",
+                              "X : employee..vehicles[color -> red]",
+                              "--program", explain_program,
+                              "--executor", "columnar")
+        assert code == 0
+        assert output == COLUMNAR_EXPLAIN_SNAPSHOT
+
+    def test_engine_explain_names_magic_guard_kernels(self, tmp_path):
+        # Under demand evaluation the rewritten rule bodies carry magic
+        # guard atoms; the columnar lowering serves them from the int
+        # mirror ("int set iter" seeds, "int set contains" checks), and
+        # the adorn column marks the guard rows.
+        path = tmp_path / "rec.plog"
+        path.write_text("""
+            n0[next -> n1]. n1[next -> n2].
+            X[reach ->> {Y}] <- X[next -> Y].
+            X[reach ->> {Z}] <- X[reach ->> {Y}], Y[next -> Z].
+        """)
+        code, output = invoke(path, "--magic", "--executor", "columnar",
+                              "--explain", "--query", "n0[reach ->> {Y}]")
+        assert code == 0
+        assert "magic" in output
+        assert "int set iter" in output
+        assert "int set contains" in output
 
     def test_explain_without_analyze(self, explain_program):
         code, output = invoke("explain",

@@ -1,0 +1,360 @@
+"""Columnar-executor tests: int kernels, mirror-first writes, drains.
+
+The columnar executor runs plan steps over *int columns* of dense OID
+surrogates.  These tests pin the per-slot kernel selection (int kernel
+vs. boxed batch fallback), execution parity with the tuple-at-a-time
+kernels, the mirror-first head emitter (facts land in the surrogate
+mirror and back-fill the boxed table lazily), the surrogate-carrying
+delta log, and the chunked ``exists`` short-circuit behind ``ask()``.
+"""
+
+import pytest
+
+from repro.core.ast import Name, Var
+from repro.engine import Engine
+from repro.engine.batch import compile_batch_plan
+from repro.engine.columnar import (
+    IntDeltaIndex,
+    columnar_head_emitter,
+    compile_columnar_delta_plan,
+    compile_columnar_plan,
+)
+from repro.engine.normalize import normalize_program
+from repro.engine.planner import build_plan, relevant_bound
+from repro.engine.profiler import EngineStats
+from repro.engine.solve import execute_plan, exists, solve
+from repro.errors import ScalarConflictError
+from repro.flogic.atoms import SetMemberAtom
+from repro.flogic.flatten import flatten_conjunction
+from repro.lang.parser import parse_program, parse_query
+from repro.oodb.database import Database
+from repro.oodb.oid import NamedOid
+from repro.query import Query
+
+
+def n(value):
+    return NamedOid(value)
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.subclass("automobile", "vehicle")
+    for i, color in enumerate(["red", "blue", "red"]):
+        db.add_object(f"car{i}", classes=["automobile"],
+                      scalars={"color": color, "cylinders": 4 if i else 6})
+    db.add_object("p1", classes=["employee"], scalars={"age": 30},
+                  sets={"vehicles": ["car0", "car1"]})
+    db.add_object("p2", classes=["employee"], scalars={"age": 40},
+                  sets={"vehicles": ["car2"]})
+    return db
+
+
+def atoms_for(text):
+    return flatten_conjunction(parse_query(text))
+
+
+def columnar(db, text, bound=()):
+    atoms = atoms_for(text)
+    plan = build_plan(db, atoms, bound)
+    return compile_columnar_plan(db, plan), plan
+
+
+def answer_set(bindings):
+    return {frozenset(b.items()) for b in bindings}
+
+
+class TestKernelSelection:
+    def test_probe_and_merge_join_kernels(self, db):
+        compiled, _ = columnar(db, "Y[color -> blue], X[vehicles ->> {Y}]")
+        assert compiled.kernel_names == ("int scalar mr-probe",
+                                         "int set mm merge-join")
+
+    def test_scalar_merge_join_on_bound_result(self, db):
+        compiled, _ = columnar(db, "X[cylinders -> N], Y[cylinders -> N]")
+        assert compiled.kernel_names == ("int scalar m-scan",
+                                         "int scalar mr merge-join")
+
+    def test_subject_navigation_kernels(self, db):
+        atoms = atoms_for("X[vehicles ->> {V}], V[color -> C]")
+        plan = build_plan(db, atoms, {Var("X")})
+        compiled = compile_columnar_plan(db, plan)
+        assert compiled.kernel_names == ("int set iter", "int scalar get")
+
+    def test_magic_guard_compiles_to_semi_join(self, db):
+        guard = SetMemberAtom(Name("magic$scalar$age$bf"),
+                              Name("__demand__"), (), Var("X"))
+        db.assert_set_member(db.obj("magic$scalar$age$bf"),
+                             db.obj("__demand__"), (), db.obj("p1"))
+        atoms = atoms_for("X[age -> A]") + (guard,)
+        plan = build_plan(db, atoms, {Var("X")})
+        compiled = compile_columnar_plan(db, plan)
+        assert "int semi-join (magic)" in compiled.kernel_names
+
+    def test_non_oid_shapes_fall_back_to_boxed_kernels(self, db):
+        # isa steps and comparisons have no surrogate mirror; their
+        # slots stay boxed and downstream reads deref transparently.
+        compiled, _ = columnar(db, "X : employee, X.age >= 35")
+        assert compiled.kernel_names[0] == "batch isa members"
+        assert "batch compare" in compiled.kernel_names
+
+    def test_unindexed_tables_fall_back_to_boxed_kernels(self):
+        plain = Database(indexed=False)
+        plain.add_object("p1", scalars={"age": 30}, sets={"kids": ["p2"]})
+        compiled, _ = columnar(plain, "X[kids ->> {V}], V[age -> A]")
+        assert all(name.startswith("batch") for name in compiled.kernel_names)
+
+    def test_memoised_separately_from_batch_lowering(self, db):
+        _, plan = columnar(db, "X[vehicles ->> {V}]")
+        assert (compile_columnar_plan(db, plan)
+                is compile_columnar_plan(db, plan))
+        assert (compile_batch_plan(db, plan)
+                is not compile_columnar_plan(db, plan))
+
+
+class TestExecutionParity:
+    QUERIES = [
+        "X : employee..vehicles[color -> red]",
+        "X : employee..vehicles[color -> C]",
+        "X : employee, X.age >= 35",
+        "X[color -> X]",                     # repeated var: scan, not probe
+        "X : X",                             # repeated var in isa
+        "X.self[Y]",                         # builtin over the universe
+        "p3[M ->> {V}], V[color -> red]",    # empty subject bucket
+        "X[vehicles ->> p2..vehicles]",      # superset bridge
+        "X : employee, not X[age -> 30]",    # negation bridge
+        "X[M ->> {V}]",                      # unbound method enumeration
+        "Y[cylinders -> 6]",                 # single probe
+        "Y[color -> blue], X[vehicles ->> {Y}]",   # merge join
+        "X[cylinders -> N], Y[cylinders -> N]",    # scalar merge join
+    ]
+
+    def test_same_answers_as_other_executors(self, db):
+        for text in self.QUERIES:
+            atoms = atoms_for(text)
+            col = answer_set(solve(db, atoms, executor="columnar"))
+            tuple_ = answer_set(solve(db, atoms, executor="compiled"))
+            assert col == tuple_, text
+
+    def test_counters_match_tuple_executor(self, db):
+        for text in self.QUERIES:
+            atoms = atoms_for(text)
+            plan = build_plan(db, atoms, ())
+            col_counters = [0] * len(plan.steps)
+            tuple_counters = [0] * len(plan.steps)
+            list(execute_plan(db, plan, {}, counters=col_counters,
+                              executor="columnar"))
+            list(execute_plan(db, plan, {}, counters=tuple_counters,
+                              executor="compiled"))
+            assert col_counters == tuple_counters, text
+
+    def test_seed_binding_is_interned_and_resolved(self, db):
+        atoms = atoms_for("X[vehicles ->> {V}], V[color -> C]")
+        bound = relevant_bound(atoms, {Var("X")})
+        plan = build_plan(db, atoms, bound)
+        compiled = compile_columnar_plan(db, plan)
+        rows = list(compiled.execute({Var("X"): n("p1")}))
+        assert all(row[Var("X")] == n("p1") for row in rows)
+        assert {row[Var("V")] for row in rows} == {n("car0"), n("car1")}
+        assert all(isinstance(row[Var("C")], NamedOid) for row in rows)
+
+
+class TestExistsShortCircuit:
+    @pytest.fixture
+    def long_chain(self):
+        db = Database()
+        for i in range(600):
+            db.add_object(f"n{i}", scalars={"next": f"n{i + 1}"})
+        return db
+
+    def test_exists_stops_at_first_surviving_row(self, long_chain):
+        atoms = atoms_for("X[next -> Y], Y[next -> Z]")
+        plan = build_plan(long_chain, atoms, ())
+        for executor in ("columnar", "batch"):
+            stats = EngineStats()
+            assert exists(long_chain, atoms, plan=plan, executor=executor,
+                          stats=stats)
+            short = stats.batch_rows
+            counters = [0] * len(plan.steps)
+            list(execute_plan(long_chain, plan, {}, counters=counters,
+                              executor=executor))
+            full = sum(counters)
+            # A full execution pushes ~1200 rows through the two steps.
+            # The chunked exists cannot avoid the opening scan, but
+            # after it only chunk-sized slices flow: batch_rows stops
+            # growing once the first surviving row reaches the end.
+            assert full > 1000
+            assert short < full, executor
+            assert short <= counters[0] + 2 * 64, executor
+
+    def test_unsatisfiable_exists_still_scans_everything(self, long_chain):
+        atoms = atoms_for("X[next -> Y], Y[missing -> Z]")
+        stats = EngineStats()
+        assert not exists(long_chain, atoms, executor="columnar",
+                          stats=stats)
+
+    def test_query_ask_uses_plan_level_exists(self, long_chain):
+        query = Query(long_chain, executor="columnar")
+        assert query.ask("X[next -> Y], Y[next -> Z]")
+        assert not query.ask("X[next -> Y], Y[missing -> Z]")
+
+
+class TestHeadEmitter:
+    def rule_and_cplan(self, db, text):
+        rule = normalize_program(parse_program(text))[0]
+        plan = build_plan(db, rule.body, ())
+        return rule, compile_columnar_plan(db, plan)
+
+    def test_set_head_writes_mirror_first(self, db):
+        rule, cplan = self.rule_and_cplan(
+            db, "X[reach ->> {V}] <- X[vehicles ->> {V}].")
+        emit = columnar_head_emitter(db, rule, cplan)
+        assert emit is not None
+        x_slot, v_slot = cplan.slots[Var("X")], cplan.slots[Var("V")]
+        assert cplan.reps[x_slot] and cplan.reps[v_slot]
+        cols = [None] * cplan.nslots
+        p1, car0 = db.intern(n("p1")), db.intern(n("car0"))
+        cols[x_slot], cols[v_slot] = [p1], [car0]
+        log = []
+        emit(cols, 1, log)
+        # The log entry carries the surrogate pair at positions 5-6.
+        assert log == [("set", n("reach"), n("p1"), (), n("car0"),
+                        p1, car0)]
+        reach = db.intern(n("reach"))
+        view = db.sets.surrogate_view(db.interner)
+        assert view.apps[reach][p1] == {car0}
+        # The boxed table back-fills on first read and agrees.
+        assert db.sets.get(n("reach"), n("p1")) == frozenset({n("car0")})
+        # Re-emitting is a pure int-space dedup: no new log entries.
+        log2 = []
+        emit(cols, 1, log2)
+        assert log2 == []
+
+    def test_scalar_conflicts_raise_from_the_mirror(self, db):
+        rule, cplan = self.rule_and_cplan(
+            db, "X[age -> V] <- X[cylinders -> V].")
+        emit = columnar_head_emitter(db, rule, cplan)
+        assert emit is not None
+        x_slot, v_slot = cplan.slots[Var("X")], cplan.slots[Var("V")]
+        cols = [None] * cplan.nslots
+        cols[x_slot] = [db.intern(n("p1"))]
+        cols[v_slot] = [db.intern(n(99))]
+        with pytest.raises(ScalarConflictError):
+            emit(cols, 1, [])
+
+    def test_virtual_creating_head_has_no_emitter(self, db):
+        rule, cplan = self.rule_and_cplan(
+            db, "X.boss[city -> C] <- X[age -> C].")
+        assert columnar_head_emitter(db, rule, cplan) is None
+
+    def test_open_change_log_disables_the_emitter(self, db):
+        db.begin_changes()
+        rule, cplan = self.rule_and_cplan(
+            db, "X[reach ->> {V}] <- X[vehicles ->> {V}].")
+        assert columnar_head_emitter(db, rule, cplan) is None
+
+
+class TestDeferredDrain:
+    def test_int_writer_defers_boxed_backfill(self, db):
+        db.sets.surrogate_view(db.interner)
+        marked = db.intern(db.obj("marked"))
+        write = db.sets.int_writer(n("marked"), marked)
+        p1, car0 = db.intern(n("p1")), db.intern(n("car0"))
+        assert write(p1, car0)
+        assert not write(p1, car0)  # int-space duplicate
+        assert db.sets._pending
+        # Any boxed entry point drains first; the fact is visible.
+        assert db.sets.get(n("marked"), n("p1")) == frozenset({n("car0")})
+        assert not db.sets._pending
+
+    def test_scalar_writer_conflict_semantics(self, db):
+        db.scalars.surrogate_view(db.interner)
+        rank = db.intern(db.obj("rank"))
+        write = db.scalars.int_writer(n("rank"), rank)
+        p1 = db.intern(n("p1"))
+        assert write(p1, db.intern(n(1)))
+        assert not write(p1, db.intern(n(1)))  # same result: no-op
+        with pytest.raises(ScalarConflictError):
+            write(p1, db.intern(n(2)))
+        assert db.scalars.get(n("rank"), n("p1"), ()) == n(1)
+
+    def test_clone_drains_pending_writes(self, db):
+        db.sets.surrogate_view(db.interner)
+        marked = db.intern(db.obj("marked"))
+        write = db.sets.int_writer(n("marked"), marked)
+        write(db.intern(n("p2")), db.intern(n("car2")))
+        copy = db.clone()
+        assert copy.sets.get(n("marked"), n("p2")) == frozenset({n("car2")})
+
+
+class TestIntDeltaIndex:
+    def test_carried_surrogates_skip_reinterning(self, db):
+        reach = n("reach")
+        p1 = db.intern(n("p1"))
+        car0 = db.intern(n("car0"))
+        entries = [
+            ("set", reach, n("p1"), (), n("car0"), p1, car0),  # stamped
+            ("set", reach, n("p2"), (), n("car2")),            # boxed
+            ("scalar", n("age"), n("p1"), (), n(30)),          # wrong kind
+            ("isa", n("p1"), n("flagged")),                    # wrong kind
+        ]
+        index = IntDeltaIndex(entries, db.interner)
+        subjects, results = index.int_bucket("set", reach)
+        assert subjects == [p1, db.intern(n("p2"))]
+        assert results == [car0, db.intern(n("car2"))]
+        # Memoised: the same bucket object serves every rule position.
+        assert index.int_bucket("set", reach) is index.int_bucket(
+            "set", reach)
+
+
+class TestEngineIntegration:
+    PROGRAM = """
+        X[reach ->> {Y}] <- X[next -> Y].
+        X[reach ->> {Z}] <- X[reach ->> {Y}], Y[next -> Z].
+    """
+
+    @pytest.fixture
+    def chain_db(self):
+        db = Database()
+        for i in range(8):
+            db.add_object(f"n{i}", scalars={"next": f"n{i + 1}"})
+        return db
+
+    def _sets(self, db):
+        return {(key, frozenset(bucket)) for key, bucket in db.sets.items()}
+
+    def test_fixpoint_matches_batch_and_compiled(self, chain_db):
+        program = parse_program(self.PROGRAM)
+        engines = {executor: Engine(chain_db, program, executor=executor)
+                   for executor in ("columnar", "batch", "compiled")}
+        results = {executor: self._sets(engine.run())
+                   for executor, engine in engines.items()}
+        assert results["columnar"] == results["batch"] == results["compiled"]
+        col, batch = engines["columnar"], engines["batch"]
+        assert col.stats.tuples == batch.stats.tuples
+        assert col.stats.firings == batch.stats.firings
+        assert col.stats.derived_total == batch.stats.derived_total
+
+    def test_explain_names_int_kernels(self, chain_db):
+        engine = Engine(chain_db, parse_program(self.PROGRAM),
+                        executor="columnar")
+        engine.run()
+        kernels = [step.kernel for report in engine.plan_reports()
+                   for step in report.steps]
+        assert kernels
+        assert any(kernel.startswith("int ") for kernel in kernels)
+
+    def test_delta_plan_consumes_stamped_log_entries(self, chain_db):
+        atom = SetMemberAtom(Name("reach"), Var("X"), (), Var("Y"))
+        rest = atoms_for("Y[next -> Z]")
+        bound = relevant_bound(rest, atom.variables())
+        plan = build_plan(chain_db, rest, bound)
+        delta_plan = compile_columnar_delta_plan(chain_db, atom, plan)
+        x = chain_db.intern(n("n0"))
+        y = chain_db.intern(n("n1"))
+        delta = IntDeltaIndex(
+            [("set", n("reach"), n("n0"), (), n("n1"), x, y)],
+            chain_db.interner)
+        rows = answer_set(delta_plan.execute(delta))
+        assert rows == {frozenset({(Var("X"), n("n0")), (Var("Y"), n("n1")),
+                                   (Var("Z"), n("n2"))})}

@@ -1,0 +1,166 @@
+"""Dense OID surrogates: the interner and its database integration.
+
+The columnar executor trusts three invariants absolutely: surrogates
+are a bijection over live objects (two live OIDs never share an int),
+they are *dense* (drawn from ``0..capacity-1`` so a plain list serves
+as the resolver), and they are *stable across clones* (the engine
+evaluates on a clone, so plans compiled against the original must agree
+with the copy).  These tests pin each invariant directly, plus the
+lifecycle edges: retire/free-list reuse, retraction followed by
+re-assertion, and change-log trimming while mirrors are live.
+"""
+
+from repro.oodb.database import Database
+from repro.oodb.oid import NamedOid, OidInterner, VirtualOid
+
+
+def n(value):
+    return NamedOid(value)
+
+
+class TestInterner:
+    def test_intern_resolve_bijection(self):
+        interner = OidInterner()
+        oids = [n("a"), n("b"), n(30), n("x y"),
+                VirtualOid(n("boss"), n("a"))]
+        surrogates = [interner.intern(oid) for oid in oids]
+        assert len(set(surrogates)) == len(oids)
+        for oid, surrogate in zip(oids, surrogates):
+            assert interner.resolve(surrogate) == oid
+            assert interner.surrogate(oid) == surrogate
+            assert interner.intern(oid) == surrogate  # idempotent
+
+    def test_surrogates_are_dense(self):
+        interner = OidInterner()
+        for index, name in enumerate("abcdef"):
+            assert interner.intern(n(name)) == index
+        assert interner.capacity == 6
+        assert len(interner) == 6
+
+    def test_unknown_oid_has_no_surrogate(self):
+        interner = OidInterner()
+        assert interner.surrogate(n("ghost")) is None
+
+    def test_retire_tombstones_and_reuses(self):
+        interner = OidInterner()
+        a, b = interner.intern(n("a")), interner.intern(n("b"))
+        assert interner.retire(n("a"))
+        assert not interner.retire(n("a"))  # already gone
+        assert interner.resolve(a) is None  # tombstoned, not shifted
+        assert interner.surrogate(n("a")) is None
+        assert interner.resolve(b) == n("b")
+        # The freed slot is recycled for the *next* new object ...
+        c = interner.intern(n("c"))
+        assert c == a
+        assert interner.capacity == 2  # no growth
+
+    def test_free_list_reuse_never_aliases_two_live_objects(self):
+        interner = OidInterner()
+        pool = [n(f"o{i}") for i in range(8)]
+        for oid in pool:
+            interner.intern(oid)
+        for oid in pool[::2]:
+            interner.retire(oid)
+        fresh = [n(f"fresh{i}") for i in range(6)]
+        for oid in fresh:
+            interner.intern(oid)
+        live = pool[1::2] + fresh
+        surrogates = {oid: interner.surrogate(oid) for oid in live}
+        assert len(set(surrogates.values())) == len(live)
+        for oid, surrogate in surrogates.items():
+            assert interner.resolve(surrogate) == oid
+
+    def test_reinterning_retired_oid_gets_a_fresh_slot(self):
+        interner = OidInterner()
+        old = interner.intern(n("a"))
+        interner.retire(n("a"))
+        interner.intern(n("blocker"))  # consumes the freed slot
+        again = interner.intern(n("a"))
+        assert again != old
+        assert interner.resolve(again) == n("a")
+
+    def test_resolver_list_is_live(self):
+        interner = OidInterner()
+        resolver = interner.resolver()
+        surrogate = interner.intern(n("late"))
+        assert resolver[surrogate] == n("late")
+
+    def test_clone_is_independent_but_identical(self):
+        interner = OidInterner()
+        a = interner.intern(n("a"))
+        interner.intern(n("doomed"))
+        interner.retire(n("doomed"))
+        copy = interner.clone()
+        assert copy.surrogate(n("a")) == a
+        # Divergence after the clone stays local to each side.
+        left = interner.intern(n("left"))
+        right = copy.intern(n("right"))
+        assert left == right  # both reuse the same freed slot ...
+        assert interner.resolve(left) == n("left")
+        assert copy.resolve(right) == n("right")  # ... independently
+        assert copy.surrogate(n("left")) is None
+
+
+class TestDatabaseSurrogates:
+    def test_database_intern_resolve_roundtrip(self):
+        db = Database()
+        mary = db.obj("mary")
+        surrogate = db.intern(mary)
+        assert db.resolve(surrogate) == mary
+        assert db.intern(mary) == surrogate
+
+    def test_surrogates_stable_across_clone(self):
+        db = Database()
+        db.add_object("p1", scalars={"age": 30}, sets={"kids": ["p2"]})
+        surrogates = {name: db.intern(db.obj(name))
+                      for name in ("p1", "p2", "age", "kids", 30)}
+        copy = db.clone()
+        for name, surrogate in surrogates.items():
+            assert copy.intern(copy.obj(name)) == surrogate
+        # New interning after the clone diverges independently.
+        assert db.intern(db.obj("onlyLeft")) == copy.intern(
+            copy.obj("onlyRight"))
+
+    def test_retraction_and_reassert_keeps_surrogate(self):
+        db = Database()
+        db.add_object("p1", scalars={"boss": "p2"})
+        before = db.intern(db.obj("p2"))
+        db.retract_scalar(db.obj("boss"), db.obj("p1"))
+        # Retraction removes the fact, not the object: its surrogate
+        # survives, so mirrors and plans need no invalidation.
+        db.add_object("p1", scalars={"boss": "p2"})
+        assert db.intern(db.obj("p2")) == before
+        assert db.scalars.get(db.obj("boss"), db.obj("p1"), ()) == n("p2")
+
+    def test_mirror_consistent_after_retract_and_reassert(self):
+        db = Database()
+        db.add_object("p1", scalars={"boss": "p2"})
+        view = db.scalars.surrogate_view(db.interner)
+        m = db.intern(db.obj("boss"))
+        s, r = db.intern(db.obj("p1")), db.intern(db.obj("p2"))
+        assert view.apps[m][s] == r
+        db.retract_scalar(db.obj("boss"), db.obj("p1"))
+        assert s not in db.scalars.surrogate_view(db.interner).apps.get(m, {})
+        db.add_object("p1", scalars={"boss": "p3"})
+        assert db.scalars.surrogate_view(db.interner).apps[m][s] == \
+            db.intern(db.obj("p3"))
+
+    def test_change_log_trimming_with_live_mirrors(self):
+        db = Database()
+        db.add_object("p1", scalars={"boss": "p2"})
+        db.scalars.surrogate_view(db.interner)
+        log = db.begin_changes()
+        db.retract_scalar(db.obj("boss"), db.obj("p1"))
+        db.assert_scalar(db.obj("boss"), db.obj("p1"), (), db.obj("p3"))
+        holder = type("Holder", (), {})()  # weak-referenceable anchor
+        db.hold_changes(holder, log.cursor())
+        db.assert_scalar(db.obj("age"), db.obj("p1"), (), db.obj(30))
+        assert db.trim_changes() == 2  # everything below the held cursor
+        assert len(log.since(log.cursor() - 1)) == 1
+        # Trimming touches only the log: surrogates and the mirror
+        # still agree with the boxed table.
+        m = db.intern(db.obj("boss"))
+        s = db.intern(db.obj("p1"))
+        view = db.scalars.surrogate_view(db.interner)
+        assert view.apps[m][s] == db.intern(db.obj("p3"))
+        db.release_changes(holder)
