@@ -25,12 +25,17 @@ columns over the OID interner, the engine's fixpoint default),
 ``interpreted`` (the dict-binding walk); ``--stats`` rows ``batches``
 and ``batch_rows`` report how many batched executions ran and how many
 solution rows they produced (zero outside batched evaluation).
+``--timeout-ms`` and ``--max-derived`` attach a cooperative
+:class:`~repro.engine.budget.QueryBudget` to the whole invocation
+(evaluation, maintenance, and query answering share one deadline); on
+expiry the process prints one ``error:`` line and exits with code 2
+(see docs/robustness.md).
 The ``explain`` subcommand prints the plan of one query -- ordered
 atoms, estimated (and, unless ``--no-analyze`` is given, actual) rows,
 and the access path per atom; with ``--magic`` it also prints the
-demand section.  The subcommand is recognised by its first-argument
-position; a program file literally named ``explain`` must be written as
-``./explain``.
+demand section, and it accepts the same budget flags.  The subcommand
+is recognised by its first-argument position; a program file literally
+named ``explain`` must be written as ``./explain``.
 
 Long-lived embedders (servers holding a :class:`~repro.query.Query`
 over a mutating database) additionally get incremental view
@@ -50,8 +55,8 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from repro.engine import Engine, EngineLimits
-from repro.errors import PathLogError
+from repro.engine import Engine, EngineLimits, QueryBudget
+from repro.errors import BudgetExceededError, PathLogError
 from repro.lang.parser import parse_program
 from repro.oodb import serialize
 from repro.oodb.database import Database
@@ -93,7 +98,26 @@ def build_parser() -> argparse.ArgumentParser:
                              "(boxed set-at-a-time columns), compiled "
                              "(tuple-at-a-time kernels, the query default), "
                              "or interpreted (dict-binding walk)")
+    _add_budget_arguments(parser)
     return parser
+
+
+def _add_budget_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--timeout-ms", type=float, metavar="MS",
+                        help="wall-clock budget for the whole invocation; "
+                             "on expiry evaluation stops at the next "
+                             "checkpoint and the process exits 2")
+    parser.add_argument("--max-derived", type=int, metavar="N",
+                        help="cap on facts a single fixpoint run may "
+                             "derive; on excess the process exits 2")
+
+
+def _budget_from(args) -> QueryBudget | None:
+    """One shared budget per invocation, or None without limits."""
+    if args.timeout_ms is None and args.max_derived is None:
+        return None
+    return QueryBudget(timeout_ms=args.timeout_ms,
+                       max_derived=args.max_derived)
 
 
 def build_explain_parser() -> argparse.ArgumentParser:
@@ -120,6 +144,7 @@ def build_explain_parser() -> argparse.ArgumentParser:
                                  "interpreted"],
                         help="executor whose kernels the plan report names "
                              "(and runs, unless --no-analyze)")
+    _add_budget_arguments(parser)
     return parser
 
 
@@ -143,22 +168,27 @@ def run(argv: Sequence[str] | None = None, *, out=None) -> int:
             print("error: --magic derives only what the queries demand; "
                   "--dump needs the full fixpoint (drop --magic)", file=out)
             return 2
+    budget = _budget_from(args)
     try:
         if args.magic:
-            return _run_magic(args, out)
+            return _run_magic(args, out, budget)
         db = _load_database(args)
-        db, engine = _evaluate(args, db)
+        db, engine = _evaluate(args, db, budget)
         if engine is not None and args.stats:
             for key, value in engine.stats.as_row().items():
                 print(f"stats {key}: {value}", file=out)
         if engine is not None and args.explain:
             print(engine.explain(), file=out)
         for text in args.query:
-            _print_rows(Query(db, executor=args.executor).all(text),
+            _print_rows(Query(db, executor=args.executor,
+                              budget=budget).all(text),
                         text, out)
         if args.dump is not None:
             args.dump.write_text(serialize.dumps(db, indent=2))
             print(f"dumped database to {args.dump}", file=out)
+    except BudgetExceededError as error:
+        print(f"error: {error}", file=out)
+        return 2
     except PathLogError as error:
         print(f"error: {error}", file=out)
         return 1
@@ -168,14 +198,14 @@ def run(argv: Sequence[str] | None = None, *, out=None) -> int:
     return 0
 
 
-def _run_magic(args, out) -> int:
+def _run_magic(args, out, budget=None) -> int:
     """Demand-driven query answering (``--magic``)."""
     db = _load_database(args)
     program = parse_program(args.program.read_text())
     limits = EngineLimits(max_iterations=args.max_iterations)
     query = Query(db, program=program, magic=True,
                   seminaive=not args.naive, limits=limits,
-                  executor=args.executor)
+                  executor=args.executor, budget=budget)
     for text in args.query:
         _print_rows(query.all(text), text, out)
         engine = query.last_demand
@@ -193,20 +223,24 @@ def _run_explain(argv: Sequence[str], out) -> int:
         print("error: --magic needs --program (the rules to rewrite)",
               file=out)
         return 2
+    budget = _budget_from(args)
     try:
         db = _load_database(args)
         if args.magic:
             program = parse_program(args.program.read_text())
             query = Query(db, program=program, magic=True,
-                          executor=args.executor)
+                          executor=args.executor, budget=budget)
         elif args.program is not None:
             program = parse_program(args.program.read_text())
-            query = Query(Engine(db, program).run(),
-                          executor=args.executor)
+            query = Query(Engine(db, program, budget=budget).run(),
+                          executor=args.executor, budget=budget)
         else:
-            query = Query(db, executor=args.executor)
+            query = Query(db, executor=args.executor, budget=budget)
         report = query.explain(args.query, analyze=not args.no_analyze)
         print(report.render(), file=out)
+    except BudgetExceededError as error:
+        print(f"error: {error}", file=out)
+        return 2
     except PathLogError as error:
         print(f"error: {error}", file=out)
         return 1
@@ -222,13 +256,13 @@ def _load_database(args) -> Database:
     return Database()
 
 
-def _evaluate(args, db: Database):
+def _evaluate(args, db: Database, budget=None):
     if args.program is None:
         return db, None
     program = parse_program(args.program.read_text())
     limits = EngineLimits(max_iterations=args.max_iterations)
     engine = Engine(db, program, seminaive=not args.naive, limits=limits,
-                    executor=args.executor)
+                    executor=args.executor, budget=budget)
     return engine.run(), engine
 
 

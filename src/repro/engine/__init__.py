@@ -34,9 +34,13 @@ applied"; this package supplies them:
   recursive ones, driven by the database change log;
 - :mod:`repro.engine.fixpoint` -- the :class:`Engine` driver with naive
   and semi-naive iteration, resource limits, plan capture, and
-  profiling.
+  profiling;
+- :mod:`repro.engine.budget` -- cooperative :class:`QueryBudget`
+  deadlines, derived-fact caps, and cancellation, checked at the
+  engine's coarse-grained checkpoints (see ``docs/robustness.md``).
 """
 
+from repro.engine.budget import QueryBudget
 from repro.engine.batch import (
     BatchDeltaPlan,
     BatchPlan,
@@ -86,6 +90,7 @@ __all__ = [
     "PlanCache",
     "PlanReport",
     "PlanStep",
+    "QueryBudget",
     "StepView",
     "SupportIndex",
     "adornment",

@@ -56,6 +56,7 @@ from repro.engine.compile import (
 from repro.engine.matching import UNRESTRICTED, Binding, MatchPolicy
 from repro.engine.planner import Plan
 from repro.errors import EvaluationError
+from repro.testing.faults import fault_point
 from repro.flogic.atoms import (
     Atom,
     ComparisonAtom,
@@ -145,7 +146,7 @@ def _empty_builder(carry: tuple) -> BatchStep:
 _EXISTS_CHUNK = 64
 
 def exists_over(steps: Sequence[BatchStep], cols: list, nrows: int,
-                stats=None) -> bool:
+                stats=None, budget=None) -> bool:
     """True as soon as any row survives every step, depth-first.
 
     A plain batched execution materialises the *whole* batch at every
@@ -155,18 +156,23 @@ def exists_over(steps: Sequence[BatchStep], cols: list, nrows: int,
     abandons all remaining work.  Steps are pure against a database
     that is frozen during body evaluation, so skipping rows cannot
     change the verdict.  ``stats.batch_rows`` (when given) accrues only
-    the rows actually pushed through a step.
+    the rows actually pushed through a step; ``budget`` (a
+    :class:`~repro.engine.budget.QueryBudget`) is checked once per step
+    executed.
     """
-    return _exists_from(steps, 0, cols, nrows, stats)
+    return _exists_from(steps, 0, cols, nrows, stats, budget)
 
 
-def _exists_from(steps, k: int, cols: list, nrows: int, stats) -> bool:
+def _exists_from(steps, k: int, cols: list, nrows: int, stats,
+                 budget) -> bool:
     nsteps = len(steps)
     while True:
         if k == nsteps:
             return nrows > 0
         if nrows > _EXISTS_CHUNK:
             break
+        if budget is not None:
+            budget.check("batch.step")
         nrows = steps[k](cols, nrows)
         if stats is not None:
             stats.batch_rows += nrows
@@ -177,7 +183,7 @@ def _exists_from(steps, k: int, cols: list, nrows: int, stats) -> bool:
         stop = min(start + _EXISTS_CHUNK, nrows)
         chunk = [col[start:stop] if type(col) is list else col
                  for col in cols]
-        if _exists_from(steps, k, chunk, stop - start, stats):
+        if _exists_from(steps, k, chunk, stop - start, stats, budget):
             return True
     return False
 
@@ -910,19 +916,27 @@ class BatchPlan:
         return cols
 
     def column_executor(self, counters: list[int] | None = None,
-                        project: Sequence[Var] | None = None):
+                        project: Sequence[Var] | None = None,
+                        budget=None):
         """``(execute, out_pairs)``: raw column access for batch callers.
 
         ``execute(binding)`` returns ``(cols, nrows)``; ``out_pairs``
-        maps each (projected) variable to its column slot.
+        maps each (projected) variable to its column slot.  ``budget``
+        (a :class:`~repro.engine.budget.QueryBudget`) is checked once
+        per kernel step -- the cooperative cancellation granularity of
+        batched execution.
         """
         out = self._out_pairs(project)
         steps = self._build_steps({slot for _, slot in out})
+        check = budget.check if budget is not None else None
         if counters is None:
             def execute(binding: Binding | None = None):
                 cols = self._seed(binding)
                 nrows = 1
                 for step in steps:
+                    fault_point("batch.step")
+                    if check is not None:
+                        check("batch.step")
                     nrows = step(cols, nrows)
                     if not nrows:
                         break
@@ -932,6 +946,9 @@ class BatchPlan:
                 cols = self._seed(binding)
                 nrows = 1
                 for index, step in enumerate(steps):
+                    fault_point("batch.step")
+                    if check is not None:
+                        check("batch.step")
                     nrows = step(cols, nrows)
                     counters[index] += nrows
                     if not nrows:
@@ -940,10 +957,11 @@ class BatchPlan:
         return execute, out
 
     def executor(self, counters: list[int] | None = None,
-                 project: Sequence[Var] | None = None
+                 project: Sequence[Var] | None = None,
+                 budget=None
                  ) -> Callable[[Binding | None], Iterator[Binding]]:
         """A dict-yielding entry point (CompiledPlan.executor parity)."""
-        run, out = self.column_executor(counters, project)
+        run, out = self.column_executor(counters, project, budget)
 
         def execute(binding: Binding | None = None) -> Iterator[Binding]:
             cols, nrows = run(binding)
@@ -956,15 +974,17 @@ class BatchPlan:
         return execute
 
     def execute(self, binding: Binding | None = None,
-                counters: list[int] | None = None) -> Iterator[Binding]:
+                counters: list[int] | None = None,
+                budget=None) -> Iterator[Binding]:
         """Yield every solution extending ``binding`` (dict form)."""
-        if counters is None:
+        if counters is None and budget is None:
             if self._plain is None:
                 self._plain = self.executor()
             return self._plain(binding)
-        return self.executor(counters)(binding)
+        return self.executor(counters, budget=budget)(binding)
 
-    def exists(self, binding: Binding | None = None, stats=None) -> bool:
+    def exists(self, binding: Binding | None = None, stats=None,
+               budget=None) -> bool:
         """True when at least one solution extends ``binding``.
 
         Short-circuits: rows are pushed through the steps in chunks and
@@ -976,7 +996,7 @@ class BatchPlan:
             steps = self._exists = self._build_steps(set())
         if stats is not None:
             stats.batches += 1
-        return exists_over(steps, self._seed(binding), 1, stats)
+        return exists_over(steps, self._seed(binding), 1, stats, budget)
 
 
 def compile_batch_plan(db: Database, plan: Plan,
@@ -1079,7 +1099,8 @@ class BatchDeltaPlan:
                            self._seed[1], out_slots)
 
     def column_executor(self, counters: list[int] | None = None,
-                        project: Sequence[Var] | None = None):
+                        project: Sequence[Var] | None = None,
+                        budget=None):
         """``(execute, out_pairs)`` with ``execute(delta) -> (cols, nrows)``."""
         out = self._out
         if project is not None:
@@ -1088,6 +1109,7 @@ class BatchDeltaPlan:
         steps = self._build_steps({slot for _, slot in out})
         seed, _ = self._seed
         nslots = self.nslots
+        check = budget.check if budget is not None else None
         if counters is None:
             def execute(delta):
                 cols: list = [None] * nslots
@@ -1095,6 +1117,9 @@ class BatchDeltaPlan:
                 for step in steps:
                     if not nrows:
                         break
+                    fault_point("batch.step")
+                    if check is not None:
+                        check("batch.step")
                     nrows = step(cols, nrows)
                 return cols, nrows
         else:
@@ -1105,15 +1130,19 @@ class BatchDeltaPlan:
                 for index, step in enumerate(steps):
                     if not nrows:
                         break
+                    fault_point("batch.step")
+                    if check is not None:
+                        check("batch.step")
                     nrows = step(cols, nrows)
                     counters[index + 1] += nrows
                 return cols, nrows
         return execute, out
 
     def executor(self, counters: list[int] | None = None,
-                 project: Sequence[Var] | None = None):
+                 project: Sequence[Var] | None = None,
+                 budget=None):
         """A dict-yielding entry point taking the delta log."""
-        run, out = self.column_executor(counters, project)
+        run, out = self.column_executor(counters, project, budget)
 
         def execute(delta) -> Iterator[Binding]:
             cols, nrows = run(delta)

@@ -73,6 +73,7 @@ from repro.engine.matching import (
 from repro.engine.planner import Plan
 from repro.errors import EvaluationError
 from repro.flogic.atoms import Atom, ScalarAtom, SetMemberAtom
+from repro.testing.faults import fault_point
 from repro.oodb.database import Database
 from repro.oodb.oid import NamedOid, Oid, OidInterner
 
@@ -646,11 +647,13 @@ class ColumnarPlan:
 
     def column_executor(self, counters: list[int] | None = None,
                         project: Sequence[Var] | None = None,
-                        raw: bool = False):
+                        raw: bool = False, budget=None):
         """``(execute, out_pairs)``: column access for batch callers.
 
         With ``raw=False`` (the default) output columns hold OIDs; with
         ``raw=True`` int slots keep their surrogates (consult ``reps``).
+        ``budget`` is checked once per kernel step (the cooperative
+        cancellation granularity of columnar execution).
         """
         out = self._out_pairs(project)
         steps = self._build_steps({slot for _, slot in out})
@@ -658,17 +661,24 @@ class ColumnarPlan:
         deref = (() if raw
                  else tuple(slot for _, slot in out if reps[slot]))
         resolver = self.interner.resolver()
+        check = budget.check if budget is not None else None
 
         def execute(binding: Binding | None = None):
             cols = self._seed(binding)
             nrows = 1
             if counters is None:
                 for step in steps:
+                    fault_point("columnar.step")
+                    if check is not None:
+                        check("columnar.step")
                     nrows = step(cols, nrows)
                     if not nrows:
                         break
             else:
                 for index, step in enumerate(steps):
+                    fault_point("columnar.step")
+                    if check is not None:
+                        check("columnar.step")
                     nrows = step(cols, nrows)
                     counters[index] += nrows
                     if not nrows:
@@ -681,10 +691,11 @@ class ColumnarPlan:
         return execute, out
 
     def executor(self, counters: list[int] | None = None,
-                 project: Sequence[Var] | None = None
+                 project: Sequence[Var] | None = None,
+                 budget=None
                  ) -> Callable[[Binding | None], Iterator[Binding]]:
         """A dict-yielding entry point (CompiledPlan.executor parity)."""
-        run, out = self.column_executor(counters, project)
+        run, out = self.column_executor(counters, project, budget=budget)
 
         def execute(binding: Binding | None = None) -> Iterator[Binding]:
             cols, nrows = run(binding)
@@ -697,15 +708,17 @@ class ColumnarPlan:
         return execute
 
     def execute(self, binding: Binding | None = None,
-                counters: list[int] | None = None) -> Iterator[Binding]:
+                counters: list[int] | None = None,
+                budget=None) -> Iterator[Binding]:
         """Yield every solution extending ``binding`` (dict form)."""
-        if counters is None:
+        if counters is None and budget is None:
             if self._plain is None:
                 self._plain = self.executor()
             return self._plain(binding)
-        return self.executor(counters)(binding)
+        return self.executor(counters, budget=budget)(binding)
 
-    def exists(self, binding: Binding | None = None, stats=None) -> bool:
+    def exists(self, binding: Binding | None = None, stats=None,
+               budget=None) -> bool:
         """True when at least one solution extends ``binding``.
 
         Chunked and short-circuiting, like
@@ -716,7 +729,7 @@ class ColumnarPlan:
             steps = self._exists = self._build_steps(set())
         if stats is not None:
             stats.batches += 1
-        return exists_over(steps, self._seed(binding), 1, stats)
+        return exists_over(steps, self._seed(binding), 1, stats, budget)
 
 
 def compile_columnar_plan(db: Database, plan: Plan,
@@ -831,7 +844,7 @@ class ColumnarDeltaPlan:
 
     def column_executor(self, counters: list[int] | None = None,
                         project: Sequence[Var] | None = None,
-                        raw: bool = False):
+                        raw: bool = False, budget=None):
         """``(execute, out_pairs)`` with ``execute(delta) -> (cols, nrows)``."""
         out = self._out
         if project is not None:
@@ -844,6 +857,7 @@ class ColumnarDeltaPlan:
         deref = (() if raw
                  else tuple(slot for _, slot in out if reps[slot]))
         resolver = self.interner.resolver()
+        check = budget.check if budget is not None else None
 
         def execute(delta):
             cols: list = [None] * nslots
@@ -852,12 +866,18 @@ class ColumnarDeltaPlan:
                 for step in steps:
                     if not nrows:
                         break
+                    fault_point("columnar.step")
+                    if check is not None:
+                        check("columnar.step")
                     nrows = step(cols, nrows)
             else:
                 counters[0] += nrows
                 for index, step in enumerate(steps):
                     if not nrows:
                         break
+                    fault_point("columnar.step")
+                    if check is not None:
+                        check("columnar.step")
                     nrows = step(cols, nrows)
                     counters[index + 1] += nrows
             if nrows:
@@ -868,9 +888,10 @@ class ColumnarDeltaPlan:
         return execute, out
 
     def executor(self, counters: list[int] | None = None,
-                 project: Sequence[Var] | None = None):
+                 project: Sequence[Var] | None = None,
+                 budget=None):
         """A dict-yielding entry point taking the delta log."""
-        run, out = self.column_executor(counters, project)
+        run, out = self.column_executor(counters, project, budget=budget)
 
         def execute(delta) -> Iterator[Binding]:
             cols, nrows = run(delta)

@@ -796,16 +796,23 @@ class CompiledPlan:
             None
 
     def executor(self, counters: list[int] | None = None,
-                 project: Sequence[Var] | None = None
+                 project: Sequence[Var] | None = None,
+                 budget=None
                  ) -> Callable[[Binding | None], Iterator[Binding]]:
         """Build an execution entry point.
 
         ``counters[i]`` accumulates step i's actual rows (a separate
         counting composition; the plain runner stays branch-free).
         ``project`` restricts the solution dicts to the given variables
-        (plus whatever the seed binding carried).
+        (plus whatever the seed binding carried).  ``budget`` (a
+        :class:`~repro.engine.budget.QueryBudget`) inserts a periodic
+        cooperative checkpoint -- once on entry, then every 256 rows --
+        around the otherwise branch-free kernel chain; without one the
+        plain runner is unchanged.
         """
         run = _compose(self._kernels, counters)
+        if budget is not None:
+            run = _budgeted_run(run, budget)
         nslots = self.nslots
         entry = self._entry
         out = self._out
@@ -851,13 +858,27 @@ class CompiledPlan:
         return execute
 
     def execute(self, binding: Binding | None = None,
-                counters: list[int] | None = None) -> Iterator[Binding]:
+                counters: list[int] | None = None,
+                budget=None) -> Iterator[Binding]:
         """Yield every solution extending ``binding`` (dict form)."""
-        if counters is None:
+        if counters is None and budget is None:
             if self._plain is None:
                 self._plain = self.executor()
             return self._plain(binding)
-        return self.executor(counters)(binding)
+        return self.executor(counters, budget=budget)(binding)
+
+
+def _budgeted_run(run, budget):
+    """Wrap a composed kernel chain with periodic budget checkpoints."""
+    def checked(regs):
+        budget.check("compiled.run")
+        rows = 0
+        for row in run(regs):
+            rows += 1
+            if not rows & 0xFF:
+                budget.check("compiled.run")
+            yield row
+    return checked
 
 
 def compile_plan(db: Database, plan: Plan,

@@ -58,7 +58,8 @@ from repro.engine.planner import Plan, PlanCache, relevant_bound
 from repro.engine.profiler import EngineStats
 from repro.engine.solve import execute_plan, solve
 from repro.engine.stratify import stratify
-from repro.errors import ResourceLimitError
+from repro.errors import BudgetExceededError, ResourceLimitError
+from repro.testing.faults import fault_point
 from repro.flogic.atoms import (
     EnumSupersetAtom,
     IsaAtom,
@@ -154,8 +155,13 @@ class Engine:
                  use_planner: bool = True,
                  compiled: bool = True,
                  executor: str | None = None,
-                 record_support: bool = False) -> None:
+                 record_support: bool = False,
+                 budget=None) -> None:
         self._db = db
+        #: Cooperative :class:`~repro.engine.budget.QueryBudget` (or
+        #: None): checked per fixpoint iteration and per kernel step,
+        #: charged with every newly derived fact.
+        self._budget = budget
         self._rules = normalize_program(program)
         self._seminaive = seminaive
         self._limits = limits or EngineLimits()
@@ -214,7 +220,20 @@ class Engine:
         return DemandEngine(db, program, query, magic=magic, **kwargs)
 
     def run(self) -> Database:
-        """Evaluate to fixpoint; returns the materialised database."""
+        """Evaluate to fixpoint; returns the materialised database.
+
+        With a budget attached, expiry raises the typed
+        :class:`~repro.errors.BudgetExceededError` subclass from the
+        checkpoint that noticed; the error and :attr:`stats`
+        (``stopped_at``, ``budget_checks``) report where evaluation
+        stopped.  The input database is a pre-clone snapshot either
+        way, so an interrupted run leaves no partial state behind --
+        the half-built clone is simply discarded.
+        """
+        budget = self._budget
+        if budget is not None:
+            budget.begin_run()
+            budget.check("engine.start")
         work = self._db.clone()
         strata = stratify(self._rules)
         if self._record_support and self.support is None:
@@ -236,16 +255,23 @@ class Engine:
             work, max_virtual_depth=self._limits.max_virtual_depth
         )
         started = time.perf_counter()
-        for group in strata:
-            self._eval_stratum(work, group, realizer)
-        self.stats.elapsed_s = time.perf_counter() - started
-        self.stats.virtuals_created = realizer.virtuals_created
-        self.stats.plans_built = self._plan_cache.misses
-        self.stats.plan_cache_hits = self._plan_cache.hits
-        self.stats.tuples = (
-            sum(sum(r.counters) for r in self._plan_records.values())
-            + sum(r.tuples() for r in self._delta_records.values())
-        )
+        try:
+            for level, group in enumerate(strata):
+                self._eval_stratum(work, group, realizer, level)
+        except BudgetExceededError as error:
+            self.stats.stopped_at = error.where
+            raise
+        finally:
+            self.stats.elapsed_s = time.perf_counter() - started
+            self.stats.virtuals_created = realizer.virtuals_created
+            self.stats.plans_built = self._plan_cache.misses
+            self.stats.plan_cache_hits = self._plan_cache.hits
+            self.stats.tuples = (
+                sum(sum(r.counters) for r in self._plan_records.values())
+                + sum(r.tuples() for r in self._delta_records.values())
+            )
+            if budget is not None:
+                self.stats.budget_checks = budget.checks
         return work
 
     # ------------------------------------------------------------------
@@ -284,11 +310,16 @@ class Engine:
     # ------------------------------------------------------------------
 
     def _eval_stratum(self, db: Database, rules: list[NormalizedRule],
-                      realizer: HeadRealizer) -> None:
+                      realizer: HeadRealizer, level: int = 0) -> None:
+        budget = self._budget
         delta: list[Derived] | None = None
         iterations = 0
         while True:
             iterations += 1
+            fault_point("engine.iteration")
+            if budget is not None:
+                budget.check("engine.iteration", stratum=level,
+                             iteration=iterations)
             if iterations > self._limits.max_iterations:
                 raise ResourceLimitError(
                     f"no fixpoint after {self._limits.max_iterations} "
@@ -325,11 +356,14 @@ class Engine:
                     self._fire_delta(db, rule, realizer, delta_fire)
             if len(db) > self._limits.max_universe:
                 raise ResourceLimitError(
-                    f"universe grew past {self._limits.max_universe} "
-                    f"objects; the program likely creates virtual objects "
-                    f"without bound"
+                    f"universe grew past EngineLimits.max_universe = "
+                    f"{self._limits.max_universe} objects; the program "
+                    f"likely creates virtual objects without bound"
                 )
             self.stats.count_derived(new_log)
+            if budget is not None:
+                budget.charge(len(new_log), "engine.iteration",
+                              stratum=level, iteration=iterations)
             if not new_log:
                 break
             delta = new_log if self._seminaive else None
@@ -373,7 +407,7 @@ class Engine:
                 record.execute_cols, record.head_pairs = \
                     cplan.column_executor(record.counters,
                                           project=variables_of(rule.head),
-                                          raw=raw)
+                                          raw=raw, budget=self._budget)
                 self.stats.plans_compiled += 1
             elif self._executor == "batch" and plan.steps:
                 from repro.engine.batch import (
@@ -385,14 +419,16 @@ class Engine:
                 record.kernels = batch.kernel_names
                 record.execute_cols, record.head_pairs = \
                     batch.column_executor(record.counters,
-                                          project=variables_of(rule.head))
+                                          project=variables_of(rule.head),
+                                          budget=self._budget)
                 record.emit = head_emitter(db, rule, batch.slots)
                 self.stats.plans_compiled += 1
             elif self._compiled and plan.steps:
                 compiled = compile_plan(db, plan, self._policy)
                 record.kernels = compiled.kernel_names
                 record.execute = compiled.executor(
-                    record.counters, project=variables_of(rule.head))
+                    record.counters, project=variables_of(rule.head),
+                    budget=self._budget)
                 self.stats.plans_compiled += 1
             self._plan_records[id(rule)] = record
         else:
@@ -458,7 +494,7 @@ class Engine:
                             cplan.column_executor(
                                 record.counters,
                                 project=variables_of(rule.head),
-                                raw=raw)
+                                raw=raw, budget=self._budget)
                         self.stats.plans_compiled += 1
                     elif self._executor == "batch":
                         from repro.engine.batch import (
@@ -471,7 +507,8 @@ class Engine:
                         record.execute_cols, record.head_pairs = \
                             batch.column_executor(
                                 record.counters,
-                                project=variables_of(rule.head))
+                                project=variables_of(rule.head),
+                                budget=self._budget)
                         record.emit = head_emitter(db, rule, batch.slots)
                         self.stats.plans_compiled += 1
                     elif self._compiled:
@@ -519,6 +556,7 @@ class Engine:
         support-recording runs, which observe per-binding) fall back to
         per-row realisation through :meth:`_realize_all`.
         """
+        fault_point("engine.emit")
         self.stats.batches += 1
         self.stats.batch_rows += nrows
         if not nrows:
@@ -539,6 +577,7 @@ class Engine:
     def _realize_all(self, db: Database, rule: NormalizedRule,
                      solutions: list[Binding],
                      realizer: HeadRealizer) -> None:
+        fault_point("engine.emit")
         support = self.support
         if support is not None and support.tracks(rule):
             for binding in solutions:
@@ -573,6 +612,7 @@ class Engine:
             executor=self._executor,
             use_planner=self._use_planner, stats=self.stats,
             max_virtual_depth=self._limits.max_virtual_depth,
+            budget=self._budget,
         )
 
 

@@ -41,6 +41,7 @@ from repro.core.ast import (
 )
 from repro.engine.matching import Binding
 from repro.errors import EvaluationError, ResourceLimitError
+from repro.testing.faults import fault_point
 from repro.oodb.database import Database
 from repro.oodb.oid import Oid, VirtualOid
 
@@ -82,6 +83,7 @@ class HeadRealizer:
         result is a virtual object reuses the *identical*
         :class:`~repro.oodb.oid.VirtualOid` the original run created.
         """
+        fault_point("heads.replay")
         new = 0
         for entry in entries:
             kind = entry[0]
@@ -137,9 +139,11 @@ class HeadRealizer:
         virtual = VirtualOid(method, subject, args)
         if virtual.depth() > self._max_virtual_depth:
             raise ResourceLimitError(
-                f"virtual object nesting exceeded {self._max_virtual_depth} "
-                f"({virtual}); the program likely creates objects without "
-                f"bound -- see DESIGN.md on termination"
+                f"virtual object nesting exceeded "
+                f"EngineLimits.max_virtual_depth = "
+                f"{self._max_virtual_depth} ({virtual}); the program "
+                f"likely creates objects without bound -- see DESIGN.md "
+                f"on termination"
             )
         self._db.assert_scalar(method, subject, args, virtual)
         self.log.append(("scalar", method, subject, args, virtual))

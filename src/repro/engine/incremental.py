@@ -90,6 +90,7 @@ from repro.flogic.atoms import (
 )
 from repro.oodb.database import ChangeEntry, Database
 from repro.oodb.oid import NamedOid, Oid
+from repro.testing.faults import fault_point
 
 #: A fact in realizer-log shape (see :mod:`repro.engine.heads`).
 Fact = tuple
@@ -298,6 +299,9 @@ class SupportIndex:
         self._tracked: dict[int, _TrackedRule] = {}
         self.counts: dict[Fact, int] = {}
         self.seen: set[tuple] = set()
+        #: Open transaction journal (inverse operations, applied LIFO
+        #: by :meth:`rollback_txn`), or None outside a transaction.
+        self._journal: list[tuple] | None = None
         for group in stratify(rules):
             defines_here = [d for rule in group for d in rule.defines]
             for rule in group:
@@ -332,7 +336,10 @@ class SupportIndex:
             return
         self.seen.add(key)
         counts = self.counts
-        for fact in tracked.spec.facts(db, binding):
+        facts = tracked.spec.facts(db, binding)
+        if self._journal is not None:
+            self._journal.append(("observe", key, facts))
+        for fact in facts:
             counts[fact] = counts.get(fact, 0) + 1
 
     def support_key(self, rule: NormalizedRule,
@@ -346,6 +353,8 @@ class SupportIndex:
 
     def retract(self, key: tuple, facts: tuple[Fact, ...]) -> None:
         """Drop one dead support, decrementing its facts' counts."""
+        if self._journal is not None and key in self.seen:
+            self._journal.append(("retract", key, facts))
         self.seen.discard(key)
         counts = self.counts
         for fact in facts:
@@ -357,7 +366,49 @@ class SupportIndex:
 
     def forget(self, fact: Fact) -> None:
         """Drop a fact's counts entirely (DRed removal)."""
+        if self._journal is not None and fact in self.counts:
+            self._journal.append(("forget", fact, self.counts[fact]))
         self.counts.pop(fact, None)
+
+    # -- transactions (the Maintainer's all-or-nothing apply) -----------
+
+    def begin_txn(self) -> None:
+        """Start journalling mutations for a possible rollback."""
+        self._journal = []
+
+    def commit_txn(self) -> None:
+        """Keep the mutations since :meth:`begin_txn`; drop the journal."""
+        self._journal = None
+
+    def rollback_txn(self) -> None:
+        """Undo every mutation since :meth:`begin_txn`, newest first.
+
+        LIFO replay of the journal makes each inverse exact even when
+        several operations touched the same fact or support key.
+        """
+        journal, self._journal = self._journal, None
+        if not journal:
+            return
+        counts = self.counts
+        for entry in reversed(journal):
+            op = entry[0]
+            if op == "observe":
+                _, key, facts = entry
+                self.seen.discard(key)
+                for fact in facts:
+                    remaining = counts.get(fact, 0) - 1
+                    if remaining > 0:
+                        counts[fact] = remaining
+                    else:
+                        counts.pop(fact, None)
+            elif op == "retract":
+                _, key, facts = entry
+                self.seen.add(key)
+                for fact in facts:
+                    counts[fact] = counts.get(fact, 0) + 1
+            else:  # "forget"
+                _, fact, count = entry
+                counts[fact] = count
 
 
 # ---------------------------------------------------------------------------
@@ -462,12 +513,17 @@ class Maintainer:
                  support: SupportIndex | None = None,
                  compiled: bool = True, use_planner: bool = True,
                  executor: str | None = None,
-                 stats=None, max_virtual_depth: int = 32) -> None:
+                 stats=None, max_virtual_depth: int = 32,
+                 budget=None) -> None:
         self._db = db
         self._base = base
         self._rules = list(rules)
         self._policy = policy
         self._support = support
+        #: Cooperative :class:`~repro.engine.budget.QueryBudget` (or
+        #: None): checked once per maintenance round.  Expiry raises
+        #: mid-apply and rides the same rollback as any other failure.
+        self._budget = budget
         self._use_planner = use_planner
         # The delta passes reuse the engine's batched kernels when the
         # owning engine ran batched (columnar or boxed); goal-directed
@@ -508,14 +564,27 @@ class Maintainer:
     # -- public entry point ---------------------------------------------
 
     def apply(self, changes: list[ChangeEntry]) -> MaintenanceReport:
-        """Maintain the result under a change-log slice.
+        """Maintain the result under a change-log slice, all or nothing.
 
         Returns the applied report, or an unapplied one carrying the
         fallback reason -- in which case **nothing was mutated** (all
         fallback conditions are decided before the first write) and the
         caller should re-derive from scratch.
+
+        The write phase is transactional: any exception mid-application
+        (a budget expiry, an injected fault, a genuine bug) rolls the
+        result database back to its pre-call state through
+        :meth:`~repro.oodb.database.Database.rollback_changes` --
+        restoring the support index from its journal first -- and
+        re-raises.  The caller observes either a fully maintained view
+        or the untouched one it started with, never a half-applied mix.
         """
         started = time.perf_counter()
+        fault_point("maintain.apply")
+        budget = self._budget
+        if budget is not None:
+            budget.start()
+            budget.check("maintain.apply")
         inserted, deleted = net_changes(changes)
         report = MaintenanceReport(applied=True,
                                    deleted_base=len(deleted),
@@ -531,10 +600,24 @@ class Maintainer:
                                      deleted_base=len(deleted),
                                      inserted_base=len(inserted))
         report.rules_affected = len(affected)
-        if deleted:
-            self._delete_pass(deleted, affected, report)
-        if inserted:
-            self._insert_pass(inserted, affected, report)
+        # -- writes start here; everything below is all-or-nothing ------
+        checkpoint = self._db.begin_changes().cursor()
+        support = self._support
+        if support is not None:
+            support.begin_txn()
+        try:
+            if deleted:
+                self._delete_pass(deleted, affected, report)
+            if inserted:
+                self._insert_pass(inserted, affected, report)
+        except BaseException:
+            if support is not None:
+                support.rollback_txn()
+            self._db.rollback_changes(checkpoint)
+            self._realizer.log = []
+            raise
+        if support is not None:
+            support.commit_txn()
         # Keep the result database's private log bounded: fold the
         # entries this run produced into its catalog (an O(delta)
         # patch), then drop the consumed prefix.
@@ -629,6 +712,7 @@ class Maintainer:
         for entry in candidates:
             candidates_by_level.setdefault(
                 self._stratum_of[id(entry[0])], []).append(entry)
+        budget = self._budget
         for level in sorted(set(by_level) | set(candidates_by_level)):
             if level < 0:
                 # Pure base data (no rule derives it): the deletion just
@@ -636,6 +720,9 @@ class Maintainer:
                 for fact in by_level.get(level, ()):
                     remove_fact(db, fact)
                 continue
+            fault_point("maintain.counting")
+            if budget is not None:
+                budget.check("maintain.counting", stratum=level)
             # Counting first: retract dead supports of tracked rules.
             for rule, key, facts, binding in \
                     candidates_by_level.get(level, ()):
@@ -681,8 +768,12 @@ class Maintainer:
             overdeleted[fact] = None
         candidate_keys: set = set()
         candidates: list = []
+        budget = self._budget
         frontier = list(overdeleted)
         while frontier:
+            fault_point("maintain.overdelete")
+            if budget is not None:
+                budget.check("maintain.overdelete")
             batch = frontier
             frontier = []
             for rule in affected:
@@ -728,8 +819,10 @@ class Maintainer:
     def _dred(self, level: int, facts: list[Fact],
               report: MaintenanceReport) -> None:
         """Remove, then rederive-and-propagate, within one stratum."""
+        fault_point("maintain.dred")
         db = self._db
         support = self._support
+        budget = self._budget
         removed: list[Fact] = []
         for fact in facts:
             if remove_fact(db, fact):
@@ -756,6 +849,9 @@ class Maintainer:
         delta = rederived
         group = self._strata[level]
         while delta:
+            fault_point("maintain.rederive")
+            if budget is not None:
+                budget.check("maintain.rederive", stratum=level)
             log: list = []
             self._realizer.log = log
             for rule in group:
@@ -779,6 +875,7 @@ class Maintainer:
                      report: MaintenanceReport) -> None:
         db = self._db
         support = self._support
+        budget = self._budget
         carry: list[Fact] = []
         self._realizer.log = carry
         self._realizer.replay(inserted)
@@ -789,6 +886,9 @@ class Maintainer:
                 continue
             delta = list(carry)
             while delta:
+                fault_point("maintain.insert")
+                if budget is not None:
+                    budget.check("maintain.insert")
                 log: list = []
                 self._realizer.log = log
                 isa_in_delta = any(entry[0] == "isa" for entry in delta)
@@ -837,9 +937,10 @@ class Maintainer:
         if self._executor in ("columnar", "batch"):
             return solve_exists(self._db, rule.body, binding, self._policy,
                                 plan=plan, executor=self._executor,
-                                stats=self._stats)
+                                stats=self._stats, budget=self._budget)
         for _ in execute_plan(self._db, plan, binding, self._policy,
-                              compiled=self._compiled):
+                              compiled=self._compiled,
+                              budget=self._budget):
             return True
         return False
 
@@ -873,14 +974,16 @@ class Maintainer:
                 record.execute_cols, record.head_pairs = \
                     compile_columnar_delta_plan(
                         self._db, atom, plan, self._policy
-                    ).column_executor(None, project=variables_of(rule.head))
+                    ).column_executor(None, project=variables_of(rule.head),
+                                      budget=self._budget)
             elif self._executor == "batch":
                 from repro.engine.batch import compile_batch_delta_plan
 
                 record.execute_cols, record.head_pairs = \
                     compile_batch_delta_plan(
                         self._db, atom, plan, self._policy
-                    ).column_executor(None, project=variables_of(rule.head))
+                    ).column_executor(None, project=variables_of(rule.head),
+                                      budget=self._budget)
             elif self._compiled:
                 from repro.engine.compile import compile_delta_plan
 

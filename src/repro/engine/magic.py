@@ -782,7 +782,8 @@ class DemandEngine:
                  seminaive: bool = True, limits=None,
                  use_planner: bool = True, compiled: bool = True,
                  executor: str | None = None,
-                 record_support: bool = False) -> None:
+                 record_support: bool = False,
+                 budget=None) -> None:
         from repro.engine.fixpoint import Engine
 
         self._db = db
@@ -798,7 +799,8 @@ class DemandEngine:
         self._engine = Engine(db, run_rules, seminaive=seminaive,
                               limits=limits, use_planner=use_planner,
                               compiled=compiled, executor=executor,
-                              record_support=record_support)
+                              record_support=record_support,
+                              budget=budget)
         self.result: Database | None = None
 
     @property

@@ -57,6 +57,11 @@ class EngineStats:
     facts_reinserted: int = 0
     #: Memoised result databases evicted from the query-level LRU.
     memo_evictions: int = 0
+    #: Cooperative budget checkpoints evaluated (0 without a budget).
+    budget_checks: int = 0
+    #: Where a budget stop interrupted evaluation (site, stratum,
+    #: iteration, rule), or None when the run completed.
+    stopped_at: str | None = None
 
     @property
     def derived_total(self) -> int:
@@ -96,5 +101,7 @@ class EngineStats:
             "rederived": self.facts_rederived,
             "reinserted": self.facts_reinserted,
             "evictions": self.memo_evictions,
+            "budget-checks": self.budget_checks,
+            "stopped-at": self.stopped_at or "-",
             "seconds": round(self.elapsed_s, 4),
         }

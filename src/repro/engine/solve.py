@@ -98,7 +98,8 @@ def solve(db: Database, atoms: Iterable[Atom],
           plan: Plan | None = None,
           use_planner: bool = True,
           compiled: bool = True,
-          executor: str | None = None) -> Iterator[Binding]:
+          executor: str | None = None,
+          budget=None) -> Iterator[Binding]:
     """Yield every binding satisfying all ``atoms`` (extends ``binding``).
 
     ``cache`` memoises plans across calls (the engine and the query API
@@ -107,12 +108,20 @@ def solve(db: Database, atoms: Iterable[Atom],
     columns), ``"compiled"`` (tuple-at-a-time kernels), or
     ``"interpreted"`` (the dict-binding walk, B10's baseline); the
     legacy ``compiled=False`` flag is shorthand for
-    ``executor="interpreted"``; and ``use_planner=False`` falls back to
+    ``executor="interpreted"``; ``use_planner=False`` falls back to
     the dynamic greedy order with fixed penalty constants (B9's
-    baseline).
+    baseline); and ``budget`` (a
+    :class:`~repro.engine.budget.QueryBudget`) inserts cooperative
+    checkpoints into the execution (per kernel step under the batched
+    executors, periodic per-row otherwise).
     """
     initial = dict(binding or {})
     if not use_planner:
+        if budget is not None:
+            budget.start()
+            yield from _checked_rows(
+                _solve_dynamic(db, list(atoms), initial, policy), budget)
+            return
         yield from _solve_dynamic(db, list(atoms), initial, policy)
         return
     if plan is None:
@@ -123,7 +132,7 @@ def solve(db: Database, atoms: Iterable[Atom],
         else:
             plan = build_plan(db, atoms_t, bound)
     yield from execute_plan(db, plan, initial, policy, compiled=compiled,
-                            executor=executor)
+                            executor=executor, budget=budget)
 
 
 def execute_plan(db: Database, plan: Plan,
@@ -131,7 +140,8 @@ def execute_plan(db: Database, plan: Plan,
                  policy: MatchPolicy = UNRESTRICTED,
                  counters: list[int] | None = None,
                  *, compiled: bool = True,
-                 executor: str | None = None) -> Iterator[Binding]:
+                 executor: str | None = None,
+                 budget=None) -> Iterator[Binding]:
     """Run a static plan; ``counters[i]`` accumulates step i's actual rows.
 
     ``executor="compiled"`` (the default, via the legacy ``compiled``
@@ -142,25 +152,28 @@ def execute_plan(db: Database, plan: Plan,
     (:func:`repro.engine.batch.compile_batch_plan`) and pushes whole
     binding batches through each step; ``executor="interpreted"`` keeps
     the dict-binding walk.  Per-step counters are comparable across all
-    three executors.
+    three executors.  ``budget`` adds cooperative checkpoints (per step
+    batched, periodic per-row otherwise); without one every executor
+    path is unchanged.
     """
     mode = resolve_executor(executor, compiled)
     if mode == "columnar":
         from repro.engine.columnar import compile_columnar_plan
 
-        yield from compile_columnar_plan(db, plan, policy).execute(binding,
-                                                                   counters)
+        yield from compile_columnar_plan(db, plan, policy).execute(
+            binding, counters, budget=budget)
         return
     if mode == "batch":
         from repro.engine.batch import compile_batch_plan
 
-        yield from compile_batch_plan(db, plan, policy).execute(binding,
-                                                                counters)
+        yield from compile_batch_plan(db, plan, policy).execute(
+            binding, counters, budget=budget)
         return
     if mode == "compiled":
         from repro.engine.compile import compile_plan
 
-        yield from compile_plan(db, plan, policy).execute(binding, counters)
+        yield from compile_plan(db, plan, policy).execute(binding, counters,
+                                                          budget=budget)
         return
     steps = plan.steps
     last = len(steps)
@@ -185,7 +198,26 @@ def execute_plan(db: Database, plan: Plan,
                 counters[index] += 1
                 yield from descend(index + 1, extended)
 
+    if budget is not None:
+        budget.start()
+        yield from _checked_rows(descend(0, dict(binding or {})), budget)
+        return
     yield from descend(0, dict(binding or {}))
+
+
+def _checked_rows(rows: Iterator[Binding], budget) -> Iterator[Binding]:
+    """Periodic budget checkpoints over an interpreted solution stream.
+
+    The dict-binding walk has no step loop to hook, so the checkpoint
+    granularity is coarser: once on entry, then every 256 yielded rows.
+    """
+    budget.check("solve.rows")
+    count = 0
+    for row in rows:
+        count += 1
+        if not count & 0xFF:
+            budget.check("solve.rows")
+        yield row
 
 
 def exists(db: Database, atoms: Iterable[Atom],
@@ -195,7 +227,7 @@ def exists(db: Database, atoms: Iterable[Atom],
            plan: Plan | None = None,
            compiled: bool = True,
            executor: str | None = None,
-           stats=None) -> bool:
+           stats=None, budget=None) -> bool:
     """True iff the conjunction has at least one solution.
 
     Under the batched executors this short-circuits *inside* the plan:
@@ -220,13 +252,14 @@ def exists(db: Database, atoms: Iterable[Atom],
         if mode == "columnar":
             from repro.engine.columnar import compile_columnar_plan
 
-            return compile_columnar_plan(db, plan, policy).exists(initial,
-                                                                  stats)
+            return compile_columnar_plan(db, plan, policy).exists(
+                initial, stats, budget)
         from repro.engine.batch import compile_batch_plan
 
-        return compile_batch_plan(db, plan, policy).exists(initial, stats)
+        return compile_batch_plan(db, plan, policy).exists(initial, stats,
+                                                           budget)
     for _ in solve(db, atoms, binding, policy, cache=cache, plan=plan,
-                   compiled=compiled, executor=executor):
+                   compiled=compiled, executor=executor, budget=budget):
         return True
     return False
 

@@ -95,6 +95,50 @@ class ResourceLimitError(EvaluationError):
     """
 
 
+class BudgetExceededError(EvaluationError):
+    """A cooperative :class:`~repro.engine.budget.QueryBudget` ran out.
+
+    Unlike :class:`ResourceLimitError` (hard engine safeguards), budget
+    errors are *requested* by the caller -- a deadline, a derived-fact
+    cap, or an explicit ``cancel()`` -- and carry where evaluation
+    stopped (the check site, and the stratum / rule / iteration when the
+    fixpoint loop was the one that noticed).
+    """
+
+    def __init__(self, message: str, *, site: str | None = None,
+                 stratum: int | None = None, rule: object = None,
+                 iteration: int | None = None) -> None:
+        self.site = site
+        self.stratum = stratum
+        self.rule = rule
+        self.iteration = iteration
+        where = self.where
+        super().__init__(f"{message} (stopped at {where})" if where
+                         else message)
+
+    @property
+    def where(self) -> str:
+        """A short description of where evaluation stopped."""
+        parts = []
+        if self.site:
+            parts.append(self.site)
+        if self.stratum is not None:
+            parts.append(f"stratum {self.stratum}")
+        if self.iteration is not None:
+            parts.append(f"iteration {self.iteration}")
+        if self.rule is not None:
+            parts.append(f"rule {self.rule}")
+        return ", ".join(parts)
+
+
+class EvaluationTimeout(BudgetExceededError):
+    """The budget's wall-clock deadline passed during evaluation."""
+
+
+class EvaluationCancelled(BudgetExceededError):
+    """The budget was cooperatively cancelled during evaluation."""
+
+
 class UnknownNameError(PathLogError):
     """A name was looked up that the database has never seen.
 

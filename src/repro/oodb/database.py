@@ -371,6 +371,55 @@ class Database:
         """Drop ``holder``'s cursor registration (idempotent)."""
         self._change_holds.pop(holder, None)
 
+    def rollback_changes(self, cursor: int) -> int:
+        """Undo every change recorded after ``cursor``, newest first.
+
+        The transactional backbone of incremental maintenance
+        (:meth:`~repro.engine.incremental.Maintainer.apply`): a failed
+        application takes a cursor snapshot before its first write and
+        rolls the database back to that state on any exception.  The
+        undo goes through the ordinary assertion/retraction API -- it
+        does **not** truncate the log -- so every undo step is itself
+        recorded and version-counted, and :meth:`ChangeLog.in_sync`
+        stays provable for all live consumers (a truncation would break
+        the start_version + cursor == data_version arithmetic, since
+        versions only ever advance).
+
+        LIFO order makes each inverse exact: a ``+`` entry is undone by
+        retracting the fact (guarded, for scalars, on the stored result
+        still being the recorded one), a ``-`` entry by re-asserting
+        it; by the time an earlier entry is undone every later entry
+        touching the same fact has already been reversed, so re-asserts
+        can never hit a scalar conflict.  Returns how many entries were
+        undone.
+        """
+        log = self._change_log
+        if log is None:
+            return 0
+        undone = 0
+        for sign, fact in reversed(log.since(cursor)):
+            kind = fact[0]
+            if sign == "+":
+                if kind == "scalar":
+                    if self.scalars.get(fact[1], fact[2],
+                                        fact[3]) == fact[4]:
+                        self.retract_scalar(fact[1], fact[2], fact[3])
+                elif kind == "set":
+                    self.retract_set_member(fact[1], fact[2], fact[3],
+                                            fact[4])
+                else:
+                    self.retract_isa(fact[1], fact[2])
+            else:
+                if kind == "scalar":
+                    self.assert_scalar(fact[1], fact[2], fact[3], fact[4])
+                elif kind == "set":
+                    self.assert_set_member(fact[1], fact[2], fact[3],
+                                           fact[4])
+                else:
+                    self.assert_isa(fact[1], fact[2])
+            undone += 1
+        return undone
+
     def trim_changes(self) -> int:
         """Drop the change-log prefix every live consumer has replayed.
 

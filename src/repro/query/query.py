@@ -33,7 +33,7 @@ from repro.engine.explain import PlanReport, explain_conjunction
 from repro.engine.planner import PlanCache
 from repro.engine.solve import exists as solve_exists
 from repro.engine.solve import solve
-from repro.errors import EvaluationError
+from repro.errors import BudgetExceededError, EvaluationError
 from repro.flogic.flatten import flatten_conjunction
 from repro.lang.parser import parse_query, parse_reference
 from repro.oodb.database import Database
@@ -84,10 +84,16 @@ class Query:
                  seminaive: bool = True, limits=None,
                  incremental: bool = True,
                  executor: str | None = None,
-                 memo_entries: int | None = None) -> None:
+                 memo_entries: int | None = None,
+                 budget=None) -> None:
         self._db = db
         self._plans = PlanCache()
         self._compiled = compiled
+        #: Cooperative :class:`~repro.engine.budget.QueryBudget` (or
+        #: None), shared by every layer a query touches: program
+        #: evaluation, incremental maintenance, and the ad-hoc
+        #: conjunction solve.  The deadline anchors on first use.
+        self._budget = budget
         #: None defers to the per-layer defaults: ad-hoc conjunction
         #: solving stays tuple-at-a-time (answers stream lazily -- an
         #: ``ask()`` stops at the first solution), while program
@@ -138,6 +144,10 @@ class Query:
         """The database to answer against: base, demanded, or full."""
         if self._program is None:
             return self._db
+        budget = self._budget
+        if budget is not None:
+            budget.start()
+            budget.check("query")
         version = self._db.data_version()
         self.last_maintenance = None
         if not self._incremental and version != self._cache_version:
@@ -164,6 +174,7 @@ class Query:
                     limits=self._limits, compiled=self._compiled,
                     executor=self._executor,
                     record_support=self._record_support(),
+                    budget=self._budget,
                 )
                 result = engine.run()
                 self._materialized = result
@@ -188,6 +199,7 @@ class Query:
                 seminaive=self._seminaive, limits=self._limits,
                 compiled=self._compiled, executor=self._executor,
                 record_support=self._record_support(),
+                budget=self._budget,
             )
             result = engine.run()
             if self._memo_entries > 0:
@@ -271,7 +283,29 @@ class Query:
                 return False
             maintainer = engine.maintainer(result, self._db)
             self._maintainers[id(result)] = maintainer
-        report = maintainer.apply(log.since(cursor))
+        try:
+            report = maintainer.apply(log.since(cursor))
+        except BudgetExceededError:
+            # The budget expired mid-maintenance.  The maintainer rolled
+            # the result back to its consistent pre-call state, so the
+            # memo entry (and its sync cursor) stays valid for a retry;
+            # the expiry itself must reach the caller.
+            raise
+        except Exception as error:
+            # Maintenance died mid-application (an injected fault, a
+            # genuine bug).  The maintainer's transactional apply rolled
+            # the result database back, so nothing is corrupted -- but
+            # the entry is now suspect: report the failure, let the
+            # caller discard it and re-derive from scratch.
+            from repro.engine.incremental import MaintenanceReport
+
+            self.last_maintenance = MaintenanceReport(
+                applied=False,
+                reason=(f"maintenance aborted by "
+                        f"{type(error).__name__}: {error}; rolled back "
+                        f"and re-deriving from scratch"),
+            )
+            return False
         self.last_maintenance = report
         if not report.applied:
             return False
@@ -312,7 +346,8 @@ class Query:
         seen: set[tuple] = set()
         for binding in solve(db, atoms, {}, cache=self._cache_for(db),
                              compiled=self._compiled,
-                             executor=self._executor):
+                             executor=self._executor,
+                             budget=self._budget):
             row = {name: binding[Var(name)] for name in wanted}
             key = tuple(row[name] for name in wanted)
             if key in seen:
@@ -344,7 +379,8 @@ class Query:
         db = self._db_for(atoms)
         return solve_exists(db, atoms, {}, cache=self._cache_for(db),
                             compiled=self._compiled,
-                            executor=self._executor)
+                            executor=self._executor,
+                            budget=self._budget)
 
     def objects(self, ref: Union[str, Reference]) -> frozenset[Oid]:
         """The set of objects a reference denotes, over all solutions.
@@ -369,7 +405,8 @@ class Query:
         for binding in solve(db, flattened.atoms, {},
                              cache=self._cache_for(db),
                              compiled=self._compiled,
-                             executor=self._executor):
+                             executor=self._executor,
+                             budget=self._budget):
             if isinstance(flattened.term, Var):
                 found.add(binding[flattened.term])
             else:
@@ -413,6 +450,10 @@ class Query:
                                          analyze=analyze, title=title,
                                          compiled=self._compiled,
                                          executor=self._executor)
+        except BudgetExceededError:
+            # A budget expiry is a real failure, not a planning
+            # rejection to render: let it reach the caller.
+            raise
         except EvaluationError as error:
             # Only planning rejections (unsafe negation, unready
             # comparisons) are rendered as a fallback; failures of the

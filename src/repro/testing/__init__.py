@@ -1,0 +1,22 @@
+"""Deterministic testing aids: the fault-injection harness.
+
+See :mod:`repro.testing.faults`.
+"""
+
+from repro.testing.faults import (
+    FaultPlan,
+    InjectedFault,
+    fault_point,
+    inject,
+    inject_random,
+    observe,
+)
+
+__all__ = [
+    "FaultPlan",
+    "InjectedFault",
+    "fault_point",
+    "inject",
+    "inject_random",
+    "observe",
+]

@@ -1,0 +1,259 @@
+"""Query budget tests: deadlines, caps, cancellation, threading.
+
+The clock is injectable, so every timeout here is deterministic: a
+stepping fake clock advances a fixed amount per call and the budget
+notices exactly at the checkpoint the test predicts.
+"""
+
+import itertools
+
+import pytest
+
+from repro.engine import Engine, QueryBudget
+from repro.engine.budget import QueryBudget as DirectQueryBudget
+from repro.errors import (
+    BudgetExceededError,
+    EvaluationCancelled,
+    EvaluationError,
+    EvaluationTimeout,
+    PathLogError,
+)
+from repro.lang.parser import parse_program
+from repro.oodb.database import Database
+from repro.query.query import Query
+
+EXECUTORS = ["columnar", "batch", "compiled", "interpreted"]
+
+DESC = """
+    peter[kids ->> {tim, mary}].
+    tim[kids ->> {sally}].
+    mary[kids ->> {tom, paul}].
+    X[desc ->> {Y}] <- X[kids ->> {Y}].
+    X[desc ->> {Y}] <- X..desc[kids ->> {Y}].
+"""
+
+
+def stepping_clock(step=1.0, start=0.0):
+    """A fake clock advancing ``step`` seconds per call."""
+    counter = itertools.count()
+    return lambda: start + next(counter) * step
+
+
+class ManualClock:
+    """A fake clock that only moves when the test says so."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestQueryBudget:
+    def test_exported_from_engine_package(self):
+        assert QueryBudget is DirectQueryBudget
+
+    def test_no_limits_never_raises(self):
+        budget = QueryBudget()
+        for _ in range(100):
+            budget.check("anywhere")
+        budget.charge(10_000, "anywhere")
+        assert budget.checks == 100
+
+    def test_deadline_anchors_once(self):
+        clock = stepping_clock(step=0.0, start=5.0)
+        budget = QueryBudget(timeout_ms=100, clock=clock)
+        budget.start()
+        first = budget.deadline
+        budget.start()
+        assert budget.deadline == first == pytest.approx(5.1)
+
+    def test_timeout_raises_typed_error_with_site(self):
+        budget = QueryBudget(timeout_ms=500, clock=stepping_clock(step=1.0))
+        budget.start()  # anchors at t=0, deadline t=0.5
+        with pytest.raises(EvaluationTimeout) as info:
+            budget.check("engine.iteration", stratum=2, iteration=7)
+        assert "500ms" in str(info.value)
+        assert info.value.site == "engine.iteration"
+        assert info.value.stratum == 2
+        assert info.value.iteration == 7
+        assert "stratum 2" in info.value.where
+        assert "iteration 7" in info.value.where
+
+    def test_check_self_anchors_without_start(self):
+        budget = QueryBudget(timeout_ms=500, clock=stepping_clock(step=0.3))
+        budget.check("first")  # anchors at t=0 (deadline 0.5), reads t=0.3
+        with pytest.raises(EvaluationTimeout):
+            budget.check("second")  # reads t=0.6
+
+    def test_cancel_raises_at_next_checkpoint(self):
+        budget = QueryBudget()
+        budget.check("before")
+        budget.cancel()
+        assert budget.cancelled
+        with pytest.raises(EvaluationCancelled):
+            budget.check("after")
+
+    def test_max_derived_cap(self):
+        budget = QueryBudget(max_derived=10)
+        budget.charge(6, "engine.iteration")
+        with pytest.raises(BudgetExceededError) as info:
+            budget.charge(5, "engine.iteration", stratum=0, iteration=2)
+        assert "max_derived" in str(info.value)
+        assert "11" in str(info.value)
+
+    def test_begin_run_resets_derived_counter(self):
+        budget = QueryBudget(max_derived=10)
+        budget.charge(9, "a")
+        budget.begin_run()
+        budget.charge(9, "a")  # fresh run: no raise
+
+    def test_remaining_ms(self):
+        budget = QueryBudget(timeout_ms=1000,
+                             clock=stepping_clock(step=0.25))
+        budget.start()  # t=0, deadline 1.0
+        assert budget.remaining_ms() == pytest.approx(750.0)
+        assert QueryBudget().remaining_ms() is None
+
+    def test_errors_are_catchable_as_library_errors(self):
+        assert issubclass(EvaluationTimeout, BudgetExceededError)
+        assert issubclass(EvaluationCancelled, BudgetExceededError)
+        assert issubclass(BudgetExceededError, EvaluationError)
+        assert issubclass(BudgetExceededError, PathLogError)
+
+
+class TestEngineBudget:
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_max_derived_stops_fixpoint(self, executor):
+        db = Database()
+        before = db.data_version()
+        budget = QueryBudget(max_derived=2)
+        engine = Engine(db, parse_program(DESC), executor=executor,
+                        budget=budget)
+        with pytest.raises(BudgetExceededError) as info:
+            engine.run()
+        assert "max_derived" in str(info.value)
+        assert info.value.stratum is not None
+        assert info.value.iteration is not None
+        # Where evaluation stopped is surfaced through the stats too.
+        assert engine.stats.stopped_at == info.value.where
+        assert engine.stats.budget_checks > 0
+        # The input database is a pre-clone snapshot: untouched.
+        assert len(db) == 0
+        assert db.data_version() == before
+
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_timeout_stops_fixpoint(self, executor):
+        budget = QueryBudget(timeout_ms=500,
+                             clock=stepping_clock(step=1.0))
+        engine = Engine(Database(), parse_program(DESC),
+                        executor=executor, budget=budget)
+        with pytest.raises(EvaluationTimeout):
+            engine.run()
+
+    def test_cancel_stops_fixpoint(self):
+        budget = QueryBudget()
+        budget.cancel()
+        engine = Engine(Database(), parse_program(DESC), budget=budget)
+        with pytest.raises(EvaluationCancelled):
+            engine.run()
+
+    def test_unbudgeted_run_reports_no_checks(self):
+        engine = Engine(Database(), parse_program(DESC))
+        engine.run()
+        assert engine.stats.budget_checks == 0
+        assert engine.stats.stopped_at is None
+        assert engine.stats.as_row()["stopped-at"] == "-"
+
+
+class TestQueryBudgetThreading:
+    @pytest.mark.parametrize("magic", [True, False])
+    def test_program_query_honours_max_derived(self, magic):
+        db = Database()
+        budget = QueryBudget(max_derived=2)
+        query = Query(db, program=parse_program(DESC), magic=magic,
+                      budget=budget)
+        with pytest.raises(BudgetExceededError):
+            query.all("peter[desc ->> {X}]")
+
+    def test_program_query_honours_timeout(self):
+        budget = QueryBudget(timeout_ms=500,
+                             clock=stepping_clock(step=1.0))
+        query = Query(Database(), program=parse_program(DESC),
+                      budget=budget)
+        with pytest.raises(EvaluationTimeout):
+            query.all("peter[desc ->> {X}]")
+
+    def test_explain_propagates_budget_errors(self):
+        # Query.explain renders planning rejections as a fallback but
+        # must NOT swallow a budget expiry into that rendering.
+        budget = QueryBudget(max_derived=1)
+        query = Query(Database(), program=parse_program(DESC),
+                      budget=budget)
+        with pytest.raises(BudgetExceededError):
+            query.explain("peter[desc ->> {X}]")
+
+    def test_adhoc_query_unaffected_without_budget(self):
+        db = Database()
+        db.assert_isa(db.obj("p1"), db.obj("employee"))
+        query = Query(db, budget=QueryBudget(timeout_ms=None))
+        assert query.ask("p1 : employee")
+
+
+class TestMaintainerBudget:
+    def _memoised(self, budget=None):
+        db = Database()
+        db.begin_changes()
+        db.assert_set_member(db.obj("kids"), db.obj("peter"), (),
+                             db.obj("tim"))
+        query = Query(db, program=parse_program("""
+            X[desc ->> {Y}] <- X[kids ->> {Y}].
+            X[desc ->> {Y}] <- X..desc[kids ->> {Y}].
+        """), magic=False, budget=budget)
+        query.all("peter[desc ->> {X}]")  # materialise + memoise
+        return db, query
+
+    def test_expired_budget_stops_maintenance(self):
+        clock = ManualClock()
+        budget = QueryBudget(timeout_ms=500, clock=clock)
+        db, query = self._memoised(budget)  # builds at t=0, in budget
+        db.assert_set_member(db.obj("kids"), db.obj("tim"), (),
+                             db.obj("sally"))
+        clock.now = 10.0  # deadline long gone
+        with pytest.raises(EvaluationTimeout):
+            query.all("peter[desc ->> {X}]")
+
+    def test_expired_budget_leaves_result_unmaintained(self):
+        # Direct maintainer path: the apply checkpoint notices before
+        # the first write, so the result database stays bit-identical.
+        clock = ManualClock()
+        budget = QueryBudget(timeout_ms=500, clock=clock)
+        db = Database()
+        log = db.begin_changes()
+        db.assert_set_member(db.obj("kids"), db.obj("peter"), (),
+                             db.obj("tim"))
+        engine = Engine(db, parse_program("""
+            X[desc ->> {Y}] <- X[kids ->> {Y}].
+            X[desc ->> {Y}] <- X..desc[kids ->> {Y}].
+        """), record_support=True, budget=budget)
+        result = engine.run()
+        cursor = log.cursor()
+        db.assert_set_member(db.obj("kids"), db.obj("tim"), (),
+                             db.obj("sally"))
+        maintainer = engine.maintainer(result, db)
+        before = dict(result.sets.items())
+        clock.now = 10.0
+        with pytest.raises(EvaluationTimeout):
+            maintainer.apply(log.since(cursor))
+        assert dict(result.sets.items()) == before
+
+    def test_maintenance_still_works_with_roomy_budget(self):
+        budget = QueryBudget(timeout_ms=10_000_000)
+        db, query = self._memoised(budget)
+        db.assert_set_member(db.obj("kids"), db.obj("tim"), (),
+                             db.obj("sally"))
+        answers = {a.value("X") for a
+                   in query.all("peter[desc ->> {X}]")}
+        assert answers == {"tim", "sally"}
+        assert query.last_maintenance is not None
+        assert query.last_maintenance.applied

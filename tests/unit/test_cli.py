@@ -328,3 +328,51 @@ class TestMagic:
         code, output = invoke("explain", "X : person", "--magic")
         assert code == 2
         assert "--program" in output
+
+
+class TestBudgetFlags:
+    def test_max_derived_exceeded_exits_2(self, program_file):
+        code, output = invoke(program_file, "--max-derived", "1",
+                              "--query", "X[senior -> yes]")
+        assert code == 2
+        assert output.startswith("error:")
+        assert "max_derived" in output
+        assert len(output.strip().splitlines()) == 1
+
+    def test_timeout_exceeded_exits_2(self, program_file):
+        code, output = invoke(program_file, "--timeout-ms", "0",
+                              "--query", "X[senior -> yes]")
+        assert code == 2
+        assert output.startswith("error:")
+        assert "0ms" in output
+        assert len(output.strip().splitlines()) == 1
+
+    def test_roomy_budget_answers_normally(self, program_file):
+        code, output = invoke(program_file, "--timeout-ms", "600000",
+                              "--max-derived", "1000000",
+                              "--query", "X[senior -> yes]")
+        assert code == 0
+        assert "X=p2" in output
+
+    def test_magic_run_honours_budget(self, program_file):
+        code, output = invoke(program_file, "--magic",
+                              "--max-derived", "1",
+                              "--query", "X[senior -> yes]")
+        assert code == 2
+        assert output.startswith("error:")
+        assert "max_derived" in output
+
+    def test_explain_subcommand_honours_budget(self, program_file):
+        code, output = invoke("explain", "X[senior -> yes]",
+                              "--program", program_file,
+                              "--max-derived", "1")
+        assert code == 2
+        assert output.startswith("error:")
+        assert "max_derived" in output
+
+    def test_explain_subcommand_roomy_budget_plans(self, program_file):
+        code, output = invoke("explain", "X[senior -> yes]",
+                              "--program", program_file,
+                              "--timeout-ms", "600000")
+        assert code == 0
+        assert "plan:" in output
