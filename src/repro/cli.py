@@ -37,6 +37,23 @@ demand section, and it accepts the same budget flags.  The subcommand
 is recognised by its first-argument position; a program file literally
 named ``explain`` must be written as ``./explain``.
 
+The ``serve`` subcommand starts the concurrent query server
+(:mod:`repro.server`, protocol in docs/server.md) over the loaded
+database::
+
+    python -m repro serve program.plog --port 7407
+    python -m repro serve --db snapshot.json --port 0
+
+It prints one ``serving on HOST:PORT`` line once bound (``--port 0``
+binds an ephemeral port and prints the real one), serves until
+``SIGTERM``/``SIGINT`` (or a client ``shutdown`` request), then drains
+gracefully: in-flight requests finish within ``--drain-ms``, new ones
+get a retryable ``shutting_down`` response.  ``--max-inflight`` and
+``--max-queue`` bound concurrency and the admission queue (beyond the
+queue the server sheds with ``overloaded`` + ``retry_after_ms``);
+``--default-timeout-ms``/``--max-timeout-ms``/``--max-derived`` bound
+each request's budget.
+
 Long-lived embedders (servers holding a :class:`~repro.query.Query`
 over a mutating database) additionally get incremental view
 maintenance: with ``Database.begin_changes()`` active, memoised
@@ -148,12 +165,57 @@ def build_explain_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The argparse definition of the ``serve`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve concurrent PathLog queries over a framed "
+                    "JSON protocol (see docs/server.md).",
+    )
+    parser.add_argument("program", nargs="?", type=Path,
+                        help="PathLog program answered demand-driven "
+                             "by the server's shared query")
+    parser.add_argument("--db", type=Path, metavar="JSON",
+                        help="load a database snapshot to serve")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7407,
+                        help="TCP port (0 binds an ephemeral port and "
+                             "prints it)")
+    parser.add_argument("--executor",
+                        choices=["columnar", "batch", "compiled",
+                                 "interpreted"],
+                        help="pin the shared query's plan executor")
+    parser.add_argument("--no-magic", action="store_true",
+                        help="materialise the full fixpoint per query "
+                             "instead of demand-driven evaluation")
+    parser.add_argument("--max-inflight", type=int, default=8,
+                        help="concurrent query evaluations (thread-pool "
+                             "size)")
+    parser.add_argument("--max-queue", type=int, default=32,
+                        help="admitted-but-waiting requests before the "
+                             "server sheds with 'overloaded'")
+    parser.add_argument("--default-timeout-ms", type=float, metavar="MS",
+                        help="budget for requests that name no "
+                             "timeout_ms")
+    parser.add_argument("--max-timeout-ms", type=float, metavar="MS",
+                        help="hard cap on any request's timeout_ms")
+    parser.add_argument("--max-derived", type=int, metavar="N",
+                        help="default per-request derived-fact cap")
+    parser.add_argument("--drain-ms", type=float, default=5_000.0,
+                        metavar="MS",
+                        help="how long graceful shutdown waits for "
+                             "in-flight requests")
+    return parser
+
+
 def run(argv: Sequence[str] | None = None, *, out=None) -> int:
     """Entry point; returns the process exit code."""
     out = out or sys.stdout
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "explain":
         return _run_explain(argv[1:], out)
+    if argv and argv[0] == "serve":
+        return _run_serve(argv[1:], out)
     args = build_parser().parse_args(argv)
     if args.program is None and args.db is None:
         print("error: need a program file and/or --db snapshot",
@@ -244,6 +306,63 @@ def _run_explain(argv: Sequence[str], out) -> int:
     except PathLogError as error:
         print(f"error: {error}", file=out)
         return 1
+    except OSError as error:
+        print(f"error: {error}", file=out)
+        return 1
+    return 0
+
+
+def _run_serve(argv: Sequence[str], out) -> int:
+    args = build_serve_parser().parse_args([str(a) for a in argv])
+    if args.program is None and args.db is None:
+        print("error: need a program file and/or --db snapshot",
+              file=out)
+        return 2
+    try:
+        db = _load_database(args)
+        program = (parse_program(args.program.read_text())
+                   if args.program is not None else None)
+    except (PathLogError, OSError) as error:
+        print(f"error: {error}", file=out)
+        return 1
+    import asyncio
+
+    from repro.server import Server, ServerConfig
+
+    config = ServerConfig(
+        host=args.host, port=args.port,
+        max_inflight=args.max_inflight, max_queue=args.max_queue,
+        default_timeout_ms=args.default_timeout_ms,
+        max_timeout_ms=args.max_timeout_ms,
+        default_max_derived=args.max_derived,
+        drain_ms=args.drain_ms,
+        executor=args.executor, magic=not args.no_magic,
+    )
+
+    async def main() -> None:
+        import signal
+
+        server = await Server(db, program=program, config=config).start()
+        host, port = server.address
+        print(f"serving on {host}:{port}", file=out, flush=True)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum,
+                    lambda: asyncio.ensure_future(server.shutdown()))
+            except (NotImplementedError, RuntimeError, ValueError):
+                # Non-POSIX platforms, or serving off the main thread
+                # (the test suite does): drain via the wire-level
+                # shutdown request instead.
+                pass
+        await server.serve_forever()
+        print("drained, bye", file=out, flush=True)
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C fallback
+        pass
     except OSError as error:
         print(f"error: {error}", file=out)
         return 1

@@ -53,6 +53,12 @@ from repro.engine.compile import (
     _known,
     _term_op,
 )
+from repro.engine.budget import (
+    ROWWISE_CHECK_INTERVAL,
+    active_budget,
+    pop_active,
+    push_active,
+)
 from repro.engine.matching import UNRESTRICTED, Binding, MatchPolicy
 from repro.engine.planner import Plan
 from repro.errors import EvaluationError
@@ -106,14 +112,28 @@ def _rowwise(nslots: int, reads: tuple, writes: tuple, kern) -> StepBuilder:
     Keeps the kernel's exact semantics (negation re-entry, superset
     bridging, dynamic dispatch) while the surrounding join stays
     batched; only this step pays the per-row generator cost.
+
+    The loop is also a budget checkpoint: the batched executors check
+    their budget once per *step*, but a row-at-a-time fallback can do an
+    entire batch worth of work inside one step, so a timeout or
+    ``cancel()`` would otherwise go unnoticed until the whole batch
+    finished.  The activated budget (:func:`~repro.engine.budget.active_budget`)
+    is consulted every :data:`~repro.engine.budget.ROWWISE_CHECK_INTERVAL`
+    rows, pinning detection latency to one row interval.
     """
+    mask = ROWWISE_CHECK_INTERVAL - 1
+
     def builder(carry: tuple) -> BatchStep:
         def step(cols: list, nrows: int) -> int:
+            budget = active_budget() if nrows > mask else None
+            check = budget.check if budget is not None else None
             regs = [None] * nslots
             idx: list[int] = []
             outs = [[] for _ in writes]
             read_cols = [(slot, cols[slot]) for slot in reads]
             for i in range(nrows):
+                if check is not None and i and not (i & mask):
+                    check("batch.rowwise")
                 for slot, col in read_cols:
                     regs[slot] = col[i]
                 for _ in kern(regs):
@@ -133,6 +153,25 @@ def _empty_builder(carry: tuple) -> BatchStep:
     def step(cols: list, nrows: int) -> int:
         return 0
     return step
+
+
+def activated(execute, budget):
+    """Wrap an executor so ``budget`` is active while it runs.
+
+    Rowwise fallback steps pick the budget up mid-batch through
+    :func:`~repro.engine.budget.active_budget`; with no budget the
+    executor is returned unwrapped (zero overhead on the common path).
+    """
+    if budget is None:
+        return execute
+
+    def run(arg=None):
+        token = push_active(budget)
+        try:
+            return execute(arg)
+        finally:
+            pop_active(token)
+    return run
 
 
 # ---------------------------------------------------------------------------
@@ -158,9 +197,16 @@ def exists_over(steps: Sequence[BatchStep], cols: list, nrows: int,
     change the verdict.  ``stats.batch_rows`` (when given) accrues only
     the rows actually pushed through a step; ``budget`` (a
     :class:`~repro.engine.budget.QueryBudget`) is checked once per step
-    executed.
+    executed (and every 256 rows inside rowwise fallback steps, which
+    pick the activated budget up mid-batch).
     """
-    return _exists_from(steps, 0, cols, nrows, stats, budget)
+    if budget is None:
+        return _exists_from(steps, 0, cols, nrows, stats, None)
+    token = push_active(budget)
+    try:
+        return _exists_from(steps, 0, cols, nrows, stats, budget)
+    finally:
+        pop_active(token)
 
 
 def _exists_from(steps, k: int, cols: list, nrows: int, stats,
@@ -954,7 +1000,7 @@ class BatchPlan:
                     if not nrows:
                         break
                 return cols, nrows
-        return execute, out
+        return activated(execute, budget), out
 
     def executor(self, counters: list[int] | None = None,
                  project: Sequence[Var] | None = None,
@@ -1136,7 +1182,7 @@ class BatchDeltaPlan:
                     nrows = step(cols, nrows)
                     counters[index + 1] += nrows
                 return cols, nrows
-        return execute, out
+        return activated(execute, budget), out
 
     def executor(self, counters: list[int] | None = None,
                  project: Sequence[Var] | None = None,

@@ -30,12 +30,44 @@ callable returning seconds (defaults to :func:`time.monotonic`).
 from __future__ import annotations
 
 import time
+from contextvars import ContextVar
 
 from repro.errors import (
     BudgetExceededError,
     EvaluationCancelled,
     EvaluationTimeout,
 )
+
+#: Budget of the batched execution currently running on this thread /
+#: task, or None.  The batched executors' *steps* are baked closures
+#: shared across calls (and memoised for the existence path), so a
+#: per-call budget cannot be captured inside them; instead the executor
+#: entry points activate the budget here and the row-at-a-time fallback
+#: loops (negation, superset, dynamic dispatch) consult it every
+#: :data:`ROWWISE_CHECK_INTERVAL` rows.  A :class:`~contextvars.ContextVar`
+#: keeps concurrent server requests -- each evaluating on its own worker
+#: thread with its own per-request budget -- fully isolated.
+_ACTIVE: ContextVar["QueryBudget | None"] = ContextVar(
+    "repro_active_budget", default=None)
+
+#: Rows a row-at-a-time fallback kernel processes between budget
+#: checkpoints (matches the compiled executor's per-256-row cadence).
+ROWWISE_CHECK_INTERVAL = 256
+
+
+def active_budget() -> "QueryBudget | None":
+    """The budget activated for the current execution, or None."""
+    return _ACTIVE.get()
+
+
+def push_active(budget: "QueryBudget"):
+    """Activate ``budget`` for this thread/task; returns a reset token."""
+    return _ACTIVE.set(budget)
+
+
+def pop_active(token) -> None:
+    """Deactivate a budget previously pushed (pass its token back)."""
+    _ACTIVE.reset(token)
 
 
 class QueryBudget:

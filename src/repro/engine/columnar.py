@@ -53,6 +53,7 @@ from repro.engine.batch import (
     _generic_delta_seed,
     _step_io,
     _take,
+    activated,
     exists_over,
     head_emitter,
 )
@@ -688,7 +689,7 @@ class ColumnarPlan:
                     col = cols[slot]
                     cols[slot] = [resolver[v] for v in col]
             return cols, nrows
-        return execute, out
+        return activated(execute, budget), out
 
     def executor(self, counters: list[int] | None = None,
                  project: Sequence[Var] | None = None,
@@ -885,7 +886,7 @@ class ColumnarDeltaPlan:
                     col = cols[slot]
                     cols[slot] = [resolver[v] for v in col]
             return cols, nrows
-        return execute, out
+        return activated(execute, budget), out
 
     def executor(self, counters: list[int] | None = None,
                  project: Sequence[Var] | None = None,

@@ -124,6 +124,59 @@ class ChangeLog:
         return drop
 
 
+class ChangeLease:
+    """A held change-log cursor with deterministic release.
+
+    Wraps :meth:`Database.hold_changes` / :meth:`Database.release_changes`
+    in a context manager so a reader that dies on an exception path can
+    never keep pinning the log: leaving the ``with`` block (normally or
+    not) releases the registration, and ``trim_changes`` may reclaim the
+    prefix.  Long-lived consumers keep one lease and :meth:`move` it as
+    their replay low-water mark advances.
+
+    The lease itself is the weakly-referenced holder, so dropping the
+    last reference to an unreleased lease also stops pinning the log
+    (the belt to the context manager's braces).
+    """
+
+    __slots__ = ("_db", "cursor", "released", "__weakref__")
+
+    def __init__(self, db: "Database", cursor: int) -> None:
+        self._db = db
+        #: The absolute change-log cursor this lease pins (None when the
+        #: database had no active log -- the lease is then a no-op).
+        self.cursor: int | None = cursor
+        self.released = False
+        if cursor is not None:
+            db.hold_changes(self, cursor)
+
+    def move(self, cursor: int) -> None:
+        """Advance (or rebase) the pinned cursor."""
+        if self.released:
+            raise ValueError("cannot move a released change lease")
+        self.cursor = cursor
+        if cursor is None:
+            self._db.release_changes(self)
+        else:
+            self._db.hold_changes(self, cursor)
+
+    def release(self) -> None:
+        """Drop the registration (idempotent)."""
+        if not self.released:
+            self.released = True
+            self._db.release_changes(self)
+
+    def __enter__(self) -> "ChangeLease":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "released" if self.released else f"cursor={self.cursor}"
+        return f"ChangeLease({state})"
+
+
 class Database:
     """An in-memory OODB instance: the semantic structure ``I``."""
 
@@ -370,6 +423,44 @@ class Database:
     def release_changes(self, holder: object) -> None:
         """Drop ``holder``'s cursor registration (idempotent)."""
         self._change_holds.pop(holder, None)
+
+    def held_changes(self, cursor: int | None = None) -> ChangeLease:
+        """A :class:`ChangeLease` pinning ``cursor`` (default: now).
+
+        The exception-safe form of the :meth:`hold_changes` /
+        :meth:`release_changes` pairing: use it as a context manager so
+        a reader interrupted mid-query releases its cursor on the way
+        out and can never leak a hold that keeps the log untrimmable::
+
+            with db.held_changes() as lease:
+                ...  # the log keeps every entry from lease.cursor on
+
+        With no active change log the lease is inert (``cursor`` is
+        None) -- snapshot readers then fall back to plain version
+        comparison.
+        """
+        if cursor is None:
+            log = self._change_log
+            cursor = log.cursor() if log is not None else None
+        return ChangeLease(self, cursor)
+
+    def snapshot_lag(self) -> int:
+        """Entries between the oldest held cursor and the log head.
+
+        How far the slowest registered consumer (a memoising query, a
+        server request's snapshot lease) trails the present -- 0 with no
+        log, no holds, or everyone caught up.  Servers surface this as
+        their ``snapshot_lag`` health statistic.
+        """
+        log = self._change_log
+        if log is None:
+            return 0
+        cursors = [c for c in self._change_holds.values() if c is not None]
+        if self._catalog_cursor is not None:
+            cursors.append(self._catalog_cursor)
+        if not cursors:
+            return 0
+        return max(0, log.cursor() - min(cursors))
 
     def rollback_changes(self, cursor: int) -> int:
         """Undo every change recorded after ``cursor``, newest first.

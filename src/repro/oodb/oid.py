@@ -20,6 +20,7 @@ Both kinds are immutable and hashable and compare structurally.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Union
 
@@ -90,14 +91,22 @@ class OidInterner:
     Retiring an object pushes its surrogate onto a free list; the slot
     is tombstoned (``None``) until a *different* OID is interned later
     and reuses it, so two live objects can never share a surrogate.
+
+    Assignment is thread-safe: concurrent server readers evaluating
+    columnar plans over a shared (frozen) database may intern
+    previously unseen OIDs at once, so the *slow path* (a new
+    assignment or a retirement) runs under a lock.  The hot paths --
+    an already-interned lookup and the list-index ``resolve`` -- stay
+    lock-free (single dict/list operations the GIL keeps atomic).
     """
 
-    __slots__ = ("_surrogate", "_object", "_free")
+    __slots__ = ("_surrogate", "_object", "_free", "_lock")
 
     def __init__(self) -> None:
         self._surrogate: dict[Oid, int] = {}
         self._object: list[Oid | None] = []
         self._free: list[int] = []
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         """Number of live (non-retired) interned objects."""
@@ -112,13 +121,16 @@ class OidInterner:
         """Return the surrogate for ``oid``, assigning one if new."""
         surrogate = self._surrogate.get(oid)
         if surrogate is None:
-            if self._free:
-                surrogate = self._free.pop()
-                self._object[surrogate] = oid
-            else:
-                surrogate = len(self._object)
-                self._object.append(oid)
-            self._surrogate[oid] = surrogate
+            with self._lock:
+                surrogate = self._surrogate.get(oid)
+                if surrogate is None:
+                    if self._free:
+                        surrogate = self._free.pop()
+                        self._object[surrogate] = oid
+                    else:
+                        surrogate = len(self._object)
+                        self._object.append(oid)
+                    self._surrogate[oid] = surrogate
         return surrogate
 
     def surrogate(self, oid: Oid) -> int | None:
@@ -139,12 +151,13 @@ class OidInterner:
 
     def retire(self, oid: Oid) -> bool:
         """Drop ``oid``'s surrogate and recycle it via the free list."""
-        surrogate = self._surrogate.pop(oid, None)
-        if surrogate is None:
-            return False
-        self._object[surrogate] = None
-        self._free.append(surrogate)
-        return True
+        with self._lock:
+            surrogate = self._surrogate.pop(oid, None)
+            if surrogate is None:
+                return False
+            self._object[surrogate] = None
+            self._free.append(surrogate)
+            return True
 
     def clone(self) -> "OidInterner":
         """An independent copy; existing surrogates stay identical."""

@@ -23,6 +23,7 @@ Examples::
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, Iterator, Sequence, Union
 
 from repro.core.ast import Comparison, Literal, Negation, Reference, Var
@@ -85,7 +86,7 @@ class Query:
                  incremental: bool = True,
                  executor: str | None = None,
                  memo_entries: int | None = None,
-                 budget=None) -> None:
+                 budget=None, thread_safe: bool = False) -> None:
         self._db = db
         self._plans = PlanCache()
         self._compiled = compiled
@@ -130,6 +131,19 @@ class Query:
         self.last_maintenance = None
         #: Memoised results evicted from the LRU over this Query's life.
         self.memo_evictions = 0
+        #: Persistent change-log lease pinning the memo low-water mark.
+        self._hold = None
+        #: With ``thread_safe=True`` the memo bookkeeping in
+        #: :meth:`_db_for` (evaluation, maintenance, eviction, LRU
+        #: reordering) runs under one re-entrant lock, and freshly
+        #: materialised result databases are *published*: their lazy
+        #: mirror-first columns are drained before any other thread can
+        #: read them, so concurrent readers never race a back-fill.
+        #: The conjunction solve itself still runs unlocked -- safe as
+        #: long as the answering databases are not mutated concurrently
+        #: (the server's single-writer gate guarantees exactly that).
+        self._thread_safe = thread_safe
+        self._lock = threading.RLock()
 
     @property
     def plan_cache(self) -> PlanCache:
@@ -140,11 +154,22 @@ class Query:
     # Program evaluation (demand-driven or full fixpoint)
     # ------------------------------------------------------------------
 
-    def _db_for(self, atoms: tuple) -> Database:
-        """The database to answer against: base, demanded, or full."""
+    def _db_for(self, atoms: tuple, budget=None) -> Database:
+        """The database to answer against: base, demanded, or full.
+
+        ``budget`` overrides the construction-time budget for this one
+        evaluation (servers attach a per-request deadline to a shared
+        Query this way); memo lookups and maintenance bookkeeping run
+        under the instance lock when ``thread_safe=True``.
+        """
         if self._program is None:
             return self._db
-        budget = self._budget
+        with self._lock:
+            return self._db_for_locked(atoms, budget)
+
+    def _db_for_locked(self, atoms: tuple, budget=None) -> Database:
+        if budget is None:
+            budget = self._budget
         if budget is not None:
             budget.start()
             budget.check("query")
@@ -174,7 +199,7 @@ class Query:
                     limits=self._limits, compiled=self._compiled,
                     executor=self._executor,
                     record_support=self._record_support(),
-                    budget=self._budget,
+                    budget=budget,
                 )
                 result = engine.run()
                 self._materialized = result
@@ -199,7 +224,7 @@ class Query:
                 seminaive=self._seminaive, limits=self._limits,
                 compiled=self._compiled, executor=self._executor,
                 record_support=self._record_support(),
-                budget=self._budget,
+                budget=budget,
             )
             result = engine.run()
             if self._memo_entries > 0:
@@ -225,8 +250,22 @@ class Query:
         """
         return self._incremental and self._db.change_log is not None
 
+    def _publish(self, result: Database) -> None:
+        """Make ``result`` safe for unlocked concurrent readers.
+
+        Columnar head emission leaves mirror-first inserts that the
+        boxed tables back-fill lazily on the *next* boxed read; under
+        ``thread_safe=True`` that first read may come from several
+        threads at once, so the drain is forced here -- while the
+        instance lock is still held -- instead.
+        """
+        if self._thread_safe:
+            result.scalars.sync()
+            result.sets.sync()
+
     def _register(self, result: Database, engine, version: int) -> None:
         """Track a freshly materialised result for reuse + maintenance."""
+        self._publish(result)
         self._result_caches[id(result)] = PlanCache()
         log = self._db.change_log
         if (self._incremental and log is not None
@@ -243,18 +282,25 @@ class Query:
     def _update_hold(self) -> None:
         """Publish this query's change-log low-water mark to the base.
 
-        The smallest cursor any memo entry still needs is registered
-        with the base database (:meth:`Database.hold_changes`), so
+        The smallest cursor any memo entry still needs is pinned through
+        one persistent :class:`~repro.oodb.database.ChangeLease`
+        (:meth:`Database.held_changes`), so
         :meth:`Database.trim_changes` can drop the log prefix no live
         consumer can ever replay again -- the log stays bounded across
-        an unbounded stream of maintain cycles.
+        an unbounded stream of maintain cycles.  When no memo entry
+        holds a cursor the lease is released outright.
         """
         cursors = [cursor for _, cursor in self._memo_state.values()
                    if cursor >= 0]
         if cursors:
-            self._db.hold_changes(self, min(cursors))
-        else:
-            self._db.release_changes(self)
+            low = min(cursors)
+            if self._hold is None or self._hold.released:
+                self._hold = self._db.held_changes(low)
+            else:
+                self._hold.move(low)
+        elif self._hold is not None:
+            self._hold.release()
+            self._hold = None
 
     def _fresh(self, result: Database, version: int) -> bool:
         """Whether ``result`` answers for the current base facts.
@@ -309,12 +355,77 @@ class Query:
         self.last_maintenance = report
         if not report.applied:
             return False
+        self._publish(result)
         self._memo_state[id(result)] = (version, log.cursor())
         # Every sync state advanced past the consumed slice; move the
         # low-water mark and trim the base log behind it.
         self._update_hold()
         self._db.trim_changes()
         return True
+
+    def sync(self) -> dict:
+        """Bring every memoised result up to date with the base, now.
+
+        Walks the full materialisation and each demand memo entry and
+        either maintains it incrementally (through the transactional
+        :meth:`Maintainer.apply`) or evicts it when maintenance fell
+        back or failed -- the next query then re-derives from scratch.
+        Returns ``{"maintained": n, "evicted": n}``.
+
+        A single-writer server calls this right after applying a write
+        batch, while readers are still excluded: reads that follow find
+        every surviving memo entry fresh and never trigger maintenance
+        themselves, so result databases are only ever mutated from the
+        writer side of the gate.  Budget expiries raised by the owning
+        engines' budgets propagate after the entry is rolled back.
+        """
+        maintained = evicted = 0
+        with self._lock:
+            version = self._db.data_version()
+            result = self._materialized
+            if result is not None:
+                before = self._memo_state.get(id(result))
+                if self._fresh(result, version):
+                    if before is not None and before[0] != version:
+                        maintained += 1
+                else:
+                    self._forget(result)
+                    self._materialized = None
+                    evicted += 1
+            for key in list(self._demand_dbs):
+                entry = self._demand_dbs[key]
+                before = self._memo_state.get(id(entry))
+                if self._fresh(entry, version):
+                    if before is not None and before[0] != version:
+                        maintained += 1
+                else:
+                    self._evict(key)
+                    evicted += 1
+            self._db.trim_changes()
+        return {"maintained": maintained, "evicted": evicted}
+
+    def forget(self) -> int:
+        """Drop every memoised result; returns how many were dropped.
+
+        The recovery hammer for a failed :meth:`sync`: when maintenance
+        died half-way (a crash injected under chaos testing, an
+        unexpected error), evicting everything restores the invariant
+        that readers only ever *build fresh* result databases -- they
+        never patch a shared one -- at the cost of re-deriving on the
+        next query.  Also releases the memo change-log lease, so the
+        base log becomes fully trimmable again.
+        """
+        with self._lock:
+            dropped = 0
+            if self._materialized is not None:
+                self._forget(self._materialized)
+                self._materialized = None
+                dropped += 1
+            for key in list(self._demand_dbs):
+                self._evict(key)
+                dropped += 1
+            self._db.trim_changes()
+            return dropped
 
     def _evict(self, key: tuple, *, count: bool = False) -> None:
         """Drop one demand memo entry (and its maintenance state)."""
@@ -333,21 +444,27 @@ class Query:
     # ------------------------------------------------------------------
 
     def solutions(self, query: QueryInput,
-                  variables: Iterable[str] | None = None) -> Iterator[Answer]:
+                  variables: Iterable[str] | None = None,
+                  *, budget=None) -> Iterator[Answer]:
         """Yield deduplicated answers projected onto ``variables``.
 
         ``variables`` defaults to all variables appearing in the query,
-        in first-occurrence order.
+        in first-occurrence order.  ``budget`` attaches a per-call
+        :class:`~repro.engine.budget.QueryBudget` overriding the
+        construction-time one (how a server maps per-request deadlines
+        onto a shared Query).
         """
+        if budget is None:
+            budget = self._budget
         literals = self._as_literals(query)
         wanted = self._wanted_variables(literals, variables)
         atoms = flatten_conjunction(literals)
-        db = self._db_for(atoms)
+        db = self._db_for(atoms, budget)
         seen: set[tuple] = set()
         for binding in solve(db, atoms, {}, cache=self._cache_for(db),
                              compiled=self._compiled,
                              executor=self._executor,
-                             budget=self._budget):
+                             budget=budget):
             row = {name: binding[Var(name)] for name in wanted}
             key = tuple(row[name] for name in wanted)
             if key in seen:
@@ -357,14 +474,14 @@ class Query:
 
     def all(self, query: QueryInput,
             variables: Iterable[str] | None = None,
-            *, sort: bool = True) -> list[Answer]:
+            *, sort: bool = True, budget=None) -> list[Answer]:
         """All answers as a list; sorted deterministically by default."""
-        answers = list(self.solutions(query, variables))
+        answers = list(self.solutions(query, variables, budget=budget))
         if sort:
             answers.sort(key=lambda a: a.sort_key())
         return answers
 
-    def ask(self, query: QueryInput) -> bool:
+    def ask(self, query: QueryInput, *, budget=None) -> bool:
         """True iff the query has at least one solution.
 
         Under the batched executors the check short-circuits *inside*
@@ -374,21 +491,26 @@ class Query:
         The tuple-at-a-time executors already stop at their first
         solution.
         """
+        if budget is None:
+            budget = self._budget
         literals = self._as_literals(query)
         atoms = flatten_conjunction(literals)
-        db = self._db_for(atoms)
+        db = self._db_for(atoms, budget)
         return solve_exists(db, atoms, {}, cache=self._cache_for(db),
                             compiled=self._compiled,
                             executor=self._executor,
-                            budget=self._budget)
+                            budget=budget)
 
-    def objects(self, ref: Union[str, Reference]) -> frozenset[Oid]:
+    def objects(self, ref: Union[str, Reference],
+                *, budget=None) -> frozenset[Oid]:
         """The set of objects a reference denotes, over all solutions.
 
         For a ground reference this is exactly ``nu_I(ref)``; for a
         reference with variables it is the union over all satisfying
         valuations (the natural "result column" reading).
         """
+        if budget is None:
+            budget = self._budget
         reference = (parse_reference(ref) if isinstance(ref, str) else ref)
         if self._program is None and not variables_of(reference):
             return valuate(reference, self._db, VariableValuation())
@@ -398,7 +520,7 @@ class Query:
         flattened = flatten_reference(
             reference, FreshVariables(avoid=variables_of(reference))
         )
-        db = self._db_for(tuple(flattened.atoms))
+        db = self._db_for(tuple(flattened.atoms), budget)
         if not variables_of(reference):
             return valuate(reference, db, VariableValuation())
         found: set[Oid] = set()
@@ -406,7 +528,7 @@ class Query:
                              cache=self._cache_for(db),
                              compiled=self._compiled,
                              executor=self._executor,
-                             budget=self._budget):
+                             budget=budget):
             if isinstance(flattened.term, Var):
                 found.add(binding[flattened.term])
             else:
@@ -414,9 +536,11 @@ class Query:
         return frozenset(found)
 
     def count(self, query: QueryInput,
-              variables: Iterable[str] | None = None) -> int:
+              variables: Iterable[str] | None = None,
+              *, budget=None) -> int:
         """Number of distinct answers."""
-        return sum(1 for _ in self.solutions(query, variables))
+        return sum(1 for _ in self.solutions(query, variables,
+                                             budget=budget))
 
     def explain(self, query: QueryInput, *,
                 analyze: bool = True) -> PlanReport:

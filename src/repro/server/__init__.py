@@ -1,0 +1,48 @@
+"""Concurrent query serving: snapshot reads, one writer, backpressure.
+
+``python -m repro serve`` (or :class:`Server` embedded) exposes a
+database -- optionally materialised from a PathLog program -- over a
+length-prefixed JSON protocol.  Readers evaluate concurrently against
+snapshot-isolated state, writes funnel through a single maintainer
+that patches the memoised results incrementally, and an admission
+queue sheds load with typed, retryable responses once it fills.  See
+docs/server.md.
+"""
+
+from repro.server.admission import (
+    AdmissionController,
+    AdmissionShed,
+    AdmissionSlot,
+)
+from repro.server.client import (
+    Client,
+    ClientError,
+    ConnectionLost,
+    Overloaded,
+    RequestError,
+    RequestTimeout,
+    RetryPolicy,
+    ServerDraining,
+    ServerError,
+)
+from repro.server.gate import ReadWriteGate
+from repro.server.server import Server, ServerConfig, ServerStats
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionShed",
+    "AdmissionSlot",
+    "Client",
+    "ClientError",
+    "ConnectionLost",
+    "Overloaded",
+    "ReadWriteGate",
+    "RequestError",
+    "RequestTimeout",
+    "RetryPolicy",
+    "Server",
+    "ServerConfig",
+    "ServerDraining",
+    "ServerError",
+    "ServerStats",
+]

@@ -1,0 +1,94 @@
+"""Admission control: bounded concurrency, bounded queue, load shedding.
+
+The server runs at most ``max_inflight`` requests at once (that is
+also the size of its evaluation thread pool, so an admitted request
+never queues *again* for a worker).  Requests beyond that wait in a
+bounded admission queue; once ``max_queue`` are already waiting the
+controller *sheds* -- the caller gets a typed ``overloaded`` response
+with a ``retry_after_ms`` hint instead of an unbounded wait.  Shedding
+keeps the tail short: under 2x overload clients see fast rejections
+they can back off from, while the requests that are admitted still
+finish close to their unloaded latency.
+
+``retry_after_ms`` is an estimate, not a promise: expected drain time
+of the current backlog, from an exponentially-weighted average of
+recent service times.  Clients should jitter around it (the bundled
+client does).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+
+class AdmissionSlot:
+    """Context manager marking one admitted request (releases on exit)."""
+
+    __slots__ = ("_controller",)
+
+    def __init__(self, controller: "AdmissionController") -> None:
+        self._controller = controller
+
+    async def __aenter__(self) -> "AdmissionSlot":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        self._controller._release()
+
+
+class AdmissionShed(Exception):
+    """Raised to the dispatcher when the admission queue is full."""
+
+    def __init__(self, retry_after_ms: float) -> None:
+        super().__init__("admission queue full")
+        self.retry_after_ms = retry_after_ms
+
+
+class AdmissionController:
+    """Semaphore-with-a-bounded-queue; full queue means shed, not wait."""
+
+    def __init__(self, max_inflight: int, max_queue: int) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        if max_queue < 0:
+            raise ValueError("max_queue cannot be negative")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self._semaphore = asyncio.Semaphore(max_inflight)
+        #: Requests admitted and currently executing.
+        self.inflight = 0
+        #: Requests admitted but waiting for an execution slot.
+        self.waiting = 0
+        #: Requests rejected because the queue was full.
+        self.shed = 0
+        #: EWMA of service time in ms (drives ``retry_after_ms``).
+        self.service_ms = 20.0
+
+    def retry_after_ms(self) -> float:
+        """Expected backlog drain time for a shed request."""
+        backlog = self.waiting + self.inflight
+        per_slot = max(1.0, self.service_ms)
+        return per_slot * (1 + backlog / self.max_inflight)
+
+    async def admit(self) -> AdmissionSlot:
+        """Wait for an execution slot; raise :class:`AdmissionShed`
+        immediately when the request would have to wait behind
+        ``max_queue`` others (``max_queue=0``: run-or-shed, no queue)."""
+        if self._semaphore.locked() and self.waiting >= self.max_queue:
+            self.shed += 1
+            raise AdmissionShed(self.retry_after_ms())
+        self.waiting += 1
+        try:
+            await self._semaphore.acquire()
+        finally:
+            self.waiting -= 1
+        self.inflight += 1
+        return AdmissionSlot(self)
+
+    def _release(self) -> None:
+        self.inflight -= 1
+        self._semaphore.release()
+
+    def observe_service(self, elapsed_ms: float) -> None:
+        """Fold one completed request into the service-time EWMA."""
+        self.service_ms += 0.2 * (elapsed_ms - self.service_ms)

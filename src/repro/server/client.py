@@ -1,0 +1,220 @@
+"""Client for the concurrent query server, with typed retries.
+
+:class:`Client` speaks the framed-JSON protocol of
+:mod:`repro.server.protocol` and sorts failures into two kinds:
+
+- **Retryable** (:class:`Overloaded`, :class:`RequestTimeout`,
+  :class:`ServerDraining`, and connection drops): transient server
+  states.  The high-level methods retry these under the
+  :class:`RetryPolicy` -- exponential backoff with jitter, honouring
+  the server's ``retry_after_ms`` hint when one came back.
+- **Non-retryable** (:class:`RequestError`): the request itself is
+  wrong (bad syntax, a scalar conflict, a malformed frame); resending
+  it verbatim can only fail the same way, so it raises immediately.
+
+Retrying writes is safe: a batch the server acknowledged is applied
+exactly once per fact (assertions and retractions are idempotent), and
+a batch that failed mid-application was rolled back to its checkpoint.
+
+The jitter RNG is injectable (``random.Random(seed)``) so tests replay
+the exact same backoff schedule.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+from repro.server import protocol
+
+
+class ClientError(Exception):
+    """Base class for everything this client raises."""
+
+
+class ServerError(ClientError):
+    """A typed error response from the server."""
+
+    def __init__(self, code: str, message: str,
+                 retry_after_ms: float | None = None) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.retry_after_ms = retry_after_ms
+
+    @property
+    def retryable(self) -> bool:
+        return self.code in protocol.RETRYABLE_CODES
+
+
+class Overloaded(ServerError):
+    """The server shed this request; back off ``retry_after_ms``."""
+
+
+class RequestTimeout(ServerError):
+    """The per-request budget expired server-side."""
+
+
+class ServerDraining(ServerError):
+    """The server is shutting down gracefully."""
+
+
+class RequestError(ServerError):
+    """The request is invalid; retrying it is pointless."""
+
+
+class ConnectionLost(ClientError):
+    """The connection dropped mid-request (retryable by reconnecting)."""
+
+
+_ERROR_TYPES = {
+    protocol.OVERLOADED: Overloaded,
+    protocol.TIMEOUT: RequestTimeout,
+    protocol.SHUTTING_DOWN: ServerDraining,
+}
+
+
+def _typed_error(detail: dict) -> ServerError:
+    cls = _ERROR_TYPES.get(detail.get("code"), RequestError)
+    return cls(detail.get("code", "unknown"),
+               detail.get("message", "unknown error"),
+               detail.get("retry_after_ms"))
+
+
+class RetryPolicy:
+    """Exponential backoff with full jitter and a hint override.
+
+    ``delay_ms(attempt)`` grows ``base_ms * multiplier**attempt`` up to
+    ``cap_ms``; the actual sleep is uniformly jittered over
+    ``[delay/2, delay]`` so a shed swarm does not reconverge on the
+    server in lockstep.  When the server sent ``retry_after_ms``, that
+    replaces the exponential term (still jittered, still capped).
+    """
+
+    def __init__(self, *, attempts: int = 5, base_ms: float = 25.0,
+                 cap_ms: float = 2_000.0, multiplier: float = 2.0,
+                 rng: random.Random | None = None) -> None:
+        self.attempts = attempts
+        self.base_ms = base_ms
+        self.cap_ms = cap_ms
+        self.multiplier = multiplier
+        self._rng = rng or random.Random()
+
+    def delay_ms(self, attempt: int,
+                 retry_after_ms: float | None = None) -> float:
+        if retry_after_ms is not None:
+            delay = retry_after_ms
+        else:
+            delay = self.base_ms * self.multiplier ** attempt
+        delay = min(delay, self.cap_ms)
+        return delay / 2.0 + self._rng.random() * delay / 2.0
+
+
+class Client:
+    """One connection to a server, plus retrying request helpers."""
+
+    def __init__(self, host: str, port: int, *,
+                 retry: RetryPolicy | None = None) -> None:
+        self.host = host
+        self.port = port
+        self.retry = retry or RetryPolicy()
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        #: Retries performed across this client's lifetime (stats).
+        self.retries = 0
+
+    # -- connection ----------------------------------------------------
+
+    async def connect(self) -> "Client":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port)
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "Client":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- one-shot request (no retry) -----------------------------------
+
+    async def request(self, payload: dict) -> dict:
+        """Send one frame, await one response; no retries.
+
+        Raises a typed :class:`ServerError` for ``ok: false`` responses
+        and :class:`ConnectionLost` when the stream dies mid-request.
+        """
+        if self._writer is None:
+            await self.connect()
+        try:
+            self._writer.write(protocol.encode_frame(payload))
+            await self._writer.drain()
+            response = await protocol.read_frame(self._reader)
+        except (ConnectionError, asyncio.IncompleteReadError,
+                OSError) as err:
+            await self.close()
+            raise ConnectionLost(str(err)) from err
+        if response is None:
+            await self.close()
+            raise ConnectionLost("server closed the connection")
+        if not response.get("ok", False):
+            raise _typed_error(response.get("error", {}))
+        return response
+
+    # -- retrying helpers ----------------------------------------------
+
+    async def _retrying(self, payload: dict) -> dict:
+        last: ClientError | None = None
+        for attempt in range(self.retry.attempts):
+            try:
+                return await self.request(payload)
+            except ConnectionLost as err:
+                last, hint = err, None
+            except ServerError as err:
+                if not err.retryable:
+                    raise
+                last, hint = err, err.retry_after_ms
+            self.retries += 1
+            if attempt + 1 < self.retry.attempts:
+                delay = self.retry.delay_ms(attempt, hint)
+                await asyncio.sleep(delay / 1000.0)
+        raise last
+
+    async def query(self, text: str, variables=None, *,
+                    timeout_ms: float | None = None,
+                    max_derived: int | None = None,
+                    limit: int | None = None) -> dict:
+        """Run a query with retries; returns the full ok-response."""
+        payload = {"op": "query", "query": text}
+        if variables is not None:
+            payload["variables"] = list(variables)
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
+        if max_derived is not None:
+            payload["max_derived"] = max_derived
+        if limit is not None:
+            payload["limit"] = limit
+        return await self._retrying(payload)
+
+    async def write(self, changes: list) -> dict:
+        """Apply a change batch with retries (safe: see module doc)."""
+        return await self._retrying({"op": "write", "changes": changes})
+
+    async def health(self) -> dict:
+        return await self.request({"op": "health"})
+
+    async def stats(self) -> dict:
+        return (await self.request({"op": "stats"}))["stats"]
+
+    async def shutdown(self) -> dict:
+        """Ask the server to drain and stop."""
+        return await self.request({"op": "shutdown"})

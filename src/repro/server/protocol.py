@@ -1,0 +1,113 @@
+"""Wire protocol of the concurrent query server.
+
+One connection carries a sequence of *frames*, each a 4-byte
+big-endian length prefix followed by that many bytes of UTF-8 JSON.
+Requests and responses are JSON objects; a client may send the next
+request before reading the previous response (the server answers one
+connection's requests in order).
+
+Requests (``op`` selects the operation, ``id`` is echoed back):
+
+- ``{"op": "query", "query": "X : employee", "variables": ["X"],
+  "timeout_ms": 100, "max_derived": 10000, "limit": 50}`` --
+  ``variables`` and the budget/limit fields are optional.
+- ``{"op": "write", "changes": [...]}`` with each change a compact
+  array: ``["+scalar", method, subject, [args...], result]``,
+  ``["-scalar", method, subject, [args...]]``,
+  ``["+set"|"-set", method, subject, [args...], member]``,
+  ``["+isa"|"-isa", object, class]``.  Fields are *names* (strings or
+  integers), resolved through the database's name map.
+- ``{"op": "health"}`` / ``{"op": "stats"}`` -- liveness and counters.
+- ``{"op": "shutdown"}`` -- begin a graceful drain (see docs/server.md).
+
+Responses carry ``{"ok": true, ...}`` or ``{"ok": false, "error":
+{"code", "message", "retryable", "retry_after_ms"?}}``.  The error
+codes are enumerated below; ``retryable`` tells a client whether
+backing off and resending is meaningful (overload, deadline, drain)
+or pointless (the request itself is wrong).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+#: Frames above this many bytes are rejected before allocation: a
+#: corrupt length prefix must not make the server try to buffer 4 GiB.
+MAX_FRAME = 16 * 1024 * 1024
+
+_PREFIX = 4
+
+# -- error codes -----------------------------------------------------------
+
+#: Admission queue full; the response carries ``retry_after_ms``.
+OVERLOADED = "overloaded"
+#: The per-request budget expired (or the request was cancelled).
+TIMEOUT = "timeout"
+#: The server is draining; it will not take new work.
+SHUTTING_DOWN = "shutting_down"
+#: The query/write itself is invalid (syntax, conflict, unknown op).
+QUERY_ERROR = "query_error"
+#: The request frame is not a well-formed request object.
+BAD_REQUEST = "bad_request"
+#: An unexpected server-side failure; writes were rolled back.
+INTERNAL = "internal"
+
+#: Codes a client may retry after backing off.
+RETRYABLE_CODES = frozenset({OVERLOADED, TIMEOUT, SHUTTING_DOWN})
+
+
+class FrameTooLarge(ValueError):
+    """A frame length prefix exceeded :data:`MAX_FRAME`."""
+
+
+def encode_frame(payload: dict) -> bytes:
+    """One wire frame: length prefix plus compact JSON body."""
+    body = json.dumps(payload, separators=(",", ":"),
+                      ensure_ascii=False).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise FrameTooLarge(f"frame of {len(body)} bytes exceeds "
+                            f"MAX_FRAME ({MAX_FRAME})")
+    return len(body).to_bytes(_PREFIX, "big") + body
+
+
+async def read_frame(reader: asyncio.StreamReader,
+                     max_frame: int = MAX_FRAME) -> dict | None:
+    """The next decoded frame, or None at a clean end of stream.
+
+    Raises :class:`FrameTooLarge` for an oversized prefix and
+    :class:`asyncio.IncompleteReadError` for a stream truncated inside
+    a frame -- both mean the connection is unusable and must close.
+    """
+    try:
+        prefix = await reader.readexactly(_PREFIX)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    length = int.from_bytes(prefix, "big")
+    if length > max_frame:
+        raise FrameTooLarge(f"incoming frame of {length} bytes exceeds "
+                            f"the {max_frame} byte limit")
+    body = await reader.readexactly(length)
+    return json.loads(body.decode("utf-8"))
+
+
+def ok(request: dict | None = None, **payload) -> dict:
+    """A success response (echoes the request ``id`` when present)."""
+    response = {"ok": True}
+    if request is not None and "id" in request:
+        response["id"] = request["id"]
+    response.update(payload)
+    return response
+
+
+def error(code: str, message: str, *, request: dict | None = None,
+          retry_after_ms: float | None = None) -> dict:
+    """An error response; ``retryable`` derives from the code."""
+    detail = {"code": code, "message": message,
+              "retryable": code in RETRYABLE_CODES}
+    if retry_after_ms is not None:
+        detail["retry_after_ms"] = retry_after_ms
+    response = {"ok": False, "error": detail}
+    if request is not None and "id" in request:
+        response["id"] = request["id"]
+    return response

@@ -1,0 +1,575 @@
+"""The concurrent query server: one writer, many snapshot readers.
+
+Architecture (docs/server.md has the full story):
+
+- One shared :class:`~repro.query.Query` (``thread_safe=True``) serves
+  every connection, so compiled plans and demand memos are reused
+  across clients instead of rebuilt per request.
+- Queries evaluate on a thread pool (``max_inflight`` workers) while
+  holding the :class:`~repro.server.gate.ReadWriteGate` shared: the
+  database is frozen for the whole evaluation, which *is* the
+  request's snapshot.  Each request additionally pins the change log
+  with a :class:`~repro.oodb.database.ChangeLease` (released in a
+  ``finally``), so the log stays consistent for the memo machinery and
+  ``stats`` can report how far the slowest reader lags.
+- All writes funnel through one maintainer task.  It takes the gate
+  exclusively, applies the batch through the ordinary assertion API
+  (rolling back to a cursor checkpoint on any failure), then patches
+  the memoised results via :meth:`Query.sync` -- still exclusive, so
+  result databases are only ever mutated with no reader inside.  If
+  maintenance itself dies half-way, the memos are dropped wholesale
+  (:meth:`Query.forget`) and the next query re-derives: degraded, not
+  wrong.
+- Admission control bounds the request queue
+  (:class:`~repro.server.admission.AdmissionController`): beyond
+  ``max_queue`` waiters the request is *shed* with a typed
+  ``overloaded`` response carrying ``retry_after_ms``.
+- Each request gets its own
+  :class:`~repro.engine.budget.QueryBudget` (deadline from the
+  request's ``timeout_ms``, capped by the server's ``max_timeout_ms``);
+  a client that disconnects mid-request has its budget ``cancel()``-ed,
+  so abandoned work stops at the next checkpoint instead of running to
+  completion.
+- ``SIGTERM``/``shutdown`` drains gracefully: stop accepting, answer
+  the in-flight requests (up to ``drain_ms``), cancel stragglers,
+  stop the maintainer, trim the log.
+
+Fault points (``server.accept``, ``server.dispatch``,
+``server.maintain``, ``server.respond``) let the chaos suite crash
+each stage deterministically; every handler is written so an injected
+crash costs at most that one connection or that one (rolled-back)
+write batch, never the server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.engine import QueryBudget
+from repro.errors import BudgetExceededError, PathLogError
+from repro.oodb.database import Database
+from repro.query import Query
+from repro.server import protocol
+from repro.server.admission import AdmissionController, AdmissionShed
+from repro.server.gate import ReadWriteGate
+from repro.testing.faults import fault_point
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of one :class:`Server` (all have serving defaults)."""
+
+    host: str = "127.0.0.1"
+    #: Port 0 binds an ephemeral port; read it back from ``address``.
+    port: int = 0
+    #: Concurrent query evaluations (also the thread-pool size).
+    max_inflight: int = 8
+    #: Admitted-but-waiting requests beyond which the server sheds.
+    max_queue: int = 32
+    #: Budget applied when a request names no ``timeout_ms``.
+    default_timeout_ms: float | None = None
+    #: Hard cap on any request's ``timeout_ms`` (None: uncapped).
+    max_timeout_ms: float | None = None
+    #: Budget applied when a request names no ``max_derived``.
+    default_max_derived: int | None = None
+    #: How long ``shutdown()`` waits for in-flight work before
+    #: cancelling it.
+    drain_ms: float = 5_000.0
+    #: Largest accepted/emitted frame, bytes.
+    max_frame: int = protocol.MAX_FRAME
+    #: Executor pinned onto the shared Query (None: per-layer defaults).
+    executor: str | None = None
+    #: Demand-driven program evaluation (magic sets) on the shared Query.
+    magic: bool = True
+    #: Whether a ``shutdown`` request over the wire is honoured.
+    allow_remote_shutdown: bool = True
+
+
+@dataclass
+class ServerStats:
+    """Monotonic counters surfaced by the ``stats`` request."""
+
+    connections: int = 0
+    requests: int = 0
+    queries: int = 0
+    writes: int = 0
+    served: int = 0
+    #: Requests rejected with ``overloaded`` (mirrors admission.shed).
+    shed: int = 0
+    #: Requests stopped by their budget (deadline, cap, or cancel).
+    budget_stops: int = 0
+    #: Budgets cancelled because the client vanished mid-request.
+    disconnect_cancels: int = 0
+    query_errors: int = 0
+    #: Unexpected failures answered with ``internal`` (includes
+    #: injected faults).
+    internal_errors: int = 0
+    #: Write batches rolled back to their checkpoint.
+    rollbacks: int = 0
+    #: ``Query.sync`` failures that forced a full memo drop.
+    memo_resets: int = 0
+
+    def as_dict(self) -> dict:
+        return {f: getattr(self, f) for f in self.__dataclass_fields__}
+
+
+@dataclass(eq=False)
+class _Connection:
+    """Per-connection state: in-flight budgets to cancel on EOF."""
+
+    writer: asyncio.StreamWriter
+    budgets: set = field(default_factory=set)
+    disconnected: bool = False
+
+
+class Server:
+    """Serve concurrent PathLog queries over one shared Query."""
+
+    def __init__(self, db: Database, *, program=None,
+                 config: ServerConfig | None = None) -> None:
+        self._db = db
+        self._program = program
+        self.config = config or ServerConfig()
+        self.stats = ServerStats()
+        self._gate = ReadWriteGate()
+        self._admission = AdmissionController(self.config.max_inflight,
+                                              self.config.max_queue)
+        self._query: Query | None = None
+        self._pool: ThreadPoolExecutor | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._maintainer_task: asyncio.Task | None = None
+        self._write_queue: asyncio.Queue | None = None
+        self._connections: set[_Connection] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._draining = False
+        self._closed = asyncio.Event()
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> "Server":
+        """Bind the listening socket and start the maintainer."""
+        self._db.begin_changes()
+        self._query = Query(self._db, program=self._program,
+                            magic=self.config.magic,
+                            executor=self.config.executor,
+                            thread_safe=True)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.max_inflight,
+            thread_name_prefix="repro-server")
+        self._write_queue = asyncio.Queue()
+        self._maintainer_task = asyncio.create_task(self._maintain_loop())
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port)
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (resolves ``port=0``)."""
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    @property
+    def query(self) -> Query:
+        """The shared Query (plan caches and memos live here)."""
+        return self._query
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` completes."""
+        await self._closed.wait()
+
+    async def __aenter__(self) -> "Server":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.shutdown()
+
+    async def shutdown(self, drain_ms: float | None = None) -> None:
+        """Graceful drain: finish in-flight work, then stop (idempotent).
+
+        Stops accepting, answers the requests already admitted (waiting
+        up to ``drain_ms``, default from the config), cancels whatever
+        is still running after the deadline, stops the maintainer, and
+        trims the change log down to the memo low-water mark.
+        """
+        if self._draining:
+            await self._closed.wait()
+            return
+        self._draining = True
+        drain_ms = self.config.drain_ms if drain_ms is None else drain_ms
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + drain_ms / 1000.0
+        while self._admission.inflight or self._admission.waiting:
+            if loop.time() >= deadline:
+                for connection in self._connections:
+                    self._cancel_inflight(connection)
+                break
+            await asyncio.sleep(0.005)
+        if self._write_queue is not None:
+            await self._write_queue.put(None)
+            await self._maintainer_task
+        # Give cancelled stragglers a bounded chance to unwind before
+        # the pool shuts down (cooperative cancellation is not instant).
+        while self._admission.inflight and loop.time() < deadline + 1.0:
+            await asyncio.sleep(0.005)
+        for connection in list(self._connections):
+            connection.writer.close()
+        if self._conn_tasks:
+            done, pending = await asyncio.wait(self._conn_tasks,
+                                               timeout=1.0)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+        self._db.trim_changes()
+        self._closed.set()
+
+    # -- connections ---------------------------------------------------
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        connection = _Connection(writer)
+        self._connections.add(connection)
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self.stats.connections += 1
+        queue: asyncio.Queue = asyncio.Queue()
+        pump = asyncio.create_task(
+            self._pump_requests(reader, queue, connection))
+        try:
+            fault_point("server.accept")
+            while True:
+                request = await queue.get()
+                if request is None:
+                    break
+                await self._serve_request(request, connection)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception:
+            # An injected accept/respond fault (or any unexpected
+            # failure) costs this connection only.
+            self.stats.internal_errors += 1
+        finally:
+            pump.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await pump
+            self._connections.discard(connection)
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def _pump_requests(self, reader: asyncio.StreamReader,
+                             queue: asyncio.Queue,
+                             connection: _Connection) -> None:
+        """Feed decoded frames to the dispatcher; cancel work on EOF.
+
+        Runs alongside the dispatcher so a client closing its socket is
+        noticed *while* its request evaluates -- the in-flight budgets
+        are cancelled and the evaluation stops at its next checkpoint.
+        """
+        try:
+            while True:
+                frame = await protocol.read_frame(reader,
+                                                  self.config.max_frame)
+                if frame is None:
+                    break
+                await queue.put(frame)
+        except (protocol.FrameTooLarge, asyncio.IncompleteReadError,
+                ConnectionError, ValueError):
+            pass
+        finally:
+            connection.disconnected = True
+            self._cancel_inflight(connection)
+            await queue.put(None)
+
+    def _cancel_inflight(self, connection: _Connection) -> None:
+        for budget in connection.budgets:
+            budget.cancel()
+            self.stats.disconnect_cancels += 1
+
+    async def _respond(self, connection: _Connection,
+                       response: dict) -> None:
+        if connection.disconnected:
+            return
+        fault_point("server.respond")
+        connection.writer.write(protocol.encode_frame(response))
+        await connection.writer.drain()
+
+    # -- dispatch ------------------------------------------------------
+
+    async def _serve_request(self, request: dict,
+                             connection: _Connection) -> None:
+        self.stats.requests += 1
+        try:
+            fault_point("server.dispatch")
+            response = await self._dispatch(request, connection)
+        except BudgetExceededError as err:
+            self.stats.budget_stops += 1
+            response = protocol.error(protocol.TIMEOUT, str(err),
+                                      request=request)
+        except AdmissionShed as shed:
+            self.stats.shed += 1
+            response = protocol.error(
+                protocol.OVERLOADED, "admission queue full",
+                request=request, retry_after_ms=shed.retry_after_ms)
+        except PathLogError as err:
+            self.stats.query_errors += 1
+            response = protocol.error(protocol.QUERY_ERROR, str(err),
+                                      request=request)
+        except Exception as err:
+            self.stats.internal_errors += 1
+            response = protocol.error(protocol.INTERNAL,
+                                      f"{type(err).__name__}: {err}",
+                                      request=request)
+        try:
+            await self._respond(connection, response)
+            self.stats.served += 1
+        except Exception:
+            # Respond fault or a vanished peer: drop the connection.
+            self.stats.internal_errors += 1
+            connection.disconnected = True
+            connection.writer.close()
+
+    async def _dispatch(self, request: dict,
+                        connection: _Connection) -> dict:
+        if not isinstance(request, dict) or "op" not in request:
+            return protocol.error(protocol.BAD_REQUEST,
+                                  "request must be an object with an 'op'",
+                                  request=request
+                                  if isinstance(request, dict) else None)
+        op = request["op"]
+        if op == "health":
+            return protocol.ok(request, **self._health())
+        if op == "stats":
+            return protocol.ok(request, stats=self._stats_payload())
+        if self._draining:
+            return protocol.error(protocol.SHUTTING_DOWN,
+                                  "server is draining", request=request,
+                                  retry_after_ms=self.config.drain_ms)
+        if op == "query":
+            return await self._handle_query(request, connection)
+        if op == "write":
+            return await self._handle_write(request)
+        if op == "shutdown":
+            if not self.config.allow_remote_shutdown:
+                return protocol.error(protocol.BAD_REQUEST,
+                                      "remote shutdown is disabled",
+                                      request=request)
+            asyncio.get_running_loop().create_task(self.shutdown())
+            return protocol.ok(request, draining=True)
+        return protocol.error(protocol.BAD_REQUEST,
+                              f"unknown op {op!r}", request=request)
+
+    def _health(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "inflight": self._admission.inflight,
+            "queue_depth": self._admission.waiting,
+            "snapshot_lag": self._db.snapshot_lag(),
+        }
+
+    def _stats_payload(self) -> dict:
+        payload = self._health()
+        payload.update(self.stats.as_dict())
+        payload["shed"] = self._admission.shed
+        payload["version"] = self._db.data_version()
+        log = self._db.change_log
+        payload["log_entries"] = (len(log.entries)
+                                  if log is not None else 0)
+        return payload
+
+    # -- queries (shared readers) --------------------------------------
+
+    def _budget_for(self, request: dict) -> QueryBudget:
+        timeout_ms = request.get("timeout_ms",
+                                 self.config.default_timeout_ms)
+        cap = self.config.max_timeout_ms
+        if cap is not None:
+            timeout_ms = cap if timeout_ms is None else min(timeout_ms,
+                                                            cap)
+        max_derived = request.get("max_derived",
+                                  self.config.default_max_derived)
+        return QueryBudget(timeout_ms=timeout_ms, max_derived=max_derived)
+
+    async def _handle_query(self, request: dict,
+                            connection: _Connection) -> dict:
+        text = request.get("query")
+        if not isinstance(text, str):
+            return protocol.error(protocol.BAD_REQUEST,
+                                  "query op needs a 'query' string",
+                                  request=request)
+        variables = request.get("variables")
+        limit = request.get("limit")
+        self.stats.queries += 1
+        budget = self._budget_for(request)
+        loop = asyncio.get_running_loop()
+        slot = await self._admission.admit()
+        started = loop.time()
+        async with slot:
+            async with self._gate.read():
+                # The database is frozen while we hold the read side:
+                # this lease records which prefix of the change log the
+                # answer reflects, and pins it for the memo machinery.
+                lease = self._db.held_changes()
+                connection.budgets.add(budget)
+                try:
+                    if connection.disconnected:
+                        budget.cancel()
+                    version = self._db.data_version()
+                    answers = await loop.run_in_executor(
+                        self._pool, self._run_query, text, variables,
+                        limit, budget)
+                finally:
+                    connection.budgets.discard(budget)
+                    cursor = lease.cursor
+                    lease.release()
+        self._admission.observe_service((loop.time() - started) * 1000.0)
+        return protocol.ok(request, answers=answers, version=version,
+                           cursor=cursor,
+                           elapsed_ms=(loop.time() - started) * 1000.0)
+
+    def _run_query(self, text: str, variables, limit,
+                   budget: QueryBudget) -> list[dict]:
+        answers = self._query.all(text, variables, budget=budget)
+        if limit is not None:
+            answers = answers[:limit]
+        return [answer.values_dict() for answer in answers]
+
+    # -- writes (single maintainer) ------------------------------------
+
+    async def _handle_write(self, request: dict) -> dict:
+        raw = request.get("changes")
+        if not isinstance(raw, list):
+            return protocol.error(protocol.BAD_REQUEST,
+                                  "write op needs a 'changes' list",
+                                  request=request)
+        try:
+            ops = [self._parse_change(change) for change in raw]
+        except ValueError as err:
+            return protocol.error(protocol.QUERY_ERROR, str(err),
+                                  request=request)
+        self.stats.writes += 1
+        future = asyncio.get_running_loop().create_future()
+        await self._write_queue.put((ops, future))
+        outcome = await future
+        if isinstance(outcome, Exception):
+            if isinstance(outcome, PathLogError):
+                return protocol.error(protocol.QUERY_ERROR,
+                                      str(outcome), request=request)
+            return protocol.error(
+                protocol.INTERNAL,
+                f"{type(outcome).__name__}: {outcome} (rolled back)",
+                request=request)
+        return protocol.ok(request, **outcome)
+
+    _CHANGE_ARITY = {"+scalar": 5, "-scalar": 4, "+set": 5, "-set": 5,
+                     "+isa": 3, "-isa": 3}
+
+    def _parse_change(self, change) -> tuple:
+        """Validate one wire change into ``(tag, *oids)`` before any
+        mutation happens -- a malformed batch is rejected whole."""
+        if (not isinstance(change, list) or not change
+                or change[0] not in self._CHANGE_ARITY):
+            raise ValueError(f"malformed change {change!r}")
+        tag = change[0]
+        if len(change) != self._CHANGE_ARITY[tag]:
+            raise ValueError(
+                f"change {tag!r} takes {self._CHANGE_ARITY[tag] - 1} "
+                f"fields, got {len(change) - 1}")
+        if tag in ("+isa", "-isa"):
+            return (tag, self._name(change[1]), self._name(change[2]))
+        args = change[3]
+        if not isinstance(args, list):
+            raise ValueError(f"change {tag!r} args must be a list")
+        resolved = (tag, self._name(change[1]), self._name(change[2]),
+                    tuple(self._name(a) for a in args))
+        if tag == "-scalar":
+            return resolved
+        return resolved + (self._name(change[4]),)
+
+    def _name(self, value):
+        if not isinstance(value, (str, int)) or isinstance(value, bool):
+            raise ValueError(f"names must be strings or integers, "
+                             f"got {value!r}")
+        return self._db.obj(value)
+
+    async def _maintain_loop(self) -> None:
+        """The single writer: apply batches exclusively, then sync."""
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._write_queue.get()
+            if item is None:
+                return
+            ops, future = item
+            async with self._gate.write():
+                try:
+                    outcome = await loop.run_in_executor(
+                        self._pool, self._apply_batch, ops)
+                except Exception as err:  # noqa: BLE001 - typed on the wire
+                    outcome = err
+            if not future.cancelled():
+                future.set_result(outcome)
+
+    def _apply_batch(self, ops: list[tuple]) -> dict:
+        """Apply one parsed batch (worker thread, gate held exclusive).
+
+        All-or-nothing: any failure -- a scalar conflict, an injected
+        ``server.maintain`` fault -- rolls the base facts back to the
+        checkpoint and re-raises.  A failure *after* the base commit
+        (inside memo maintenance) instead drops the memos wholesale:
+        the base write stands, readers re-derive.
+        """
+        log = self._db.change_log
+        checkpoint = log.cursor()
+        fault_point("server.maintain")
+        try:
+            applied = 0
+            for op in ops:
+                applied += self._apply_change(op)
+        except Exception:
+            self.stats.rollbacks += 1
+            self._db.rollback_changes(checkpoint)
+            raise
+        try:
+            report = self._query.sync()
+        except Exception:
+            # Maintenance died mid-way (each entry itself rolled back
+            # atomically).  Dropping every memo keeps the "readers
+            # never patch shared results" invariant without failing
+            # the already-committed write.
+            self.stats.memo_resets += 1
+            dropped = self._query.forget()
+            report = {"maintained": 0, "evicted": dropped}
+        return {"applied": applied, "version": self._db.data_version(),
+                "maintenance": report}
+
+    def _apply_change(self, op: tuple) -> int:
+        tag = op[0]
+        if tag == "+scalar":
+            return int(self._db.assert_scalar(op[1], op[2], op[3], op[4]))
+        if tag == "-scalar":
+            return int(self._db.retract_scalar(op[1], op[2], op[3]))
+        if tag == "+set":
+            return int(self._db.assert_set_member(op[1], op[2], op[3],
+                                                  op[4]))
+        if tag == "-set":
+            return int(self._db.retract_set_member(op[1], op[2], op[3],
+                                                   op[4]))
+        if tag == "+isa":
+            return int(self._db.assert_isa(op[1], op[2]))
+        return int(self._db.retract_isa(op[1], op[2]))

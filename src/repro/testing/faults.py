@@ -130,3 +130,21 @@ def inject_random(seed: int, rate: float,
 def observe() -> Iterator[FaultPlan]:
     """Count fault-point hits without ever firing (plan.counts)."""
     return _installed(FaultPlan(armed=False))
+
+
+#: Every named fault site planted in the library, grouped by layer.
+#: The chaos suites draw their site sets from here instead of spelling
+#: names inline, so a renamed or added :func:`fault_point` is caught by
+#: the registry test rather than silently never firing.
+SITES = frozenset({
+    # engine fixpoint
+    "engine.iteration", "engine.emit", "heads.replay",
+    # batched executors
+    "batch.step", "columnar.step",
+    # incremental maintenance phases
+    "maintain.apply", "maintain.counting", "maintain.dred",
+    "maintain.insert", "maintain.overdelete", "maintain.rederive",
+    # concurrent query server
+    "server.accept", "server.dispatch", "server.maintain",
+    "server.respond",
+})

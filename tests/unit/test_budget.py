@@ -257,3 +257,98 @@ class TestMaintainerBudget:
         assert answers == {"tim", "sally"}
         assert query.last_maintenance is not None
         assert query.last_maintenance.applied
+
+
+class TestRowwiseCheckpoints:
+    """Row-at-a-time fallback steps (negation, superset, dynamic
+    dispatch) consult the *activated* budget every
+    ``ROWWISE_CHECK_INTERVAL`` rows, so an expiry or ``cancel()`` is
+    noticed mid-batch instead of after the whole batch finished."""
+
+    def _fallback_db(self, count=600):
+        db = Database()
+        for i in range(count):
+            scalars = {"flag": "on"} if i % 2 else {}
+            db.add_object(f"i{i}", classes=["item"], scalars=scalars)
+        return db
+
+    def _fallback_atoms(self):
+        from repro.flogic.flatten import flatten_conjunction
+        from repro.lang.parser import parse_query
+
+        return flatten_conjunction(parse_query(
+            "X : item, not X[flag -> on]"))
+
+    def test_detection_latency_is_one_row_interval(self):
+        # Drive the fallback step directly: the kernel's clock advances
+        # one ms per row against a 300ms budget.  Expiry lands at row
+        # 300; the checkpoint at row 512 -- the first interval boundary
+        # past it -- raises, so detection lags the expiry by at most
+        # ROWWISE_CHECK_INTERVAL rows, never a whole batch.
+        from repro.engine.batch import _rowwise, activated
+        from repro.engine.budget import ROWWISE_CHECK_INTERVAL
+
+        clock = ManualClock()
+        rows = []
+
+        def kern(regs):
+            clock.now += 0.001
+            rows.append(regs[0])
+            yield regs
+
+        step = _rowwise(1, (0,), (), kern)((0,))
+        budget = QueryBudget(timeout_ms=300, clock=clock).start()
+        run = activated(lambda _: step([list(range(1000))], 1000), budget)
+        with pytest.raises(EvaluationTimeout) as info:
+            run()
+        assert info.value.site == "batch.rowwise"
+        assert len(rows) == 2 * ROWWISE_CHECK_INTERVAL  # 512 <= 300 + 256
+
+    def test_without_budget_batch_runs_unchecked(self):
+        from repro.engine.batch import _rowwise
+
+        rows = []
+
+        def kern(regs):
+            rows.append(regs[0])
+            yield regs
+
+        step = _rowwise(1, (0,), (), kern)((0,))
+        assert step([list(range(1000))], 1000) == 1000
+        assert len(rows) == 1000
+
+    @pytest.mark.parametrize("executor", ["batch", "columnar"])
+    def test_negation_fallback_hits_rowwise_checkpoints(self, executor):
+        from repro.engine.solve import solve
+
+        recorded = []
+
+        class Recording(QueryBudget):
+            def check(self, site, **kw):
+                recorded.append(site)
+                super().check(site, **kw)
+
+        db = self._fallback_db(600)
+        answers = list(solve(db, self._fallback_atoms(),
+                             executor=executor, budget=Recording()))
+        assert len(answers) == 300
+        assert recorded.count("batch.rowwise") >= 2  # rows 256 and 512
+
+    @pytest.mark.parametrize("executor", ["batch", "columnar"])
+    def test_cancel_noticed_mid_batch(self, executor):
+        # cancel() only flips a flag; the raise happens at the next
+        # checkpoint.  With 600 rows in the negation fallback that is
+        # row 256 of the batch, not the end of it.
+        from repro.engine.solve import solve
+
+        class CancelAtRowwise(QueryBudget):
+            def check(self, site, **kw):
+                if site == "batch.rowwise":
+                    self.cancel()
+                super().check(site, **kw)
+
+        db = self._fallback_db(600)
+        with pytest.raises(EvaluationCancelled) as info:
+            list(solve(db, self._fallback_atoms(),
+                       executor=executor, budget=CancelAtRowwise()))
+        assert info.value.site == "batch.rowwise"

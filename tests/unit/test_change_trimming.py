@@ -168,3 +168,84 @@ class TestQueryKeepsTheBaseLogBounded:
         assert slow.count("p2[d1 ->> {Y}]") == 1
         assert len(log.entries) == 0
         assert log.offset == log.cursor()
+
+
+class TestChangeLease:
+    """The exception-safe snapshot-lease API (Database.held_changes)."""
+
+    def test_lease_pins_then_releases_on_exit(self, db):
+        log = db.begin_changes()
+        db.assert_set_member(n("kids"), n("p1"), (), n("x1"))
+        with db.held_changes() as lease:
+            assert lease.cursor == 1
+            db.assert_set_member(n("kids"), n("p1"), (), n("x2"))
+            assert db.trim_changes() == 1   # only below the lease
+            assert log.offset == 1
+        assert db.trim_changes() == 1       # lease gone: all reclaimed
+        assert log.offset == log.cursor() == 2
+
+    def test_reader_dying_mid_query_never_leaks_its_hold(self, db):
+        log = db.begin_changes()
+        db.assert_set_member(n("kids"), n("p1"), (), n("x1"))
+
+        def doomed_reader():
+            with db.held_changes():
+                raise RuntimeError("reader crashed mid-query")
+
+        with pytest.raises(RuntimeError):
+            doomed_reader()
+        db.assert_set_member(n("kids"), n("p1"), (), n("x2"))
+        assert db.trim_changes() == 2
+        assert log.offset == log.cursor()   # fully trimmable again
+
+    def test_dropping_an_unreleased_lease_unpins(self, db):
+        log = db.begin_changes()
+        lease = db.held_changes()           # pins at cursor 0
+        db.assert_set_member(n("kids"), n("p1"), (), n("x1"))
+        assert db.trim_changes() == 0
+        del lease                           # weakly-held: GC releases
+        assert db.trim_changes() == 1
+        assert log.offset == log.cursor()
+
+    def test_lease_without_a_log_is_inert(self, db):
+        with db.held_changes() as lease:
+            assert lease.cursor is None
+        lease.release()                     # idempotent, no log: no-op
+
+    def test_move_advances_the_low_water_mark(self, db):
+        log = db.begin_changes()
+        db.assert_set_member(n("kids"), n("p1"), (), n("x1"))
+        lease = db.held_changes()
+        db.assert_set_member(n("kids"), n("p1"), (), n("x2"))
+        assert db.trim_changes() == 1
+        lease.move(log.cursor())
+        assert db.trim_changes() == 1
+        lease.release()
+        with pytest.raises(ValueError):
+            lease.move(0)                   # released leases stay dead
+
+    def test_snapshot_lag_tracks_slowest_lease(self, db):
+        log = db.begin_changes()
+        assert db.snapshot_lag() == 0
+        lease = db.held_changes()
+        db.assert_set_member(n("kids"), n("p1"), (), n("x1"))
+        db.assert_set_member(n("kids"), n("p1"), (), n("x2"))
+        assert db.snapshot_lag() == 2
+        lease.move(log.cursor())
+        assert db.snapshot_lag() == 0
+        lease.release()
+        assert db.snapshot_lag() == 0
+
+    def test_query_memo_hold_is_a_lease_and_releases_on_eviction(self, db):
+        log = db.begin_changes()
+        program = parse_program("X[d1 ->> {Y}] <- X[kids ->> {Y}].")
+        query = Query(db, program=program)
+        assert query.count("p1[d1 ->> {Y}]") == 2
+        assert query._hold is not None and not query._hold.released
+        db.assert_set_member(n("kids"), n("p1"), (), n("x1"))
+        # Dropping every memo releases the hold: log fully trimmable.
+        assert query.forget() >= 1
+        assert query._hold is None or query._hold.released \
+            or query._hold.cursor == log.cursor()
+        db.trim_changes()
+        assert log.offset == log.cursor()

@@ -376,3 +376,67 @@ class TestBudgetFlags:
                               "--timeout-ms", "600000")
         assert code == 0
         assert "plan:" in output
+
+
+class TestServe:
+    def test_serve_requires_input(self):
+        code, output = invoke("serve")
+        assert code == 2
+        assert "error:" in output
+
+    def test_serve_missing_file(self, tmp_path):
+        code, output = invoke("serve", tmp_path / "absent.plog")
+        assert code == 1
+        assert output.startswith("error:")
+
+    def test_serve_parser_defaults(self):
+        from repro.cli import build_serve_parser
+
+        args = build_serve_parser().parse_args(["p.plog"])
+        assert args.port == 7407
+        assert args.max_inflight == 8
+        assert args.max_queue == 32
+        assert args.drain_ms == 5_000.0
+        assert not args.no_magic
+
+    def test_serve_answers_queries_then_drains(self, program_file):
+        # The serve loop blocks; drive it from a thread and stop it
+        # with the wire-level shutdown request.
+        import asyncio
+        import re
+        import threading
+        import time
+
+        from repro.server import Client
+
+        out = io.StringIO()
+        result = {}
+
+        def serving():
+            result["code"] = run(["serve", str(program_file),
+                                  "--port", "0"], out=out)
+
+        thread = threading.Thread(target=serving)
+        thread.start()
+        try:
+            deadline = time.time() + 10
+            match = None
+            while match is None and time.time() < deadline:
+                match = re.search(r"serving on ([\d.]+):(\d+)",
+                                  out.getvalue())
+                time.sleep(0.01)
+            assert match is not None, out.getvalue()
+            host, port = match.group(1), int(match.group(2))
+
+            async def drive():
+                async with Client(host, port) as client:
+                    res = await client.query("X[senior -> yes]", ["X"])
+                    assert [a["X"] for a in res["answers"]] == ["p2"]
+                    await client.shutdown()
+
+            asyncio.run(drive())
+        finally:
+            thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert result["code"] == 0
+        assert "drained, bye" in out.getvalue()
