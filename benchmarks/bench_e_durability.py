@@ -1,0 +1,152 @@
+"""B17: the price of durability -- WAL overhead and recovery speed.
+
+PR 9 gives the server a write-ahead log and checkpointed snapshots
+(docs/durability.md).  Durability is bought on the write path: every
+maintenance batch is framed, appended, and (under ``fsync=batch``)
+synced before the exclusive gate is released.  This bench prices it:
+
+- **swarm overhead**: the B16 swarm workload (~5% writes) against an
+  in-memory server vs. the same server with ``--data-dir`` at
+  ``fsync=batch``.  The gate holds the durable wall-clock within 25%
+  of the in-memory run (best-of-3, plus an absolute noise floor for
+  CI jitter) -- journalling a batch must cost an fsync, not a rewrite.
+- **recovery speed**: journal 10k entries, then measure ``recover``
+  replaying them from a cold start.  The report row records ms per
+  10k entries; the gate is a lenient ceiling (recovery is a restart
+  path, but it must not be minutes).
+- **restart identity**: the recovered server answers the recursive
+  swarm query identically to the pre-shutdown state (the B17
+  acceptance gate).
+"""
+
+import asyncio
+import time
+
+from benchmarks.bench_e_server import (
+    PER_CLIENT,
+    RULES,
+    _percentile,
+    _run_swarm,
+    seeded_db,
+)
+from benchmarks.conftest import report, sizes
+from repro.lang.parser import parse_program
+from repro.oodb.checkpoint import DurableStore, recover
+from repro.oodb.database import Database
+from repro.server import Client, Server, ServerConfig
+
+#: Swarm sizes; smoke keeps the small one.
+SWARMS = sizes((8, 16))
+
+#: Durable (fsync=batch) wall-clock within 25% of in-memory.
+OVERHEAD_GATE = 1.25
+#: Absolute noise floor: on a sub-second workload, scheduler jitter
+#: swamps a ratio gate.  Overhead below this many ms always passes.
+NOISE_FLOOR_S = 0.5
+
+#: Entries journalled for the recovery-speed row.
+RECOVERY_ENTRIES = sizes((2_000, 10_000))[-1]
+#: Lenient ceiling: replaying 10k entries must stay under this.
+RECOVERY_CEILING_S = 30.0
+
+
+def _best_swarm_wall(clients, config, rounds=3):
+    best = None
+    for _ in range(rounds):
+        wall, latencies, shed = _run_swarm(clients, PER_CLIENT, config)
+        assert shed == 0
+        if best is None or wall < best[0]:
+            best = (wall, latencies)
+    return best
+
+
+def test_durable_write_overhead_on_swarm_workload(tmp_path):
+    for swarm in SWARMS:
+        memory_cfg = ServerConfig(max_inflight=8, max_queue=2 * swarm)
+        durable_cfg = ServerConfig(
+            max_inflight=8, max_queue=2 * swarm,
+            data_dir=str(tmp_path / f"swarm-{swarm}"), fsync="batch")
+        memory_wall, memory_lat = _best_swarm_wall(swarm, memory_cfg)
+        durable_wall, durable_lat = _best_swarm_wall(swarm, durable_cfg)
+        ratio = durable_wall / memory_wall
+        report("B17-overhead", clients=swarm,
+               memory_wall_s=round(memory_wall, 3),
+               durable_wall_s=round(durable_wall, 3),
+               ratio=round(ratio, 3),
+               memory_p99_ms=round(_percentile(memory_lat, 0.99), 3),
+               durable_p99_ms=round(_percentile(durable_lat, 0.99), 3),
+               gate=f"<= {OVERHEAD_GATE}x")
+        assert (ratio <= OVERHEAD_GATE
+                or durable_wall - memory_wall <= NOISE_FLOOR_S), (
+            f"durable swarm {ratio:.2f}x over in-memory "
+            f"({durable_wall:.3f}s vs {memory_wall:.3f}s)")
+
+
+def test_recovery_time_per_10k_entries(tmp_path):
+    data_dir = tmp_path / "recovery"
+    store = DurableStore.open(data_dir)
+    db = store.database
+    member = db.obj("member")
+    group = db.obj("group")
+    batch = 0
+    for index in range(RECOVERY_ENTRIES):
+        db.assert_set_member(member, group, (), db.obj(f"m{index}"))
+        batch += 1
+        if batch == 100:
+            store.commit()
+            batch = 0
+    store.commit()
+    store.close()
+
+    started = time.perf_counter()
+    result = recover(data_dir)
+    elapsed = time.perf_counter() - started
+    assert result.recovered_entries == RECOVERY_ENTRIES
+    per_10k = elapsed * 10_000 / RECOVERY_ENTRIES
+    report("B17-recovery", entries=RECOVERY_ENTRIES,
+           wall_s=round(elapsed, 3),
+           ms_per_10k=round(per_10k * 1000.0, 1),
+           wal_batches=RECOVERY_ENTRIES // 100 + 1,
+           gate=f"<= {RECOVERY_CEILING_S}s/10k")
+    assert per_10k <= RECOVERY_CEILING_S
+    assert len(result.database.sets.get(member, group, ())) == \
+        RECOVERY_ENTRIES
+
+
+def test_restarted_server_answers_identically(tmp_path):
+    """The B17 acceptance gate: stop a durable server, restart from
+    its data-dir with an empty seed, and get byte-identical answers."""
+    data_dir = str(tmp_path / "restart")
+    program = parse_program(RULES)
+    query = "peter[desc ->> {X}]"
+
+    async def round_one():
+        config = ServerConfig(data_dir=data_dir)
+        async with Server(seeded_db(), program=program,
+                          config=config) as server:
+            host, port = server.address
+            async with Client(host, port) as client:
+                await client.write([
+                    ["+set", "kids", "peter", [], "extra"],
+                    ["+set", "kids", "extra", [], "leafy"]])
+                res = await client.query(query, ["X"])
+                return sorted(a["X"] for a in res["answers"])
+
+    async def round_two():
+        config = ServerConfig(data_dir=data_dir)
+        async with Server(Database(), program=program,
+                          config=config) as server:
+            host, port = server.address
+            async with Client(host, port) as client:
+                res = await client.query(query, ["X"])
+                stats = await client.stats()
+                return (sorted(a["X"] for a in res["answers"]),
+                        stats["durability"])
+
+    before = asyncio.run(round_one())
+    after, durability = asyncio.run(round_two())
+    report("B17-restart", answers=len(before),
+           recovered_entries=durability["recovered_entries"],
+           truncated_tail=durability["truncated_tail"])
+    assert "extra" in before and "leafy" in before
+    assert after == before

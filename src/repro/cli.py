@@ -54,6 +54,24 @@ queue the server sheds with ``overloaded`` + ``retry_after_ms``);
 ``--default-timeout-ms``/``--max-timeout-ms``/``--max-derived`` bound
 each request's budget.
 
+With ``--data-dir DIR`` the server is **durable** (docs/durability.md):
+startup recovers the directory (existing state wins over ``--db`` or a
+program file), every write batch is journalled to a write-ahead log
+before it is acknowledged (``--fsync always|batch|off``), and a
+background task checkpoints once the WAL passes ``--checkpoint-bytes``.
+Two more subcommands operate on a data directory offline::
+
+    python -m repro snapshot data/ program.plog   # seed or compact
+    python -m repro recover data/ --verify        # dry-run fsck
+    python -m repro recover data/ --dump state.json
+
+``snapshot`` recovers the directory (seeding an empty one from a
+program and/or ``--db``) and writes a fresh checkpoint, compacting the
+WAL.  ``recover`` replays the committed WAL suffix, reports entries
+replayed / torn-tail bytes truncated / uncommitted records discarded,
+and exits 2 on unrecoverable corruption (``--verify`` reports without
+modifying the directory).
+
 Long-lived embedders (servers holding a :class:`~repro.query.Query`
 over a mutating database) additionally get incremental view
 maintenance: with ``Database.begin_changes()`` active, memoised
@@ -205,6 +223,62 @@ def build_serve_parser() -> argparse.ArgumentParser:
                         metavar="MS",
                         help="how long graceful shutdown waits for "
                              "in-flight requests")
+    parser.add_argument("--data-dir", type=Path, metavar="DIR",
+                        help="durable data directory: recovered on "
+                             "startup (existing state wins over "
+                             "--db/program), every write batch "
+                             "journalled to the write-ahead log")
+    parser.add_argument("--fsync", choices=["always", "batch", "off"],
+                        default="batch",
+                        help="WAL sync policy (default: batch -- one "
+                             "fsync per committed write batch)")
+    parser.add_argument("--checkpoint-bytes", type=int,
+                        default=4 * 1024 * 1024, metavar="N",
+                        help="WAL size that triggers a background "
+                             "checkpoint")
+    parser.add_argument("--checkpoint-interval-ms", type=float,
+                        default=250.0, metavar="MS",
+                        help="how often the checkpointer polls the WAL "
+                             "size")
+    return parser
+
+
+def build_snapshot_parser() -> argparse.ArgumentParser:
+    """The argparse definition of the ``snapshot`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro snapshot",
+        description="Recover a durable data directory and write a "
+                    "fresh checkpoint (compacting the write-ahead "
+                    "log).  An empty directory can be seeded from "
+                    "--db or a program file.",
+    )
+    parser.add_argument("data_dir", type=Path,
+                        help="durable data directory")
+    parser.add_argument("program", nargs="?", type=Path,
+                        help="PathLog program evaluated to seed an "
+                             "empty directory")
+    parser.add_argument("--db", type=Path, metavar="JSON",
+                        help="database snapshot seeding an empty "
+                             "directory")
+    return parser
+
+
+def build_recover_parser() -> argparse.ArgumentParser:
+    """The argparse definition of the ``recover`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro recover",
+        description="Rebuild the committed state of a durable data "
+                    "directory: replay the WAL past the newest valid "
+                    "snapshot, truncate any torn tail, report what "
+                    "was done.  Exits 2 on unrecoverable corruption.",
+    )
+    parser.add_argument("data_dir", type=Path,
+                        help="durable data directory")
+    parser.add_argument("--verify", action="store_true",
+                        help="dry run: report without trimming torn "
+                             "tails on disk")
+    parser.add_argument("--dump", type=Path, metavar="JSON",
+                        help="write the recovered database as JSON")
     return parser
 
 
@@ -216,6 +290,10 @@ def run(argv: Sequence[str] | None = None, *, out=None) -> int:
         return _run_explain(argv[1:], out)
     if argv and argv[0] == "serve":
         return _run_serve(argv[1:], out)
+    if argv and argv[0] == "snapshot":
+        return _run_snapshot(argv[1:], out)
+    if argv and argv[0] == "recover":
+        return _run_recover(argv[1:], out)
     args = build_parser().parse_args(argv)
     if args.program is None and args.db is None:
         print("error: need a program file and/or --db snapshot",
@@ -314,9 +392,9 @@ def _run_explain(argv: Sequence[str], out) -> int:
 
 def _run_serve(argv: Sequence[str], out) -> int:
     args = build_serve_parser().parse_args([str(a) for a in argv])
-    if args.program is None and args.db is None:
-        print("error: need a program file and/or --db snapshot",
-              file=out)
+    if args.program is None and args.db is None and args.data_dir is None:
+        print("error: need a program file, --db snapshot, and/or "
+              "--data-dir", file=out)
         return 2
     try:
         db = _load_database(args)
@@ -337,6 +415,9 @@ def _run_serve(argv: Sequence[str], out) -> int:
         default_max_derived=args.max_derived,
         drain_ms=args.drain_ms,
         executor=args.executor, magic=not args.no_magic,
+        data_dir=args.data_dir, fsync=args.fsync,
+        checkpoint_bytes=args.checkpoint_bytes,
+        checkpoint_interval_ms=args.checkpoint_interval_ms,
     )
 
     async def main() -> None:
@@ -366,6 +447,66 @@ def _run_serve(argv: Sequence[str], out) -> int:
     except OSError as error:
         print(f"error: {error}", file=out)
         return 1
+    return 0
+
+
+def _run_snapshot(argv: Sequence[str], out) -> int:
+    args = build_snapshot_parser().parse_args([str(a) for a in argv])
+    from repro.oodb.checkpoint import DurableStore, RecoveryError
+    try:
+        seed = _load_database(args)
+        if args.program is not None:
+            program = parse_program(args.program.read_text())
+            seed = Engine(seed, program).run()
+        store = DurableStore.open(args.data_dir, db=seed)
+        try:
+            if store.recovery is not None and not store.recovery.fresh:
+                print(f"recovered {store.recovery.recovered_entries} "
+                      f"entries from the write-ahead log", file=out)
+            path = store.checkpoint()
+        finally:
+            store.close(commit=False)
+        print(f"snapshot {path} @ cursor {store.durable_cursor()}",
+              file=out)
+    except RecoveryError as error:
+        print(f"error: {error}", file=out)
+        return 2
+    except (PathLogError, OSError) as error:
+        print(f"error: {error}", file=out)
+        return 1
+    return 0
+
+
+def _run_recover(argv: Sequence[str], out) -> int:
+    args = build_recover_parser().parse_args([str(a) for a in argv])
+    from repro.oodb.checkpoint import RecoveryError, recover
+    try:
+        result = recover(args.data_dir, trim=not args.verify)
+    except (RecoveryError, PathLogError) as error:
+        print(f"error: {error}", file=out)
+        return 2
+    except OSError as error:
+        print(f"error: {error}", file=out)
+        return 1
+    mode = "verified (dry run)" if args.verify else "recovered"
+    source = (str(result.snapshot_path) if result.snapshot_path
+              else "none (empty start)")
+    print(f"{mode} {args.data_dir} @ cursor {result.cursor}", file=out)
+    print(f"  snapshot: {source}", file=out)
+    for path, reason in result.snapshots_skipped:
+        print(f"  skipped corrupt snapshot: {path} ({reason})", file=out)
+    print(f"  entries replayed: {result.recovered_entries}", file=out)
+    print(f"  tail truncated: {result.truncated_tail} bytes", file=out)
+    print(f"  uncommitted records discarded: {result.discarded_records}",
+          file=out)
+    if args.dump is not None:
+        try:
+            args.dump.write_text(serialize.dumps(result.database,
+                                                 indent=2))
+        except OSError as error:
+            print(f"error: {error}", file=out)
+            return 1
+        print(f"dumped recovered database to {args.dump}", file=out)
     return 0
 
 

@@ -38,6 +38,43 @@ def encode_oid(oid: Oid) -> Any:
     raise TypeError(f"not an oid: {oid!r}")
 
 
+def encode_fact(fact: tuple) -> list:
+    """Encode one change-log fact with the stable OID encoding.
+
+    Facts use the realizer-log shape recorded by
+    :class:`~repro.oodb.database.ChangeLog` --
+    ``("scalar", m, s, args, r)``, ``("set", m, s, args, r)``, or
+    ``("isa", o, c)`` -- and encode as JSON arrays whose OID fields use
+    :func:`encode_oid`.  The write-ahead log frames these records, so
+    the encoding must stay stable across releases (guarded by
+    :data:`FORMAT_VERSION` in every WAL segment header).
+    """
+    kind = fact[0]
+    if kind == "isa":
+        return ["isa", encode_oid(fact[1]), encode_oid(fact[2])]
+    if kind in ("scalar", "set"):
+        return [kind, encode_oid(fact[1]), encode_oid(fact[2]),
+                [encode_oid(a) for a in fact[3]], encode_oid(fact[4])]
+    raise TypeError(f"not a change-log fact: {fact!r}")
+
+
+def decode_fact(data: Any) -> tuple:
+    """Decode one change-log fact from its :func:`encode_fact` form."""
+    if not isinstance(data, list) or not data:
+        raise SerializationError(f"expected a fact array, got {data!r}")
+    kind = data[0]
+    if kind == "isa":
+        if len(data) != 3:
+            raise SerializationError(f"bad isa fact {data!r}")
+        return ("isa", decode_oid(data[1]), decode_oid(data[2]))
+    if kind in ("scalar", "set"):
+        if len(data) != 5 or not isinstance(data[3], list):
+            raise SerializationError(f"bad {kind} fact {data!r}")
+        return (kind, decode_oid(data[1]), decode_oid(data[2]),
+                tuple(decode_oid(a) for a in data[3]), decode_oid(data[4]))
+    raise SerializationError(f"unknown fact kind {data!r}")
+
+
 def decode_oid(data: Any) -> Oid:
     """Decode one OID from its JSON form."""
     if not isinstance(data, dict):

@@ -30,9 +30,13 @@ Architecture (docs/server.md has the full story):
   a client that disconnects mid-request has its budget ``cancel()``-ed,
   so abandoned work stops at the next checkpoint instead of running to
   completion.
+- With ``data_dir`` configured the server is **durable**
+  (docs/durability.md): startup recovers the directory, the maintainer
+  journals every batch to the write-ahead log before releasing the
+  exclusive gate, and a background task checkpoints by WAL size.
 - ``SIGTERM``/``shutdown`` drains gracefully: stop accepting, answer
   the in-flight requests (up to ``drain_ms``), cancel stragglers,
-  stop the maintainer, trim the log.
+  stop the maintainer, close the durable store, trim the log.
 
 Fault points (``server.accept``, ``server.dispatch``,
 ``server.maintain``, ``server.respond``) let the chaos suite crash
@@ -48,8 +52,11 @@ import contextlib
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from pathlib import Path
+
 from repro.engine import QueryBudget
 from repro.errors import BudgetExceededError, PathLogError
+from repro.oodb.checkpoint import DurableStore
 from repro.oodb.database import Database
 from repro.query import Query
 from repro.server import protocol
@@ -86,6 +93,16 @@ class ServerConfig:
     magic: bool = True
     #: Whether a ``shutdown`` request over the wire is honoured.
     allow_remote_shutdown: bool = True
+    #: Durable data directory (None: in-memory only).  A directory with
+    #: existing state is recovered on startup and **replaces** the
+    #: seed database passed to the constructor.
+    data_dir: str | Path | None = None
+    #: WAL fsync policy: ``always`` / ``batch`` / ``off``.
+    fsync: str = "batch"
+    #: WAL size (bytes, across segments) that triggers a checkpoint.
+    checkpoint_bytes: int = 4 * 1024 * 1024
+    #: How often the background task polls the WAL size.
+    checkpoint_interval_ms: float = 250.0
 
 
 @dataclass
@@ -111,6 +128,8 @@ class ServerStats:
     rollbacks: int = 0
     #: ``Query.sync`` failures that forced a full memo drop.
     memo_resets: int = 0
+    #: Background checkpoints completed (durable servers only).
+    checkpoints: int = 0
 
     def as_dict(self) -> dict:
         return {f: getattr(self, f) for f in self.__dataclass_fields__}
@@ -141,6 +160,8 @@ class Server:
         self._pool: ThreadPoolExecutor | None = None
         self._server: asyncio.AbstractServer | None = None
         self._maintainer_task: asyncio.Task | None = None
+        self._checkpoint_task: asyncio.Task | None = None
+        self._store: DurableStore | None = None
         self._write_queue: asyncio.Queue | None = None
         self._connections: set[_Connection] = set()
         self._conn_tasks: set[asyncio.Task] = set()
@@ -150,7 +171,18 @@ class Server:
     # -- lifecycle -----------------------------------------------------
 
     async def start(self) -> "Server":
-        """Bind the listening socket and start the maintainer."""
+        """Bind the listening socket and start the maintainer.
+
+        With ``config.data_dir`` set, the directory is recovered (or
+        seeded from the constructor's database when empty) *before* the
+        shared Query is built, so plans and memos derive from the
+        durable state; the recovery report lands in ``stats``.
+        """
+        if self.config.data_dir is not None:
+            self._store = DurableStore.open(self.config.data_dir,
+                                            db=self._db,
+                                            fsync=self.config.fsync)
+            self._db = self._store.database
         self._db.begin_changes()
         self._query = Query(self._db, program=self._program,
                             magic=self.config.magic,
@@ -161,6 +193,9 @@ class Server:
             thread_name_prefix="repro-server")
         self._write_queue = asyncio.Queue()
         self._maintainer_task = asyncio.create_task(self._maintain_loop())
+        if self._store is not None:
+            self._checkpoint_task = asyncio.create_task(
+                self._checkpoint_loop())
         self._server = await asyncio.start_server(
             self._on_connection, self.config.host, self.config.port)
         return self
@@ -176,6 +211,16 @@ class Server:
     def query(self) -> Query:
         """The shared Query (plan caches and memos live here)."""
         return self._query
+
+    @property
+    def database(self) -> Database:
+        """The served database (the recovered one when durable)."""
+        return self._db
+
+    @property
+    def store(self) -> DurableStore | None:
+        """The durable store, or None for an in-memory server."""
+        return self._store
 
     @property
     def draining(self) -> bool:
@@ -215,6 +260,10 @@ class Server:
                     self._cancel_inflight(connection)
                 break
             await asyncio.sleep(0.005)
+        if self._checkpoint_task is not None:
+            self._checkpoint_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._checkpoint_task
         if self._write_queue is not None:
             await self._write_queue.put(None)
             await self._maintainer_task
@@ -233,6 +282,11 @@ class Server:
                 await asyncio.gather(*pending, return_exceptions=True)
         if self._pool is not None:
             self._pool.shutdown(wait=True)
+        if self._store is not None:
+            # Journal whatever the last batch left, then let go of the
+            # trim lease so the final trim reclaims the whole prefix.
+            with contextlib.suppress(PathLogError):
+                self._store.close()
         self._db.trim_changes()
         self._closed.set()
 
@@ -391,7 +445,28 @@ class Server:
         log = self._db.change_log
         payload["log_entries"] = (len(log.entries)
                                   if log is not None else 0)
+        payload["durability"] = self._durability_payload()
         return payload
+
+    def _durability_payload(self) -> dict | None:
+        if self._store is None:
+            return None
+        recovery = self._store.recovery
+        wal = self._store.wal
+        return {
+            "data_dir": str(self._store.data_dir),
+            "fsync": wal.fsync_policy,
+            "recovered_entries": (recovery.recovered_entries
+                                  if recovery is not None else 0),
+            "truncated_tail": (recovery.truncated_tail
+                               if recovery is not None else 0),
+            "durable_cursor": self._store.durable_cursor(),
+            "wal_size": self._store.wal_size(),
+            "wal_batches": wal.batches,
+            "wal_entries": wal.entries_logged,
+            "wal_syncs": wal.syncs,
+            "checkpoints": self._store.checkpoints,
+        }
 
     # -- queries (shared readers) --------------------------------------
 
@@ -525,12 +600,40 @@ class Server:
             if not future.cancelled():
                 future.set_result(outcome)
 
+    async def _checkpoint_loop(self) -> None:
+        """Checkpoint by WAL size (durable servers only).
+
+        Polls every ``checkpoint_interval_ms``; when the WAL grows past
+        ``checkpoint_bytes`` it takes the gate exclusively (no readers
+        inside, no write racing) and snapshots on the thread pool.  A
+        failed checkpoint is retried on the next tick -- the WAL keeps
+        the state safe meanwhile.
+        """
+        loop = asyncio.get_running_loop()
+        interval = self.config.checkpoint_interval_ms / 1000.0
+        while True:
+            await asyncio.sleep(interval)
+            try:
+                if self._store.wal_size() < self.config.checkpoint_bytes:
+                    continue
+                async with self._gate.write():
+                    await loop.run_in_executor(self._pool,
+                                               self._store.checkpoint)
+                self.stats.checkpoints += 1
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                self.stats.internal_errors += 1
+
     def _apply_batch(self, ops: list[tuple]) -> dict:
         """Apply one parsed batch (worker thread, gate held exclusive).
 
         All-or-nothing: any failure -- a scalar conflict, an injected
-        ``server.maintain`` fault -- rolls the base facts back to the
-        checkpoint and re-raises.  A failure *after* the base commit
+        ``server.maintain`` fault, a crashed WAL append -- rolls the
+        base facts back to the checkpoint (repairing the WAL tail when
+        durable) and re-raises.  The batch is journalled durably
+        *before* the exclusive gate is released, so an acknowledged
+        write survives a crash.  A failure *after* the journal commit
         (inside memo maintenance) instead drops the memos wholesale:
         the base write stands, readers re-derive.
         """
@@ -541,9 +644,13 @@ class Server:
             applied = 0
             for op in ops:
                 applied += self._apply_change(op)
+            if self._store is not None:
+                self._store.commit()
         except Exception:
             self.stats.rollbacks += 1
             self._db.rollback_changes(checkpoint)
+            if self._store is not None:
+                self._store.discard_pending()
             raise
         try:
             report = self._query.sync()

@@ -1,8 +1,13 @@
-"""Deterministic testing aids: the fault-injection harness.
+"""Deterministic testing aids: fault injection and crash simulation.
 
-See :mod:`repro.testing.faults`.
+See :mod:`repro.testing.faults` and :mod:`repro.testing.crashes`.
 """
 
+from repro.testing.crashes import (
+    DURABILITY_SITES,
+    kill_at_every_point,
+    torn_write,
+)
 from repro.testing.faults import (
     FaultPlan,
     InjectedFault,
@@ -13,10 +18,13 @@ from repro.testing.faults import (
 )
 
 __all__ = [
+    "DURABILITY_SITES",
     "FaultPlan",
     "InjectedFault",
     "fault_point",
     "inject",
     "inject_random",
+    "kill_at_every_point",
     "observe",
+    "torn_write",
 ]

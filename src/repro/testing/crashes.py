@@ -1,0 +1,116 @@
+"""Kill-at-every-point crash harness for the durability subsystem.
+
+A process crash is modelled as an :class:`~repro.testing.faults.InjectedFault`
+escaping from one of the durability fault points: the workload dies
+mid-write, the data directory keeps whatever bytes reached it, and a
+fresh recovery must rebuild a consistent committed-prefix state.
+
+:func:`kill_at_every_point` is the exhaustive driver.  It first runs
+the workload once under :func:`~repro.testing.faults.observe` to count
+how many times each durability site is crossed, then re-runs it in a
+fresh data directory for **every (site, hit) pair**, injecting a crash
+exactly there, and hands the survived-or-crashed directory to the
+caller's ``verify`` callback.  This simulates ``kill -9`` at every
+instruction boundary the WAL/checkpoint code declares interesting --
+before the append, between the entries and the commit marker, before
+the fsync, during rotation, during the snapshot temp-write and rename,
+and during recovery's own replay (the double-crash case).
+
+:func:`torn_write` complements injection with byte-level damage: it
+chops or corrupts the tail of the newest WAL segment, modelling a torn
+sector that no fault point guards.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.testing.faults import InjectedFault, inject, observe
+
+#: The durability fault sites, in write-path order.  Drawn on by the
+#: crash property suite; asserted to be a subset of ``SITES`` by the
+#: registry test.
+DURABILITY_SITES = (
+    "wal.append",
+    "wal.commit",
+    "wal.fsync",
+    "wal.rotate",
+    "checkpoint.write",
+    "checkpoint.rename",
+    "recover.replay",
+)
+
+
+def kill_at_every_point(
+    workload: Callable[[Path], None],
+    verify: Callable[[Path, str, int], None],
+    *,
+    make_dir: Callable[[], Path],
+    sites: Iterable[str] = DURABILITY_SITES,
+) -> list[tuple[str, int]]:
+    """Crash ``workload`` at every durability site hit and verify.
+
+    ``workload(data_dir)`` runs the scenario under test -- open a
+    store, mutate, commit, checkpoint, close.  ``make_dir()`` returns a
+    fresh empty data directory per run.  ``verify(data_dir, site, hit)``
+    is called after each crashed run (and must itself recover the
+    directory and check the invariants); it is also called once with
+    ``site=""``/``hit=0`` for the crash-free control run.
+
+    Returns the ``(site, hit)`` pairs that actually crashed, so callers
+    can assert the scenario exercised the surface they meant to.
+    """
+    with observe() as plan:
+        workload(make_dir())
+    crashed: list[tuple[str, int]] = []
+    for site in sites:
+        for hit in range(1, plan.counts.get(site, 0) + 1):
+            data_dir = make_dir()
+            try:
+                with inject(site, nth=hit):
+                    workload(data_dir)
+            except InjectedFault:
+                crashed.append((site, hit))
+            verify(data_dir, site, hit)
+    verify(make_dir_and_run(workload, make_dir), "", 0)
+    return crashed
+
+
+def make_dir_and_run(workload: Callable[[Path], None],
+                     make_dir: Callable[[], Path]) -> Path:
+    """Run ``workload`` crash-free in a fresh directory; return it."""
+    data_dir = make_dir()
+    workload(data_dir)
+    return data_dir
+
+
+def torn_write(data_dir: Path | str, *, drop: int = 1,
+               flip: bool = False) -> Path | None:
+    """Damage the newest WAL segment's tail in place.
+
+    Cuts ``drop`` bytes off the end (a torn sector), or with
+    ``flip=True`` XOR-corrupts the final byte instead (a bad sector of
+    the same length -- caught by the CRC, not the length prefix).
+    Returns the damaged path, or None when no segment exists.
+    """
+    from repro.oodb.wal import segment_files
+
+    segments = segment_files(Path(data_dir))
+    if not segments:
+        return None
+    path = segments[-1][1]
+    size = path.stat().st_size
+    if size == 0:
+        return None
+    if flip:
+        with open(path, "r+b") as handle:
+            handle.seek(size - 1)
+            last = handle.read(1)
+            handle.seek(size - 1)
+            handle.write(bytes([last[0] ^ 0xFF]))
+    else:
+        with open(path, "r+b") as handle:
+            os.ftruncate(handle.fileno(), max(0, size - drop))
+    return path

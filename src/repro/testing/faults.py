@@ -147,4 +147,7 @@ SITES = frozenset({
     # concurrent query server
     "server.accept", "server.dispatch", "server.maintain",
     "server.respond",
+    # durability: write-ahead log, checkpoints, recovery
+    "wal.append", "wal.commit", "wal.fsync", "wal.rotate",
+    "checkpoint.write", "checkpoint.rename", "recover.replay",
 })

@@ -440,3 +440,87 @@ class TestServe:
         assert not thread.is_alive()
         assert result["code"] == 0
         assert "drained, bye" in out.getvalue()
+
+
+class TestDurabilityCommands:
+    def seed_dir(self, tmp_path, program_file):
+        data_dir = tmp_path / "data"
+        code, output = invoke("snapshot", data_dir, program_file)
+        assert code == 0, output
+        return data_dir
+
+    def test_snapshot_seeds_and_reports(self, program_file, tmp_path):
+        data_dir = tmp_path / "data"
+        code, output = invoke("snapshot", data_dir, program_file)
+        assert code == 0
+        assert "snapshot " in output and "@ cursor" in output
+        assert list(data_dir.glob("snapshot-*.json"))
+
+    def test_snapshot_compacts_existing_state(self, program_file,
+                                              tmp_path):
+        data_dir = self.seed_dir(tmp_path, program_file)
+        code, output = invoke("snapshot", data_dir)
+        assert code == 0
+        assert "@ cursor" in output
+
+    def test_recover_reports_clean_directory(self, program_file,
+                                             tmp_path):
+        data_dir = self.seed_dir(tmp_path, program_file)
+        code, output = invoke("recover", data_dir)
+        assert code == 0
+        assert f"recovered {data_dir}" in output
+        assert "entries replayed: 0" in output
+        assert "tail truncated: 0 bytes" in output
+
+    def test_recover_verify_is_dry_run(self, program_file, tmp_path):
+        data_dir = self.seed_dir(tmp_path, program_file)
+        wal = sorted(data_dir.glob("wal-*.log"))[-1]
+        with open(wal, "ab") as handle:
+            handle.write(b"\xde\xad\xbe\xef")
+        size = wal.stat().st_size
+        code, output = invoke("recover", data_dir, "--verify")
+        assert code == 0
+        assert "verified (dry run)" in output
+        assert "tail truncated: 4 bytes" in output
+        assert wal.stat().st_size == size  # untouched
+        code, output = invoke("recover", data_dir)
+        assert code == 0
+        assert "tail truncated: 4 bytes" in output
+        assert wal.stat().st_size == size - 4  # now trimmed
+
+    def test_recover_dump_writes_database(self, program_file, tmp_path):
+        data_dir = self.seed_dir(tmp_path, program_file)
+        dump = tmp_path / "out.json"
+        code, output = invoke("recover", data_dir, "--dump", dump)
+        assert code == 0
+        assert "dumped recovered database" in output
+        from repro.oodb import serialize
+        db = serialize.loads(dump.read_text())
+        assert db.scalars.items()
+
+    def test_recover_unrecoverable_exits_2(self, program_file, tmp_path):
+        data_dir = self.seed_dir(tmp_path, program_file)
+        for path in data_dir.glob("snapshot-*.json"):
+            path.write_text("{broken")
+        for path in sorted(data_dir.glob("wal-*.log")):
+            path.unlink()
+        # Fabricate a WAL that does not reach back to cursor 0.
+        from repro.oodb.serialize import FORMAT_VERSION
+        from repro.oodb.wal import frame, segment_name
+        orphan = data_dir / segment_name(50)
+        orphan.write_bytes(frame({"wal": FORMAT_VERSION, "cursor": 50}))
+        code, output = invoke("recover", data_dir)
+        assert code == 2
+        assert output.startswith("error:")
+
+    def test_serve_accepts_data_dir_flags(self):
+        from repro.cli import build_serve_parser
+
+        args = build_serve_parser().parse_args(
+            ["--data-dir", "d", "--fsync", "always",
+             "--checkpoint-bytes", "1024",
+             "--checkpoint-interval-ms", "50"])
+        assert str(args.data_dir) == "d"
+        assert args.fsync == "always"
+        assert args.checkpoint_bytes == 1024
+        assert args.checkpoint_interval_ms == 50.0

@@ -1,0 +1,117 @@
+"""Crash-harness tests: kill-at-every-point drives and verifies."""
+
+from repro.oodb.checkpoint import DurableStore, recover
+from repro.oodb.database import Database
+from repro.oodb.oid import NamedOid
+from repro.testing import DURABILITY_SITES, kill_at_every_point, torn_write
+from repro.testing.faults import SITES
+
+
+def n(value):
+    return NamedOid(value)
+
+
+def test_durability_sites_are_registered():
+    assert set(DURABILITY_SITES) <= SITES
+
+
+class TestKillAtEveryPoint:
+    def make_dirs(self, tmp_path):
+        counter = iter(range(10_000))
+
+        def make_dir():
+            path = tmp_path / f"run-{next(counter)}"
+            path.mkdir()
+            return path
+        return make_dir
+
+    def test_covers_every_site_the_workload_crosses(self, tmp_path):
+        def workload(data_dir):
+            store = DurableStore.open(data_dir)
+            store.database.assert_isa(n("a"), n("b"))
+            store.commit()
+            store.database.assert_isa(n("c"), n("d"))
+            store.commit()
+            store.checkpoint()
+            store.close()
+
+        seen = []
+
+        def verify(data_dir, site, hit):
+            seen.append((site, hit))
+            result = recover(data_dir)
+            # Committed-prefix invariant: the later fact implies the
+            # earlier one.
+            if result.database.hierarchy.isa(n("c"), n("d")):
+                assert result.database.hierarchy.isa(n("a"), n("b"))
+
+        crashed = kill_at_every_point(workload, verify,
+                                      make_dir=self.make_dirs(tmp_path))
+        crashed_sites = {site for site, _ in crashed}
+        # Every write-path site the workload crosses must have crashed
+        # at least once.
+        assert {"wal.append", "wal.commit", "wal.fsync", "wal.rotate",
+                "checkpoint.write",
+                "checkpoint.rename"} <= crashed_sites
+        # The control run (site="") is verified too.
+        assert ("", 0) in seen
+
+    def test_recovery_crash_is_exercised_on_reopen(self, tmp_path):
+        def workload(data_dir):
+            store = DurableStore.open(data_dir)
+            store.database.assert_isa(n("a"), n("b"))
+            store.commit()
+            store.close()
+            # Reopen: recovery replays the committed batch, crossing
+            # recover.replay, then checkpoints again.
+            store = DurableStore.open(data_dir)
+            store.close()
+
+        def verify(data_dir, site, hit):
+            # Whatever point the workload died at, the directory must
+            # recover without raising and reopen cleanly.
+            recover(data_dir)
+            store = DurableStore.open(data_dir)
+            store.close()
+
+        crashed = kill_at_every_point(workload, verify,
+                                      make_dir=self.make_dirs(tmp_path))
+        assert any(site == "recover.replay" for site, _ in crashed)
+
+
+class TestTornWrite:
+    def test_truncates_newest_segment(self, tmp_path):
+        store = DurableStore.open(tmp_path)
+        store.database.assert_isa(n("a"), n("b"))
+        store.commit()
+        store.checkpoint()
+        store.database.assert_isa(n("x"), n("y"))
+        store.commit()
+        store.close()
+        from repro.oodb.wal import segment_files
+        path = segment_files(tmp_path)[-1][1]
+        before = path.stat().st_size
+        assert torn_write(tmp_path, drop=3) == path
+        assert path.stat().st_size == before - 3
+        result = recover(tmp_path)
+        assert result.truncated_tail > 0
+        # The checkpointed fact survives; only the torn later batch is
+        # rolled off.
+        assert result.database.hierarchy.isa(n("a"), n("b"))
+        assert not result.database.hierarchy.isa(n("x"), n("y"))
+
+    def test_flip_corrupts_in_place(self, tmp_path):
+        store = DurableStore.open(tmp_path)
+        store.database.assert_isa(n("a"), n("b"))
+        store.commit()
+        store.close()
+        from repro.oodb.wal import segment_files
+        path = segment_files(tmp_path)[-1][1]
+        before = path.stat().st_size
+        assert torn_write(tmp_path, flip=True) == path
+        assert path.stat().st_size == before
+        result = recover(tmp_path)
+        assert result.truncated_tail > 0
+
+    def test_no_segments_returns_none(self, tmp_path):
+        assert torn_write(tmp_path) is None

@@ -26,6 +26,7 @@ from repro.server import (
     RetryPolicy,
     Server,
     ServerConfig,
+    ServerError,
 )
 from repro.server import protocol
 from repro.testing import InjectedFault, inject
@@ -520,3 +521,121 @@ class TestSitesRegistry:
             planted.update(re.findall(r'fault_point\("([^"]+)"\)',
                                       path.read_text()))
         assert planted == SITES
+
+
+class TestDurableServer:
+    def test_writes_survive_restart(self, tmp_path):
+        data_dir = str(tmp_path / "data")
+
+        async def write_round(server):
+            host, port = server.address
+            async with Client(host, port) as client:
+                await client.write([["+isa", "d1", "employee"],
+                                    ["+scalar", "age", "d1", [], 41]])
+                res = await client.query("X : employee", ["X"])
+                return sorted(a["X"] for a in res["answers"])
+
+        async def read_round(server):
+            host, port = server.address
+            async with Client(host, port) as client:
+                res = await client.query("X : employee", ["X"])
+                stats = await client.stats()
+                return (sorted(a["X"] for a in res["answers"]),
+                        stats["durability"])
+
+        before = run_with_server(write_round, data_dir=data_dir)
+        # Restart with an EMPTY seed: the recovered state must win.
+        after, durability = run_with_server(read_round, db=Database(),
+                                            data_dir=data_dir)
+        assert before == after == ["d1", "p0", "p1", "p2"]
+        assert durability["recovered_entries"] >= 2
+        assert durability["truncated_tail"] == 0
+
+    def test_stats_report_durability(self, tmp_path):
+        async def scenario(server):
+            host, port = server.address
+            async with Client(host, port) as client:
+                await client.write([["+isa", "x", "c"]])
+                stats = await client.stats()
+            durability = stats["durability"]
+            assert durability["fsync"] == "batch"
+            assert durability["wal_batches"] == 1
+            assert durability["wal_entries"] == 1
+            assert durability["wal_syncs"] >= 1
+            assert durability["wal_size"] > 0
+            assert durability["checkpoints"] >= 1  # the open checkpoint
+            assert durability["data_dir"] == str(tmp_path / "d")
+        run_with_server(scenario, data_dir=str(tmp_path / "d"))
+
+    def test_memory_server_reports_no_durability(self):
+        async def scenario(server):
+            host, port = server.address
+            async with Client(host, port) as client:
+                stats = await client.stats()
+            assert stats["durability"] is None
+        run_with_server(scenario)
+
+    def test_failed_batch_leaves_wal_clean(self, tmp_path):
+        data_dir = str(tmp_path / "data")
+
+        async def scenario(server):
+            host, port = server.address
+            async with Client(host, port) as client:
+                await client.write([["+isa", "good", "c"]])
+                with pytest.raises(RequestError):
+                    # Conflict on p0's age after one applied change:
+                    # the whole batch rolls back, including its WAL
+                    # trace.
+                    await client.write([["+isa", "bad", "c"],
+                                        ["+scalar", "age", "p0", [], 0]])
+                res = await client.query("X : c", ["X"])
+                assert [a["X"] for a in res["answers"]] == ["good"]
+        run_with_server(scenario, data_dir=data_dir)
+
+        from repro.oodb.checkpoint import recover
+        result = recover(tmp_path / "data")
+        assert result.database.hierarchy.isa(
+            result.database.obj("good"), result.database.obj("c"))
+        assert not result.database.hierarchy.isa(
+            result.database.obj("bad"), result.database.obj("c"))
+
+    def test_injected_maintain_fault_repairs_wal(self, tmp_path):
+        data_dir = str(tmp_path / "data")
+
+        async def scenario(server):
+            host, port = server.address
+            async with Client(host, port) as client:
+                await client.write([["+isa", "before", "c"]])
+                with inject("wal.fsync", nth=1):
+                    with pytest.raises(ServerError):
+                        await client.write([["+isa", "lost", "c"]])
+                # The server survives and accepts the retry.
+                await client.write([["+isa", "after", "c"]])
+                res = await client.query("X : c", ["X"])
+                assert sorted(a["X"] for a in res["answers"]) == \
+                    ["after", "before"]
+        run_with_server(scenario, data_dir=data_dir)
+
+        from repro.oodb.checkpoint import recover
+        result = recover(tmp_path / "data")
+        db = result.database
+        assert db.hierarchy.isa(db.obj("before"), db.obj("c"))
+        assert db.hierarchy.isa(db.obj("after"), db.obj("c"))
+        assert not db.hierarchy.isa(db.obj("lost"), db.obj("c"))
+
+    def test_background_checkpoint_by_wal_size(self, tmp_path):
+        async def scenario(server):
+            host, port = server.address
+            async with Client(host, port) as client:
+                for index in range(20):
+                    await client.write(
+                        [["+isa", f"w{index}", "c"]])
+                for _ in range(200):
+                    if server.stats.checkpoints >= 1:
+                        break
+                    await asyncio.sleep(0.01)
+                stats = await client.stats()
+            assert stats["checkpoints"] >= 1
+        run_with_server(scenario, data_dir=str(tmp_path / "data"),
+                        checkpoint_bytes=256,
+                        checkpoint_interval_ms=10.0)
