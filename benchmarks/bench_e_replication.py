@@ -1,0 +1,267 @@
+"""B18: replicated serving -- read scale-out and catch-up speed.
+
+PR 10 adds change-log-shipping read replicas (docs/server.md): a
+replica bootstraps from the primary's snapshot, streams committed
+batches, and answers reads with a ``(version, cursor)`` + staleness
+proof.  This bench prices the scale-out story with *real processes*
+(one interpreter per server -- an in-process fleet would share one
+GIL and measure nothing):
+
+- **read scale-out**: a 32-client read swarm against the primary
+  alone, then the same swarm spread over two replicas through
+  :class:`~repro.server.FailoverPolicy` routing.  The gate -- replica
+  QPS >= 1.8x single-primary -- is enforced on full runs when the
+  machine has at least 3 CPUs (primary + two replicas need their own
+  cores; on fewer the row is recorded report-only).
+- **catch-up**: a burst of writes streamed into the primary, timed
+  until the replica's applied cursor reaches the primary's head.  The
+  report row records wall-clock per 10k shipped entries and the
+  post-burst tail (last write acked -> replica converged); recorded,
+  not gated -- shipping speed is a trajectory to watch across runs.
+"""
+
+import asyncio
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from benchmarks.conftest import report, sizes
+from repro.server import Client, FailoverClient, FailoverPolicy, \
+    RetryPolicy
+
+RULES = """
+    X[desc ->> {Y}] <- X[kids ->> {Y}].
+    X[desc ->> {Y}] <- X..desc[kids ->> {Y}].
+"""
+
+QUERY = "peter[desc ->> {X}]"
+
+#: Seeded kids-chain depth under ``peter`` (real fixpoint work).
+DEPTH = 10
+
+SWARM = sizes((8, 32))[-1]
+PER_CLIENT = sizes((4, 12))[-1]
+REPLICAS = 2
+
+#: Read QPS over two replicas vs. the primary alone.
+SCALEOUT_GATE = 1.8
+#: The gate needs one core per server: primary + two replicas.
+GATE_CPUS = 3
+
+#: Catch-up burst: total entries shipped, in writes of BURST_BATCH.
+BURST = sizes((300, 10_000))[-1]
+BURST_BATCH = 100
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _env():
+    env = dict(os.environ)
+    path = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = _SRC if not path else f"{_SRC}{os.pathsep}{path}"
+    return env
+
+
+class ServerProcess:
+    """One ``python -m repro serve`` child, address parsed from its
+    ``serving on HOST:PORT`` banner."""
+
+    def __init__(self, *args):
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", *args,
+             "--host", "127.0.0.1", "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True, env=_env())
+        banner = self.proc.stdout.readline()
+        if not banner.startswith("serving on "):
+            err = self.proc.stderr.read()
+            raise RuntimeError(f"server failed to start: {banner!r} {err}")
+        host, _, port = banner.strip().rpartition(" ")[2].rpartition(":")
+        self.host, self.port = host, int(port)
+
+    @property
+    def address(self):
+        return self.host, self.port
+
+    def stop(self):
+        if self.proc.poll() is None:
+            self.proc.terminate()
+        try:
+            self.proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            self.proc.wait(timeout=15)
+
+
+def launch_fleet(tmp):
+    """(primary, [replicas]) -- started, bootstrapped, and seeded."""
+    rules = Path(tmp, "rules.plog")
+    rules.write_text(RULES)
+    primary = ServerProcess(str(rules), "--max-inflight", "8",
+                            "--max-queue", "128")
+    replicas = []
+    try:
+        seed = [["+set", "kids", "peter", [], "n0"]]
+        seed += [["+set", "kids", f"n{i}", [], f"n{i + 1}"]
+                 for i in range(DEPTH - 1)]
+
+        async def plant():
+            async with Client(*primary.address) as client:
+                await client.write(seed)
+
+        asyncio.run(plant())
+        for _ in range(REPLICAS):
+            replicas.append(ServerProcess(
+                "--replica-of", f"{primary.host}:{primary.port}",
+                "--max-inflight", "8", "--max-queue", "128",
+                "--repl-poll-ms", "25"))
+        # The seed batch is DEPTH entries: all replicas must hold it.
+        wait_converged(replicas, DEPTH)
+    except BaseException:
+        for server in (primary, *replicas):
+            server.stop()
+        raise
+    return primary, replicas
+
+
+def wait_converged(replicas, cursor, timeout=60.0):
+    """Block until every replica's applied cursor reaches ``cursor``."""
+
+    async def main():
+        deadline = time.perf_counter() + timeout
+        while True:
+            done = 0
+            for replica in replicas:
+                async with Client(*replica.address) as rc:
+                    health = await rc.health()
+                    if health["applied_cursor"] >= cursor:
+                        done += 1
+            if done == len(replicas):
+                return
+            if time.perf_counter() > deadline:
+                raise RuntimeError(
+                    f"replicas never reached cursor {cursor}")
+            await asyncio.sleep(0.05)
+
+    asyncio.run(main())
+
+
+def read_swarm(targets, clients, per_client):
+    """(wall_s, served): ``clients`` read loops spread over targets."""
+
+    async def worker(host, port):
+        async with Client(host, port) as client:
+            for _ in range(per_client):
+                await client.query(QUERY, timeout_ms=10_000)
+
+    async def main():
+        started = time.perf_counter()
+        await asyncio.gather(*(
+            worker(*targets[i % len(targets)]) for i in range(clients)))
+        return time.perf_counter() - started
+
+    wall = asyncio.run(main())
+    return wall, clients * per_client
+
+
+def test_replica_read_scaleout():
+    with tempfile.TemporaryDirectory() as tmp:
+        primary, replicas = launch_fleet(tmp)
+        try:
+            # Warm both sides' memos, then measure.
+            read_swarm([primary.address], 2, 2)
+            read_swarm([r.address for r in replicas], 2, 2)
+            base_wall, base_served = read_swarm(
+                [primary.address], SWARM, PER_CLIENT)
+            fleet_wall, fleet_served = read_swarm(
+                [r.address for r in replicas], SWARM, PER_CLIENT)
+        finally:
+            for server in (*replicas, primary):
+                server.stop()
+    base_qps = base_served / base_wall
+    fleet_qps = fleet_served / fleet_wall
+    speedup = fleet_qps / base_qps
+    gated = not os.environ.get("BENCH_SMOKE") \
+        and (os.cpu_count() or 1) >= GATE_CPUS
+    report("B18-scaleout", clients=SWARM, per_client=PER_CLIENT,
+           replicas=REPLICAS, primary_qps=round(base_qps, 1),
+           fleet_qps=round(fleet_qps, 1), speedup=round(speedup, 2),
+           gate=f">= {SCALEOUT_GATE}x" if gated
+           else f"report-only ({os.cpu_count()} cpus)")
+    if gated:
+        assert speedup >= SCALEOUT_GATE, (
+            f"2-replica read fleet only {speedup:.2f}x the primary")
+
+
+def test_failover_routing_overhead():
+    """The same swarm through :class:`FailoverClient` (policy picks a
+    replica per read): the routing layer must be nearly free."""
+    with tempfile.TemporaryDirectory() as tmp:
+        primary, replicas = launch_fleet(tmp)
+        try:
+            routed = []
+
+            async def worker():
+                client = FailoverClient(
+                    FailoverPolicy(primary.address,
+                                   [r.address for r in replicas]),
+                    retry=RetryPolicy(attempts=3, base_ms=5.0))
+                try:
+                    for _ in range(PER_CLIENT):
+                        response = await client.query(
+                            QUERY, timeout_ms=10_000)
+                        routed.append("staleness" in response)
+                finally:
+                    await client.close()
+
+            async def main():
+                started = time.perf_counter()
+                await asyncio.gather(*(worker() for _ in range(SWARM)))
+                return time.perf_counter() - started
+
+            wall = asyncio.run(main())
+        finally:
+            for server in (*replicas, primary):
+                server.stop()
+    qps = len(routed) / wall
+    report("B18-failover", clients=SWARM, per_client=PER_CLIENT,
+           qps=round(qps, 1),
+           replica_served=sum(routed), total=len(routed))
+    # Every read was served, and by a replica (the staleness proof
+    # rides only replica answers).
+    assert len(routed) == SWARM * PER_CLIENT
+    assert all(routed)
+
+
+def test_catchup_speed():
+    with tempfile.TemporaryDirectory() as tmp:
+        primary, replicas = launch_fleet(tmp)
+        replica = replicas[0]
+        try:
+            async def burst():
+                async with Client(*primary.address) as client:
+                    sent = 0
+                    while sent < BURST:
+                        batch = [["+set", "kids", f"b{sent + i}", [],
+                                  f"c{sent + i}"]
+                                 for i in range(BURST_BATCH)]
+                        await client.write(batch)
+                        sent += len(batch)
+                    return sent
+
+            started = time.perf_counter()
+            shipped = asyncio.run(burst())
+            acked = time.perf_counter()
+            wait_converged([replica], DEPTH + shipped)
+            converged = time.perf_counter()
+        finally:
+            for server in (*replicas, primary):
+                server.stop()
+    total_ms = (converged - started) * 1000.0
+    tail_ms = (converged - acked) * 1000.0
+    report("B18-catchup", entries=shipped, batch=BURST_BATCH,
+           wall_ms=round(total_ms, 1), tail_ms=round(tail_ms, 1),
+           ms_per_10k=round(total_ms / shipped * 10_000, 1))

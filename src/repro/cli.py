@@ -240,6 +240,19 @@ def build_serve_parser() -> argparse.ArgumentParser:
                         default=250.0, metavar="MS",
                         help="how often the checkpointer polls the WAL "
                              "size")
+    parser.add_argument("--replica-of", metavar="HOST:PORT",
+                        help="serve as a read replica: bootstrap from "
+                             "the primary's snapshot, stream its "
+                             "change-log batches, refuse writes "
+                             "(docs/server.md 'Replication')")
+    parser.add_argument("--max-lag", type=int, metavar="N",
+                        help="replica: shed reads with a typed 'stale' "
+                             "error once more than N change-log entries "
+                             "behind the primary")
+    parser.add_argument("--repl-poll-ms", type=float, default=200.0,
+                        metavar="MS",
+                        help="replica: long-poll wait per batch request "
+                             "when caught up")
     return parser
 
 
@@ -392,9 +405,19 @@ def _run_explain(argv: Sequence[str], out) -> int:
 
 def _run_serve(argv: Sequence[str], out) -> int:
     args = build_serve_parser().parse_args([str(a) for a in argv])
-    if args.program is None and args.db is None and args.data_dir is None:
-        print("error: need a program file, --db snapshot, and/or "
-              "--data-dir", file=out)
+    if (args.program is None and args.db is None
+            and args.data_dir is None and args.replica_of is None):
+        print("error: need a program file, --db snapshot, --data-dir, "
+              "and/or --replica-of", file=out)
+        return 2
+    if args.replica_of is not None and args.data_dir is not None:
+        print("error: --replica-of and --data-dir are mutually "
+              "exclusive (a replica bootstraps from its primary; "
+              "durability lives there)", file=out)
+        return 2
+    if args.replica_of is not None and args.db is not None:
+        print("error: --replica-of bootstraps the database from the "
+              "primary; drop --db", file=out)
         return 2
     try:
         db = _load_database(args)
@@ -418,6 +441,8 @@ def _run_serve(argv: Sequence[str], out) -> int:
         data_dir=args.data_dir, fsync=args.fsync,
         checkpoint_bytes=args.checkpoint_bytes,
         checkpoint_interval_ms=args.checkpoint_interval_ms,
+        replica_of=args.replica_of, max_lag=args.max_lag,
+        repl_poll_ms=args.repl_poll_ms,
     )
 
     async def main() -> None:
@@ -444,7 +469,9 @@ def _run_serve(argv: Sequence[str], out) -> int:
         asyncio.run(main())
     except KeyboardInterrupt:  # pragma: no cover - direct ^C fallback
         pass
-    except OSError as error:
+    except (OSError, PathLogError) as error:
+        # PathLogError covers a replica whose bootstrap attempts were
+        # exhausted (ReplicationError) -- startup fails loudly.
         print(f"error: {error}", file=out)
         return 1
     return 0

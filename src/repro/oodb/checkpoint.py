@@ -82,6 +82,47 @@ def _canonical(document: dict) -> str:
     return json.dumps(document, sort_keys=True, separators=(",", ":"))
 
 
+def snapshot_document(db: Database, cursor: int) -> dict:
+    """The checksummed snapshot document for ``db`` at ``cursor``.
+
+    ``{"checksum": crc32, "snapshot": {format, cursor, database}}`` --
+    the exact object :func:`write_snapshot` persists, factored out so a
+    replication primary can serve the same verifiable document over the
+    wire (``repl.snapshot``) and a replica bootstrap through
+    :func:`verify_document` shares the file-recovery code path.
+    """
+    inner = {"format": FORMAT_VERSION, "cursor": cursor,
+             "database": to_dict(db)}
+    body = _canonical(inner)
+    return {"checksum": zlib.crc32(body.encode("utf-8")),
+            "snapshot": json.loads(body)}
+
+
+def verify_document(document: dict, *,
+                    source: str = "snapshot") -> tuple[Database, int]:
+    """Verify and decode one snapshot document: ``(database, cursor)``.
+
+    Raises :class:`~repro.oodb.serialize.SerializationError` on a
+    checksum mismatch, a malformed body, or a format-version mismatch
+    -- the same failures :func:`load_snapshot` reports for files, with
+    ``source`` naming where the document came from.
+    """
+    if not isinstance(document, dict) or "snapshot" not in document:
+        raise SerializationError(f"{source} has no body")
+    inner = document["snapshot"]
+    body = _canonical(inner)
+    if document.get("checksum") != zlib.crc32(body.encode("utf-8")):
+        raise SerializationError(f"{source} checksum mismatch")
+    if not isinstance(inner, dict) or inner.get("format") != FORMAT_VERSION:
+        raise SerializationError(
+            f"{source} has format {inner.get('format')!r}, "
+            f"this build reads {FORMAT_VERSION}")
+    cursor = inner.get("cursor")
+    if not isinstance(cursor, int) or cursor < 0:
+        raise SerializationError(f"{source} has no cursor")
+    return from_dict(inner["database"]), cursor
+
+
 def write_snapshot(db: Database, data_dir: Path | str, cursor: int) -> Path:
     """Atomically write a snapshot of ``db`` covering ``cursor``.
 
@@ -95,11 +136,7 @@ def write_snapshot(db: Database, data_dir: Path | str, cursor: int) -> Path:
     state or the complete new snapshot, never a half-written one.
     """
     data_dir = Path(data_dir)
-    inner = {"format": FORMAT_VERSION, "cursor": cursor,
-             "database": to_dict(db)}
-    body = _canonical(inner)
-    document = _canonical({"checksum": zlib.crc32(body.encode("utf-8")),
-                           "snapshot": json.loads(body)})
+    document = _canonical(snapshot_document(db, cursor))
     final = data_dir / snapshot_name(cursor)
     temp = final.with_suffix(".tmp")
     fault_point("checkpoint.write")
@@ -125,20 +162,7 @@ def load_snapshot(path: Path) -> tuple[Database, int]:
         document = json.loads(Path(path).read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
         raise SerializationError(f"unreadable snapshot {path}: {exc}")
-    if not isinstance(document, dict) or "snapshot" not in document:
-        raise SerializationError(f"snapshot {path} has no body")
-    inner = document["snapshot"]
-    body = _canonical(inner)
-    if document.get("checksum") != zlib.crc32(body.encode("utf-8")):
-        raise SerializationError(f"snapshot {path} checksum mismatch")
-    if not isinstance(inner, dict) or inner.get("format") != FORMAT_VERSION:
-        raise SerializationError(
-            f"snapshot {path} has format {inner.get('format')!r}, "
-            f"this build reads {FORMAT_VERSION}")
-    cursor = inner.get("cursor")
-    if not isinstance(cursor, int) or cursor < 0:
-        raise SerializationError(f"snapshot {path} has no cursor")
-    return from_dict(inner["database"]), cursor
+    return verify_document(document, source=f"snapshot {path}")
 
 
 @dataclass

@@ -33,6 +33,28 @@ from repro.oodb.oid import NamedOid, NameValue, Oid, OidInterner, VirtualOid
 ChangeEntry = tuple[str, tuple]
 
 
+class TrimmedCursor(ValueError):
+    """A change-log read below the trimmed prefix.
+
+    Raised by :meth:`ChangeLog.since` when the requested cursor's
+    entries were already reclaimed by :meth:`Database.trim_changes`.
+    Still a :class:`ValueError` (the historical contract), but typed so
+    a replication boundary can translate it into a *retryable*
+    "resync required" protocol error instead of killing the connection.
+    Carries the offending ``cursor`` and the log's current ``offset``.
+    """
+
+    def __init__(self, cursor: int, offset: int) -> None:
+        super().__init__(
+            f"change-log cursor {cursor} is below the trimmed "
+            f"prefix ({offset}); register long-lived cursors "
+            f"with Database.hold_changes so trim_changes keeps "
+            f"their entries"
+        )
+        self.cursor = cursor
+        self.offset = offset
+
+
 class ChangeLog:
     """An append-only record of base-fact insertions and deletions.
 
@@ -95,19 +117,17 @@ class ChangeLog:
     def since(self, cursor: int) -> list[ChangeEntry]:
         """The changes recorded after ``cursor``, oldest first.
 
-        Raises :class:`ValueError` for cursors below the trimmed
-        prefix: entries there are gone, and silently returning the
-        surviving suffix would let an unregistered consumer apply an
-        incomplete delta.  Long-lived cursors must be registered with
-        :meth:`Database.hold_changes` so trimming preserves them.
+        Raises :class:`TrimmedCursor` (a :class:`ValueError`) for
+        cursors below the trimmed prefix: entries there are gone, and
+        silently returning the surviving suffix would let an
+        unregistered consumer apply an incomplete delta.  Long-lived
+        cursors must be registered with :meth:`Database.hold_changes`
+        so trimming preserves them; a replication subscriber that fell
+        past the trim horizon instead gets a typed "resync required"
+        answer built from this exception.
         """
         if cursor < self.offset:
-            raise ValueError(
-                f"change-log cursor {cursor} is below the trimmed "
-                f"prefix ({self.offset}); register long-lived cursors "
-                f"with Database.hold_changes so trim_changes keeps "
-                f"their entries"
-            )
+            raise TrimmedCursor(cursor, self.offset)
         return self.entries[cursor - self.offset:]
 
     def trim_to(self, cursor: int) -> int:

@@ -5,8 +5,10 @@ database -- optionally materialised from a PathLog program -- over a
 length-prefixed JSON protocol.  Readers evaluate concurrently against
 snapshot-isolated state, writes funnel through a single maintainer
 that patches the memoised results incrementally, and an admission
-queue sheds load with typed, retryable responses once it fills.  See
-docs/server.md.
+queue sheds load with typed, retryable responses once it fills.
+``serve --replica-of host:port`` turns the same server into a read
+replica fed by change-log shipping, and :class:`FailoverClient`
+routes a client across the fleet.  See docs/server.md.
 """
 
 from repro.server.admission import (
@@ -18,14 +20,27 @@ from repro.server.client import (
     Client,
     ClientError,
     ConnectionLost,
+    Endpoint,
+    FailoverClient,
+    FailoverPolicy,
     Overloaded,
+    ReadOnly,
+    ReplicaStale,
     RequestError,
     RequestTimeout,
+    ResyncRequired,
     RetryPolicy,
     ServerDraining,
     ServerError,
 )
 from repro.server.gate import ReadWriteGate
+from repro.server.replication import (
+    ReplicationError,
+    ReplicationHub,
+    Replicator,
+    ResyncNeeded,
+    parse_endpoint,
+)
 from repro.server.server import Server, ServerConfig, ServerStats
 
 __all__ = [
@@ -35,14 +50,25 @@ __all__ = [
     "Client",
     "ClientError",
     "ConnectionLost",
+    "Endpoint",
+    "FailoverClient",
+    "FailoverPolicy",
     "Overloaded",
+    "ReadOnly",
     "ReadWriteGate",
+    "ReplicaStale",
+    "ReplicationError",
+    "ReplicationHub",
+    "Replicator",
     "RequestError",
     "RequestTimeout",
+    "ResyncNeeded",
+    "ResyncRequired",
     "RetryPolicy",
     "Server",
     "ServerConfig",
     "ServerDraining",
     "ServerError",
     "ServerStats",
+    "parse_endpoint",
 ]

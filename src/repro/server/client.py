@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import asyncio
 import random
+import time
 
 from repro.server import protocol
 
@@ -62,6 +63,20 @@ class RequestError(ServerError):
     """The request is invalid; retrying it is pointless."""
 
 
+class ReadOnly(ServerError):
+    """A write reached a read replica; route it to the primary."""
+
+
+class ReplicaStale(ServerError):
+    """The replica's staleness exceeds its ``max_lag``; retry after
+    ``retry_after_ms`` (or read another endpoint)."""
+
+
+class ResyncRequired(ServerError):
+    """The replication cursor is not incrementally servable; the
+    subscriber must re-bootstrap from ``repl.snapshot``."""
+
+
 class ConnectionLost(ClientError):
     """The connection dropped mid-request (retryable by reconnecting)."""
 
@@ -70,6 +85,9 @@ _ERROR_TYPES = {
     protocol.OVERLOADED: Overloaded,
     protocol.TIMEOUT: RequestTimeout,
     protocol.SHUTTING_DOWN: ServerDraining,
+    protocol.READ_ONLY: ReadOnly,
+    protocol.STALE: ReplicaStale,
+    protocol.RESYNC_REQUIRED: ResyncRequired,
 }
 
 
@@ -218,3 +236,195 @@ class Client:
     async def shutdown(self) -> dict:
         """Ask the server to drain and stop."""
         return await self.request({"op": "shutdown"})
+
+
+# -- failover across a replicated fleet --------------------------------
+
+
+class Endpoint:
+    """One server address plus its routing health state."""
+
+    __slots__ = ("host", "port", "is_primary", "healthy", "retry_at")
+
+    def __init__(self, host: str, port: int, *,
+                 is_primary: bool = False) -> None:
+        self.host = host
+        self.port = port
+        self.is_primary = is_primary
+        self.healthy = True
+        #: Clock time (seconds) at which a demoted endpoint becomes
+        #: eligible for a reprobe.
+        self.retry_at = 0.0
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.host, self.port
+
+    def __repr__(self) -> str:
+        role = "primary" if self.is_primary else "replica"
+        state = "up" if self.healthy else "down"
+        return f"Endpoint({self.host}:{self.port} {role} {state})"
+
+
+class FailoverPolicy:
+    """Routing over one primary and its read replicas.
+
+    - **Writes** always go to the primary (:meth:`pick_write`):
+      replicas answer them with a typed ``read_only`` refusal, so
+      there is exactly one place a write can land.
+    - **Reads** prefer the replicas (:meth:`pick_read` picks uniformly
+      among the eligible ones via the injectable RNG), falling back to
+      the primary when no replica is eligible -- reads survive a
+      primary stall, writes survive replica churn.
+    - **Demotion**: a connect/timeout/staleness failure marks the
+      endpoint unhealthy for ``reprobe_ms`` (:meth:`demote`); after
+      that it becomes eligible again, so one successful reprobe
+      (:meth:`restore`) returns a recovered server to the pool.  When
+      *everything* is demoted, the least-recently-demoted endpoint is
+      probed anyway -- the policy degrades to retrying, never to
+      refusing.
+
+    The RNG and the clock are injectable, so tests replay exact
+    routing decisions without sleeping.
+    """
+
+    def __init__(self, primary: tuple[str, int],
+                 replicas: list[tuple[str, int]] | tuple = (), *,
+                 reprobe_ms: float = 1_000.0,
+                 rng: random.Random | None = None,
+                 clock=None) -> None:
+        self.primary = Endpoint(*primary, is_primary=True)
+        self.replicas = [Endpoint(host, port) for host, port in replicas]
+        self.reprobe_ms = reprobe_ms
+        self._rng = rng or random.Random()
+        self._clock = clock if clock is not None else time.monotonic
+
+    def endpoints(self) -> list[Endpoint]:
+        return [self.primary, *self.replicas]
+
+    def _eligible(self, endpoint: Endpoint, now: float) -> bool:
+        return endpoint.healthy or now >= endpoint.retry_at
+
+    def pick_read(self) -> Endpoint:
+        now = self._clock()
+        pool = [e for e in self.replicas if self._eligible(e, now)]
+        if pool:
+            if len(pool) == 1:
+                return pool[0]
+            return pool[self._rng.randrange(len(pool))]
+        if self._eligible(self.primary, now):
+            return self.primary
+        return min(self.endpoints(), key=lambda e: e.retry_at)
+
+    def pick_write(self) -> Endpoint:
+        return self.primary
+
+    def demote(self, endpoint: Endpoint) -> None:
+        endpoint.healthy = False
+        endpoint.retry_at = self._clock() + self.reprobe_ms / 1000.0
+
+    def restore(self, endpoint: Endpoint) -> None:
+        endpoint.healthy = True
+
+
+class FailoverClient:
+    """Requests routed through a :class:`FailoverPolicy`.
+
+    Reads walk the fleet: each attempt asks the policy for an
+    endpoint, demotes it on :class:`ConnectionLost`,
+    :class:`RequestTimeout`, or :class:`ReplicaStale` (restoring it on
+    success), and backs off under the shared :class:`RetryPolicy`
+    between attempts.  Writes go to the primary through
+    :class:`Client`'s own retry loop; a primary that times out or
+    drops is *also* demoted for reads, so subsequent queries drain to
+    the replicas while it recovers.
+
+    ``client_factory`` is injectable for tests (scripted fake clients
+    instead of sockets); real clients are created lazily, one per
+    endpoint, and closed together by :meth:`close`.
+    """
+
+    def __init__(self, policy: FailoverPolicy, *,
+                 retry: RetryPolicy | None = None,
+                 client_factory=None) -> None:
+        self.policy = policy
+        self.retry = retry or RetryPolicy()
+        self._factory = client_factory or (
+            lambda host, port: Client(host, port, retry=self.retry))
+        self._clients: dict[tuple[str, int], Client] = {}
+        #: Read attempts that failed over to another endpoint (stats).
+        self.failovers = 0
+
+    def _client(self, endpoint: Endpoint):
+        client = self._clients.get(endpoint.address)
+        if client is None:
+            client = self._factory(endpoint.host, endpoint.port)
+            self._clients[endpoint.address] = client
+        return client
+
+    async def query(self, text: str, variables=None, *,
+                    timeout_ms: float | None = None,
+                    max_derived: int | None = None,
+                    limit: int | None = None) -> dict:
+        """Run a read on the fleet; returns the full ok-response."""
+        payload = {"op": "query", "query": text}
+        if variables is not None:
+            payload["variables"] = list(variables)
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
+        if max_derived is not None:
+            payload["max_derived"] = max_derived
+        if limit is not None:
+            payload["limit"] = limit
+        return await self._read_request(payload)
+
+    async def _read_request(self, payload: dict) -> dict:
+        last: ClientError | None = None
+        for attempt in range(self.retry.attempts):
+            endpoint = self.policy.pick_read()
+            hint = None
+            try:
+                response = await self._client(endpoint).request(payload)
+                self.policy.restore(endpoint)
+                return response
+            except ConnectionLost as err:
+                self.policy.demote(endpoint)
+                last = err
+            except (RequestTimeout, ReplicaStale) as err:
+                self.policy.demote(endpoint)
+                last, hint = err, err.retry_after_ms
+            except ServerError as err:
+                # Overloaded / draining: transient, not a health
+                # verdict on the endpoint -- back off without demoting.
+                if not err.retryable:
+                    raise
+                last, hint = err, err.retry_after_ms
+            self.failovers += 1
+            if attempt + 1 < self.retry.attempts:
+                delay = self.retry.delay_ms(attempt, hint)
+                await asyncio.sleep(delay / 1000.0)
+        raise last
+
+    async def write(self, changes: list) -> dict:
+        """Apply a change batch on the primary (never on a replica)."""
+        endpoint = self.policy.pick_write()
+        try:
+            return await self._client(endpoint).write(changes)
+        except (ConnectionLost, RequestTimeout):
+            self.policy.demote(endpoint)
+            raise
+
+    async def health(self) -> dict:
+        """Health of whichever endpoint reads currently route to."""
+        return await self._client(self.policy.pick_read()).health()
+
+    async def close(self) -> None:
+        for client in self._clients.values():
+            await client.close()
+        self._clients.clear()
+
+    async def __aenter__(self) -> "FailoverClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

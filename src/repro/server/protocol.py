@@ -20,6 +20,21 @@ Requests (``op`` selects the operation, ``id`` is echoed back):
 - ``{"op": "health"}`` / ``{"op": "stats"}`` -- liveness and counters.
 - ``{"op": "shutdown"}`` -- begin a graceful drain (see docs/server.md).
 
+Replication (primary side; see docs/server.md "Replication"):
+
+- ``{"op": "repl.snapshot"}`` -- a checksummed bootstrap snapshot of
+  the whole database at a whole-batch boundary, with its change-log
+  ``cursor`` and the primary's ``log_id`` (one per change-log epoch).
+- ``{"op": "repl.subscribe", "cursor": C, "log_id": "..."}`` --
+  register a replication subscriber at ``C``; the primary pins the
+  change log with a lease so trimming can never reclaim unshipped
+  entries.  A cursor below the trim horizon, past the head, or from a
+  different log epoch answers ``resync_required``.
+- ``{"op": "repl.batch", "sub": id, "cursor": C, "wait_ms": W}`` --
+  acknowledge everything below ``C`` (the lease advances) and ship the
+  committed entries past it, whole batches only.  With no new entries
+  the primary long-polls up to ``wait_ms`` before answering empty.
+
 Responses carry ``{"ok": true, ...}`` or ``{"ok": false, "error":
 {"code", "message", "retryable", "retry_after_ms"?}}``.  The error
 codes are enumerated below; ``retryable`` tells a client whether
@@ -52,9 +67,21 @@ QUERY_ERROR = "query_error"
 BAD_REQUEST = "bad_request"
 #: An unexpected server-side failure; writes were rolled back.
 INTERNAL = "internal"
+#: A write reached a read replica; route it to the primary instead.
+READ_ONLY = "read_only"
+#: The replica's staleness exceeds its ``max_lag`` bound; the response
+#: carries ``retry_after_ms`` (reads elsewhere, or here once caught up).
+STALE = "stale"
+#: A replication cursor the primary can no longer serve incrementally
+#: (trimmed past, wrong log epoch, or past the head): the subscriber
+#: must re-bootstrap from ``repl.snapshot`` and resubscribe.
+RESYNC_REQUIRED = "resync_required"
 
-#: Codes a client may retry after backing off.
-RETRYABLE_CODES = frozenset({OVERLOADED, TIMEOUT, SHUTTING_DOWN})
+#: Codes a client may retry after backing off.  ``resync_required`` is
+#: retryable in the replication sense: the stream is re-establishable
+#: after a snapshot re-bootstrap, the connection stays usable.
+RETRYABLE_CODES = frozenset({OVERLOADED, TIMEOUT, SHUTTING_DOWN, STALE,
+                             RESYNC_REQUIRED})
 
 
 class FrameTooLarge(ValueError):

@@ -38,11 +38,20 @@ Architecture (docs/server.md has the full story):
   the in-flight requests (up to ``drain_ms``), cancel stragglers,
   stop the maintainer, close the durable store, trim the log.
 
+- With ``replica_of`` configured the server is a **read replica**
+  (docs/server.md "Replication"): it bootstraps from the primary's
+  snapshot, applies streamed change-log batches through the same
+  exclusive-gate maintainer discipline, refuses writes with a typed
+  ``read_only`` error, and sheds reads beyond ``max_lag`` as ``stale``.
+  A primary serves the ``repl.*`` ops through a
+  :class:`~repro.server.replication.ReplicationHub`.
+
 Fault points (``server.accept``, ``server.dispatch``,
-``server.maintain``, ``server.respond``) let the chaos suite crash
-each stage deterministically; every handler is written so an injected
-crash costs at most that one connection or that one (rolled-back)
-write batch, never the server.
+``server.maintain``, ``server.respond``, plus the replication sites
+``repl.subscribe``/``repl.ship``/``repl.apply``/``repl.bootstrap``)
+let the chaos suite crash each stage deterministically; every handler
+is written so an injected crash costs at most that one connection or
+that one (rolled-back) write batch, never the server.
 """
 
 from __future__ import annotations
@@ -56,12 +65,19 @@ from pathlib import Path
 
 from repro.engine import QueryBudget
 from repro.errors import BudgetExceededError, PathLogError
-from repro.oodb.checkpoint import DurableStore
+from repro.oodb.checkpoint import DurableStore, snapshot_document
 from repro.oodb.database import Database
+from repro.oodb.serialize import encode_fact
 from repro.query import Query
 from repro.server import protocol
 from repro.server.admission import AdmissionController, AdmissionShed
 from repro.server.gate import ReadWriteGate
+from repro.server.replication import (
+    ReplicationHub,
+    Replicator,
+    ResyncNeeded,
+    parse_endpoint,
+)
 from repro.testing.faults import fault_point
 
 
@@ -103,6 +119,25 @@ class ServerConfig:
     checkpoint_bytes: int = 4 * 1024 * 1024
     #: How often the background task polls the WAL size.
     checkpoint_interval_ms: float = 250.0
+    #: Serve as a read replica of ``"host:port"`` (None: primary).
+    #: Mutually exclusive with ``data_dir`` -- a replica bootstraps
+    #: from its primary; durability lives there.
+    replica_of: str | None = None
+    #: Replica only: shed reads (typed ``stale`` + ``retry_after_ms``)
+    #: once the replica lags more than this many change-log entries
+    #: behind the primary (None: answer however stale).
+    max_lag: int | None = None
+    #: Replica only: how long each ``repl.batch`` long-polls on the
+    #: primary when the replica is caught up.
+    repl_poll_ms: float = 200.0
+    #: Primary only: hard cap on a subscriber's requested ``wait_ms``.
+    repl_wait_cap_ms: float = 10_000.0
+    #: Replica only: snapshot fetch attempts before startup fails.
+    bootstrap_attempts: int = 5
+    #: Replica only: reconnect backoff base / cap (exponential,
+    #: jittered; see :class:`~repro.server.client.RetryPolicy`).
+    repl_retry_base_ms: float = 50.0
+    repl_retry_cap_ms: float = 2_000.0
 
 
 @dataclass
@@ -130,6 +165,20 @@ class ServerStats:
     memo_resets: int = 0
     #: Background checkpoints completed (durable servers only).
     checkpoints: int = 0
+    #: Replication subscriptions accepted (primary).
+    repl_subscribes: int = 0
+    #: Non-empty replication batches / entries shipped (primary).
+    repl_batches_shipped: int = 0
+    repl_entries_shipped: int = 0
+    #: Streamed batches / entries applied all-or-nothing (replica).
+    repl_batches_applied: int = 0
+    repl_entries_applied: int = 0
+    #: Full snapshot re-bootstraps after a gap or epoch change (replica).
+    repl_rebootstraps: int = 0
+    #: Stream reconnects after a dropped primary connection (replica).
+    repl_reconnects: int = 0
+    #: Reads shed because staleness exceeded ``max_lag`` (replica).
+    stale_sheds: int = 0
 
     def as_dict(self) -> dict:
         return {f: getattr(self, f) for f in self.__dataclass_fields__}
@@ -141,6 +190,9 @@ class _Connection:
 
     writer: asyncio.StreamWriter
     budgets: set = field(default_factory=set)
+    #: Replication subscriptions owned by this connection (their
+    #: leases die with the socket).
+    subs: set = field(default_factory=set)
     disconnected: bool = False
 
 
@@ -162,6 +214,9 @@ class Server:
         self._maintainer_task: asyncio.Task | None = None
         self._checkpoint_task: asyncio.Task | None = None
         self._store: DurableStore | None = None
+        self._hub: ReplicationHub | None = None
+        self._replicator: Replicator | None = None
+        self._repl_task: asyncio.Task | None = None
         self._write_queue: asyncio.Queue | None = None
         self._connections: set[_Connection] = set()
         self._conn_tasks: set[asyncio.Task] = set()
@@ -177,13 +232,32 @@ class Server:
         seeded from the constructor's database when empty) *before* the
         shared Query is built, so plans and memos derive from the
         durable state; the recovery report lands in ``stats``.
+
+        With ``config.replica_of`` set, the server instead bootstraps
+        its database from the primary's snapshot **before** listening,
+        so the very first answer is already a consistent state, and
+        starts the pull loop that streams committed batches.
         """
+        if self.config.replica_of is not None:
+            if self.config.data_dir is not None:
+                raise ValueError(
+                    "replica_of and data_dir are mutually exclusive: a "
+                    "replica bootstraps from its primary; durability "
+                    "lives there")
+            host, port = parse_endpoint(self.config.replica_of)
+            self._replicator = Replicator(self, host, port)
+            db, cursor = await self._replicator.bootstrap()
+            self._db = db
+            self._replicator.applied = cursor
+            self._replicator.head = cursor
         if self.config.data_dir is not None:
             self._store = DurableStore.open(self.config.data_dir,
                                             db=self._db,
                                             fsync=self.config.fsync)
             self._db = self._store.database
         self._db.begin_changes()
+        if self._replicator is None:
+            self._hub = ReplicationHub(self._db)
         self._query = Query(self._db, program=self._program,
                             magic=self.config.magic,
                             executor=self.config.executor,
@@ -196,6 +270,8 @@ class Server:
         if self._store is not None:
             self._checkpoint_task = asyncio.create_task(
                 self._checkpoint_loop())
+        if self._replicator is not None:
+            self._repl_task = asyncio.create_task(self._replicator.run())
         self._server = await asyncio.start_server(
             self._on_connection, self.config.host, self.config.port)
         return self
@@ -226,6 +302,32 @@ class Server:
     def draining(self) -> bool:
         return self._draining
 
+    @property
+    def role(self) -> str:
+        """``"replica"`` when following a primary, else ``"primary"``."""
+        return "replica" if self._replicator is not None else "primary"
+
+    @property
+    def replicator(self) -> Replicator | None:
+        """The pull loop's state (replica servers only)."""
+        return self._replicator
+
+    async def _adopt_replica_db(self, db: Database) -> None:
+        """Swap in a re-bootstrapped database (replica resync).
+
+        Exclusive, so no reader is inside while the world changes: a
+        request sees either the old consistent state or the new one.
+        The old Query's memos die with the old database; the fresh
+        shared Query re-derives on demand.
+        """
+        async with self._gate.write():
+            self._db = db
+            self._db.begin_changes()
+            self._query = Query(db, program=self._program,
+                                magic=self.config.magic,
+                                executor=self.config.executor,
+                                thread_safe=True)
+
     async def serve_forever(self) -> None:
         """Block until :meth:`shutdown` completes."""
         await self._closed.wait()
@@ -248,6 +350,14 @@ class Server:
             await self._closed.wait()
             return
         self._draining = True
+        if self._hub is not None:
+            # Unblock long-polling subscribers so they drain promptly.
+            self._hub.notify()
+        if self._repl_task is not None:
+            self._repl_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._repl_task
+            await self._replicator.close()
         drain_ms = self.config.drain_ms if drain_ms is None else drain_ms
         if self._server is not None:
             self._server.close()
@@ -287,6 +397,8 @@ class Server:
             # trim lease so the final trim reclaims the whole prefix.
             with contextlib.suppress(PathLogError):
                 self._store.close()
+        if self._hub is not None:
+            self._hub.drop_all()
         self._db.trim_changes()
         self._closed.set()
 
@@ -320,6 +432,9 @@ class Server:
             pump.cancel()
             with contextlib.suppress(asyncio.CancelledError):
                 await pump
+            if self._hub is not None:
+                for sub_id in list(connection.subs):
+                    self._hub.drop(sub_id)
             self._connections.discard(connection)
             if task is not None:
                 self._conn_tasks.discard(task)
@@ -419,6 +534,12 @@ class Server:
             return await self._handle_query(request, connection)
         if op == "write":
             return await self._handle_write(request)
+        if op == "repl.snapshot":
+            return await self._handle_repl_snapshot(request)
+        if op == "repl.subscribe":
+            return await self._handle_repl_subscribe(request, connection)
+        if op == "repl.batch":
+            return await self._handle_repl_batch(request)
         if op == "shutdown":
             if not self.config.allow_remote_shutdown:
                 return protocol.error(protocol.BAD_REQUEST,
@@ -430,12 +551,19 @@ class Server:
                               f"unknown op {op!r}", request=request)
 
     def _health(self) -> dict:
-        return {
+        payload = {
             "status": "draining" if self._draining else "ok",
+            "role": self.role,
             "inflight": self._admission.inflight,
             "queue_depth": self._admission.waiting,
             "snapshot_lag": self._db.snapshot_lag(),
         }
+        if self._replicator is not None:
+            payload["applied_cursor"] = self._replicator.applied
+            payload["staleness"] = self._replicator.staleness()
+        elif self._hub is not None:
+            payload["connected_replicas"] = len(self._hub.replicas())
+        return payload
 
     def _stats_payload(self) -> dict:
         payload = self._health()
@@ -446,6 +574,26 @@ class Server:
         payload["log_entries"] = (len(log.entries)
                                   if log is not None else 0)
         payload["durability"] = self._durability_payload()
+        payload["replication"] = self._replication_payload()
+        return payload
+
+    def _replication_payload(self) -> dict:
+        if self._replicator is not None:
+            replicator = self._replicator
+            return {
+                "role": "replica",
+                "primary": f"{replicator.host}:{replicator.port}",
+                "connected": replicator.connected,
+                "applied_cursor": replicator.applied,
+                "head_cursor": replicator.head,
+                "staleness": replicator.staleness(),
+            }
+        payload = {"role": "primary"}
+        if self._hub is not None:
+            replicas = self._hub.replicas()
+            payload["log_id"] = self._hub.log_id
+            payload["connected_replicas"] = len(replicas)
+            payload["replicas"] = replicas
         return payload
 
     def _durability_payload(self) -> dict | None:
@@ -490,11 +638,23 @@ class Server:
                                   request=request)
         variables = request.get("variables")
         limit = request.get("limit")
+        replicator = self._replicator
+        if replicator is not None and self.config.max_lag is not None:
+            lag = replicator.lag_entries()
+            if lag > self.config.max_lag:
+                self.stats.stale_sheds += 1
+                return protocol.error(
+                    protocol.STALE,
+                    f"replica lags {lag} entries behind the primary "
+                    f"(max_lag {self.config.max_lag})",
+                    request=request,
+                    retry_after_ms=self.config.repl_poll_ms)
         self.stats.queries += 1
         budget = self._budget_for(request)
         loop = asyncio.get_running_loop()
         slot = await self._admission.admit()
         started = loop.time()
+        extra = {}
         async with slot:
             async with self._gate.read():
                 # The database is frozen while we hold the read side:
@@ -502,6 +662,12 @@ class Server:
                 # answer reflects, and pins it for the memo machinery.
                 lease = self._db.held_changes()
                 connection.budgets.add(budget)
+                if replicator is not None:
+                    # Captured inside the gate: the applied cursor only
+                    # moves under the write side, so this proof pairs
+                    # exactly with the database state being read.
+                    extra = {"primary_cursor": replicator.applied,
+                             "staleness": replicator.staleness()}
                 try:
                     if connection.disconnected:
                         budget.cancel()
@@ -516,7 +682,8 @@ class Server:
         self._admission.observe_service((loop.time() - started) * 1000.0)
         return protocol.ok(request, answers=answers, version=version,
                            cursor=cursor,
-                           elapsed_ms=(loop.time() - started) * 1000.0)
+                           elapsed_ms=(loop.time() - started) * 1000.0,
+                           **extra)
 
     def _run_query(self, text: str, variables, limit,
                    budget: QueryBudget) -> list[dict]:
@@ -525,9 +692,121 @@ class Server:
             answers = answers[:limit]
         return [answer.values_dict() for answer in answers]
 
+    # -- replication (primary side) ------------------------------------
+
+    def _not_a_primary(self, request: dict) -> dict | None:
+        if self._hub is None:
+            return protocol.error(
+                protocol.BAD_REQUEST,
+                "replication ops need a primary (this server is a "
+                "replica)", request=request)
+        return None
+
+    async def _handle_repl_snapshot(self, request: dict) -> dict:
+        refusal = self._not_a_primary(request)
+        if refusal is not None:
+            return refusal
+        loop = asyncio.get_running_loop()
+        async with self._gate.read():
+            # Read-held: the database is frozen, so the document is a
+            # consistent whole-batch state at exactly this cursor.
+            log = self._db.change_log
+            cursor = log.cursor() if log is not None else 0
+            version = self._db.data_version()
+            document = await loop.run_in_executor(
+                self._pool, snapshot_document, self._db, cursor)
+        return protocol.ok(request, snapshot=document, cursor=cursor,
+                           log_id=self._hub.log_id, version=version)
+
+    async def _handle_repl_subscribe(self, request: dict,
+                                     connection: _Connection) -> dict:
+        refusal = self._not_a_primary(request)
+        if refusal is not None:
+            return refusal
+        cursor = request.get("cursor")
+        if cursor is not None and (not isinstance(cursor, int)
+                                   or isinstance(cursor, bool)
+                                   or cursor < 0):
+            return protocol.error(
+                protocol.BAD_REQUEST,
+                "subscribe cursor must be a non-negative integer",
+                request=request)
+        fault_point("repl.subscribe")
+        async with self._gate.read():
+            try:
+                sub = self._hub.subscribe(cursor, request.get("log_id"))
+            except ResyncNeeded as err:
+                return protocol.error(protocol.RESYNC_REQUIRED, str(err),
+                                      request=request)
+            connection.subs.add(sub.id)
+            self.stats.repl_subscribes += 1
+            head = self._db.change_log.cursor()
+        return protocol.ok(request, sub=sub.id, cursor=head,
+                           log_id=self._hub.log_id)
+
+    async def _handle_repl_batch(self, request: dict) -> dict:
+        refusal = self._not_a_primary(request)
+        if refusal is not None:
+            return refusal
+        cursor = request.get("cursor")
+        if (not isinstance(cursor, int) or isinstance(cursor, bool)
+                or cursor < 0):
+            return protocol.error(
+                protocol.BAD_REQUEST,
+                "repl.batch needs a non-negative integer 'cursor'",
+                request=request)
+        sub = self._hub.get(request.get("sub"))
+        if sub is None:
+            return protocol.error(
+                protocol.BAD_REQUEST,
+                f"unknown subscription {request.get('sub')!r}; "
+                f"subscriptions die with their connection -- resubscribe",
+                request=request)
+        wait_ms = request.get("wait_ms", 0)
+        if (not isinstance(wait_ms, (int, float))
+                or isinstance(wait_ms, bool) or wait_ms < 0):
+            wait_ms = 0
+        wait_ms = min(float(wait_ms), self.config.repl_wait_cap_ms)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + wait_ms / 1000.0
+        while True:
+            async with self._gate.read():
+                # Read-held ship: the maintainer applies exclusively,
+                # so the shipped suffix ends on a whole-batch boundary.
+                fault_point("repl.ship")
+                try:
+                    entries, head = self._hub.ship(sub, cursor)
+                except ResyncNeeded as err:
+                    return protocol.error(protocol.RESYNC_REQUIRED,
+                                          str(err), request=request)
+                # The request cursor acknowledges everything below it:
+                # the lease advances, trimming may reclaim the prefix.
+                self._hub.ack(sub, cursor)
+                if entries or self._draining or loop.time() >= deadline:
+                    encoded = [[sign, encode_fact(fact)]
+                               for sign, fact in entries]
+                    if entries:
+                        self.stats.repl_batches_shipped += 1
+                        self.stats.repl_entries_shipped += len(entries)
+                        sub.batches += 1
+                        sub.entries += len(entries)
+                    version = self._db.data_version()
+                    return protocol.ok(request, begin=cursor,
+                                       entries=encoded, cursor=head,
+                                       version=version)
+            # Long poll: woken by the maintainer after each batch (or
+            # by drain); capped so the drain flag is re-checked.
+            await self._hub.wait(min(0.25, deadline - loop.time()))
+
     # -- writes (single maintainer) ------------------------------------
 
     async def _handle_write(self, request: dict) -> dict:
+        if self._replicator is not None:
+            return protocol.error(
+                protocol.READ_ONLY,
+                f"this server is a read replica of "
+                f"{self.config.replica_of}; send writes to the primary",
+                request=request)
         raw = request.get("changes")
         if not isinstance(raw, list):
             return protocol.error(protocol.BAD_REQUEST,
@@ -599,6 +878,10 @@ class Server:
                     outcome = err
             if not future.cancelled():
                 future.set_result(outcome)
+            if self._hub is not None and not isinstance(outcome, Exception):
+                # Wake long-polling replication subscribers: there is a
+                # new committed batch to ship.
+                self._hub.notify()
 
     async def _checkpoint_loop(self) -> None:
         """Checkpoint by WAL size (durable servers only).

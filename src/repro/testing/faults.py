@@ -150,4 +150,7 @@ SITES = frozenset({
     # durability: write-ahead log, checkpoints, recovery
     "wal.append", "wal.commit", "wal.fsync", "wal.rotate",
     "checkpoint.write", "checkpoint.rename", "recover.replay",
+    # replication: subscribe handshake, batch shipping (primary),
+    # snapshot bootstrap, batch application (replica)
+    "repl.subscribe", "repl.ship", "repl.bootstrap", "repl.apply",
 })

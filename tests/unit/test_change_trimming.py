@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.oodb.database import ChangeLog, Database
+from repro.oodb.database import ChangeLog, Database, TrimmedCursor
 from repro.oodb.oid import NamedOid
 from repro.lang.parser import parse_program
 from repro.query import Query
@@ -63,6 +63,67 @@ class TestAbsoluteCursors:
         with pytest.raises(ValueError, match="hold_changes"):
             log.since(0)
         assert len(log.since(1)) == 1
+
+
+class TestTrimmedCursorIsTyped:
+    """The replication boundary needs a *typed* trimmed-past read
+    (satellite: a subscriber below the horizon gets a retryable
+    "resync required" answer, not a bare ValueError)."""
+
+    def test_since_raises_trimmed_cursor_with_the_arithmetic(self, db):
+        log = db.begin_changes()
+        db.assert_set_member(n("kids"), n("p1"), (), n("x1"))
+        db.assert_set_member(n("kids"), n("p1"), (), n("x2"))
+        db.assert_set_member(n("kids"), n("p1"), (), n("x3"))
+        log.trim_to(2)
+        with pytest.raises(TrimmedCursor) as exc_info:
+            log.since(1)
+        err = exc_info.value
+        # The exception carries the resync arithmetic: how far below
+        # the horizon the subscriber fell.
+        assert err.cursor == 1
+        assert err.offset == 2
+        assert isinstance(err, ValueError)  # the historical contract
+
+    def test_reattach_at_the_horizon_needs_no_resync(self, db):
+        """Trim/reattach arithmetic: the offset itself is the lowest
+        incrementally-servable cursor -- a subscriber exactly at the
+        horizon resumes; one below it resyncs."""
+        log = db.begin_changes()
+        for i in range(5):
+            db.assert_set_member(n("kids"), n("p1"), (), n(f"x{i}"))
+        log.trim_to(3)
+        assert log.offset == 3
+        # At the horizon: the surviving suffix is the complete delta.
+        assert [f for _, f in log.since(3)] == [
+            ("set", n("kids"), n("p1"), (), n("x3")),
+            ("set", n("kids"), n("p1"), (), n("x4"))]
+        # One below: gone, typed.
+        with pytest.raises(TrimmedCursor):
+            log.since(2)
+        # ``in_sync`` stays provable even for trimmed cursors (it is
+        # pure arithmetic), so a resynced subscriber can still verify
+        # the version/cursor pair it bootstrapped at.
+        assert log.in_sync(db.data_version(), log.cursor())
+
+    def test_a_held_subscriber_cursor_never_trims_past(self, db):
+        """The hub's lease discipline in miniature: a registered
+        cursor is the low-water mark, so ``since`` at it always
+        succeeds no matter how often trimming runs."""
+        log = db.begin_changes()
+        with db.held_changes(cursor=0) as lease:
+            for i in range(4):
+                db.assert_set_member(n("kids"), n("p1"), (), n(f"x{i}"))
+                db.catalog()
+                db.trim_changes()
+                assert len(log.since(lease.cursor)) == i + 1
+            lease.move(3)
+            db.catalog()
+            db.trim_changes()
+            assert log.offset == 3
+            assert len(log.since(3)) == 1
+            with pytest.raises(TrimmedCursor):
+                log.since(2)
 
 
 class TestLowWaterMark:

@@ -1,0 +1,279 @@
+"""Deterministic failover routing: FailoverPolicy and FailoverClient.
+
+Every test injects the RNG and the clock, so routing decisions replay
+exactly -- no sleeping, no sockets.  The client tests script fake
+per-endpoint clients and count which endpoints actually received
+requests.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.server import (
+    ConnectionLost,
+    FailoverClient,
+    FailoverPolicy,
+    ReplicaStale,
+    RequestError,
+    RequestTimeout,
+    RetryPolicy,
+)
+
+PRIMARY = ("p", 1)
+REPLICA_A = ("a", 2)
+REPLICA_B = ("b", 3)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_policy(**kwargs):
+    clock = FakeClock()
+    policy = FailoverPolicy(PRIMARY, [REPLICA_A, REPLICA_B],
+                            reprobe_ms=1_000.0,
+                            rng=random.Random(0), clock=clock, **kwargs)
+    return policy, clock
+
+
+class TestFailoverPolicy:
+    def test_reads_prefer_replicas_writes_stay_on_the_primary(self):
+        policy, _ = make_policy()
+        for _ in range(20):
+            assert not policy.pick_read().is_primary
+            assert policy.pick_write().is_primary
+
+    def test_reads_spread_over_both_replicas(self):
+        policy, _ = make_policy()
+        seen = {policy.pick_read().address for _ in range(50)}
+        assert seen == {REPLICA_A, REPLICA_B}
+
+    def test_demoted_replica_stops_receiving_reads(self):
+        policy, _ = make_policy()
+        down = policy.replicas[0]
+        policy.demote(down)
+        picks = {policy.pick_read().address for _ in range(20)}
+        assert picks == {REPLICA_B}
+
+    def test_all_replicas_demoted_falls_back_to_the_primary(self):
+        policy, _ = make_policy()
+        for replica in policy.replicas:
+            policy.demote(replica)
+        assert policy.pick_read().is_primary
+
+    def test_everything_demoted_probes_least_recently_demoted(self):
+        policy, clock = make_policy()
+        policy.demote(policy.replicas[0])      # retry_at = 101.0
+        clock.now = 100.2
+        policy.demote(policy.replicas[1])      # retry_at = 101.2
+        clock.now = 100.4
+        policy.demote(policy.primary)          # retry_at = 101.4
+        # Degrades to probing, never to refusing -- and the probe goes
+        # to the endpoint whose demotion is oldest.
+        assert policy.pick_read().address == REPLICA_A
+
+    def test_reprobe_window_restores_eligibility(self):
+        policy, clock = make_policy()
+        down = policy.replicas[0]
+        policy.demote(down)
+        assert down.retry_at == pytest.approx(101.0)
+        picks = {policy.pick_read().address for _ in range(20)}
+        assert REPLICA_A not in picks
+        clock.now = 101.5                      # past the reprobe window
+        picks = {policy.pick_read().address for _ in range(50)}
+        assert REPLICA_A in picks              # eligible again
+        assert not down.healthy                # ...but not yet healthy
+        policy.restore(down)
+        assert down.healthy
+
+    def test_writes_route_to_the_primary_even_when_demoted(self):
+        policy, _ = make_policy()
+        policy.demote(policy.primary)
+        assert policy.pick_write() is policy.primary
+
+    def test_no_replicas_reads_use_the_primary(self):
+        policy = FailoverPolicy(PRIMARY, rng=random.Random(0),
+                                clock=FakeClock())
+        assert policy.pick_read().is_primary
+
+
+class FakeEndpointClient:
+    """Scripted responses for one endpoint; counts every request."""
+
+    def __init__(self, address, script):
+        self.address = address
+        self.script = script            # list of responses/exceptions
+        self.requests = []
+        self.writes = []
+
+    def _next(self):
+        outcome = self.script.pop(0) if self.script else {"ok": True}
+        if isinstance(outcome, Exception):
+            raise outcome
+        return dict(outcome, served_by=self.address)
+
+    async def request(self, payload):
+        self.requests.append(payload)
+        return self._next()
+
+    async def write(self, changes):
+        self.writes.append(changes)
+        return self._next()
+
+    async def close(self):
+        pass
+
+
+def make_client(scripts=None):
+    """FailoverClient over fakes; returns (client, fakes-by-address)."""
+    scripts = scripts or {}
+    fakes = {}
+
+    def factory(host, port):
+        fake = FakeEndpointClient((host, port),
+                                  list(scripts.get((host, port), [])))
+        fakes[host, port] = fake
+        return fake
+
+    policy, clock = make_policy()
+    retry = RetryPolicy(attempts=4, base_ms=0.01, cap_ms=0.01,
+                        rng=random.Random(0))
+    return (FailoverClient(policy, retry=retry, client_factory=factory),
+            fakes, policy, clock)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestFailoverClient:
+    def test_reads_land_on_replicas_only(self):
+        client, fakes, _, _ = make_client()
+
+        async def main():
+            for _ in range(10):
+                response = await client.query("q[x ->> {Y}]")
+                assert response["served_by"] in (REPLICA_A, REPLICA_B)
+
+        run(main())
+        assert PRIMARY not in fakes
+        assert client.failovers == 0
+
+    def test_writes_never_route_to_replicas(self):
+        client, fakes, policy, _ = make_client()
+        for replica in policy.replicas:
+            policy.restore(replica)
+
+        async def main():
+            for _ in range(5):
+                await client.write([["+isa", "a", "b"]])
+
+        run(main())
+        assert len(fakes[PRIMARY].writes) == 5
+        assert all(not fakes[addr].writes for addr in fakes
+                   if addr != PRIMARY)
+
+    def test_connection_lost_demotes_and_fails_over(self):
+        client, fakes, policy, _ = make_client(scripts={
+            REPLICA_A: [ConnectionLost("socket died")],
+            REPLICA_B: [ConnectionLost("socket died")],
+        })
+
+        async def main():
+            return await client.query("q[x ->> {Y}]")
+
+        response = run(main())
+        # Both replicas failed once, got demoted, and the read drained
+        # to the primary.
+        assert response["served_by"] == PRIMARY
+        assert not policy.replicas[0].healthy
+        assert not policy.replicas[1].healthy
+        assert client.failovers == 2
+        # Demoted endpoints stop receiving subsequent reads.
+        before = {addr: len(fake.requests) for addr, fake in fakes.items()}
+        run(client.query("q[x ->> {Y}]"))
+        assert len(fakes[PRIMARY].requests) == before[PRIMARY] + 1
+        assert len(fakes[REPLICA_A].requests) == before[REPLICA_A]
+        assert len(fakes[REPLICA_B].requests) == before[REPLICA_B]
+
+    def test_stale_replica_is_demoted_with_its_hint(self):
+        stale = ReplicaStale("stale", "replica lagging",
+                             retry_after_ms=0.01)
+        client, fakes, policy, _ = make_client(scripts={
+            REPLICA_A: [stale], REPLICA_B: [stale]})
+
+        async def main():
+            return await client.query("q[x ->> {Y}]")
+
+        assert run(main())["served_by"] == PRIMARY
+        assert not policy.replicas[0].healthy
+
+    def test_success_restores_a_reprobed_endpoint(self):
+        client, fakes, policy, clock = make_client(scripts={
+            REPLICA_A: [RequestTimeout("timeout", "deadline")]})
+        policy.demote(policy.replicas[1])      # keep routing on A
+
+        async def main():
+            await client.query("q[x ->> {Y}]")  # A times out, demoted
+
+        run(main())
+        assert not policy.replicas[0].healthy
+        clock.now += 10.0                      # past both reprobes
+
+        async def again():
+            return await client.query("q[x ->> {Y}]")
+
+        response = run(again())
+        # The reprobe succeeded (script exhausted -> ok) and restored
+        # whichever replica it landed on.
+        assert response["served_by"] in (REPLICA_A, REPLICA_B)
+        restored = dict(zip((REPLICA_A, REPLICA_B), policy.replicas))
+        assert restored[response["served_by"]].healthy
+
+    def test_non_retryable_errors_raise_without_demotion(self):
+        client, fakes, policy, _ = make_client(scripts={
+            REPLICA_A: [RequestError("bad_request", "no such op")],
+            REPLICA_B: [RequestError("bad_request", "no such op")],
+        })
+
+        async def main():
+            with pytest.raises(RequestError):
+                await client.query("q[x ->> {Y}]")
+
+        run(main())
+        assert policy.replicas[0].healthy
+        assert policy.replicas[1].healthy
+
+    def test_exhausted_attempts_raise_the_last_error(self):
+        lost = ConnectionLost("socket died")
+        client, fakes, policy, _ = make_client(scripts={
+            PRIMARY: [lost] * 10,
+            REPLICA_A: [lost] * 10,
+            REPLICA_B: [lost] * 10,
+        })
+
+        async def main():
+            with pytest.raises(ConnectionLost):
+                await client.query("q[x ->> {Y}]")
+
+        run(main())
+        assert client.failovers == 4           # one per attempt
+
+    def test_write_failure_demotes_the_primary_for_reads(self):
+        client, fakes, policy, _ = make_client(scripts={
+            PRIMARY: [ConnectionLost("socket died")]})
+        for replica in policy.replicas:
+            policy.demote(replica)
+
+        async def main():
+            with pytest.raises(ConnectionLost):
+                await client.write([["+isa", "a", "b"]])
+
+        run(main())
+        assert not policy.primary.healthy
